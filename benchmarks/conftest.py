@@ -1,0 +1,47 @@
+"""Shared fixtures and table emission for the benchmark harness.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation (Section 6).  Reproduced tables are printed and also written
+to ``benchmarks/results/<name>.txt`` so a bench run leaves an auditable
+artifact; EXPERIMENTS.md summarises paper-vs-measured from those files.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.grammars import PAPER_NAMES, PAPER_ORDER, load
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(name: str, title: str, header, rows) -> str:
+    """Format an aligned text table; print it and save it under results/."""
+    widths = [len(str(h)) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = [title, ""]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+    text = "\n".join(lines)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """name -> (BenchmarkGrammar, compiled ParserHost) for the whole suite."""
+    return {name: (load(name), load(name).compile()) for name in PAPER_ORDER}
+
+
+@pytest.fixture(scope="session")
+def paper_names():
+    return PAPER_NAMES

@@ -1,0 +1,58 @@
+"""Table 1: grammar decision characteristics.
+
+Paper columns: Lines, n (decisions), Fixed, Cyclic, Backtrack, Runtime.
+Paper shape to preserve: analysis finishes in seconds; the overwhelming
+majority of decisions are fixed LL(k); cyclic DFAs are rare; PEG-mode
+grammars keep a single-digit-to-low-double-digit *percentage* of
+backtracking decisions (the rest of the auto-inserted synpreds are
+statically removed).
+"""
+
+import time
+
+from repro.analysis import BACKTRACK, CYCLIC, FIXED
+from repro.grammars import PAPER_ORDER
+
+from conftest import emit_table
+
+
+def test_table1(suite, paper_names, benchmark):
+    rows = []
+    for name in PAPER_ORDER:
+        bench, host = suite[name]
+        res = host.analysis
+        rows.append((
+            paper_names[name],
+            bench.grammar_lines(),
+            res.num_decisions,
+            res.count(FIXED),
+            res.count(CYCLIC),
+            "%d (%.1f%%)" % (res.count(BACKTRACK), res.percent(BACKTRACK)),
+            "%.2fs" % res.elapsed_seconds,
+        ))
+        # Shape assertions per grammar
+        assert res.percent(FIXED) > 80.0
+        assert res.count(FIXED) + res.count(CYCLIC) + res.count(BACKTRACK) \
+            == res.num_decisions
+
+    # PEG-mode grammars must retain some backtracking; analysis must have
+    # stripped synpreds from the vast majority of decisions.
+    java = suite["java"][1].analysis
+    rats_c = suite["rats_c"][1].analysis
+    assert 0 < java.percent(BACKTRACK) < 30
+    assert 0 < rats_c.percent(BACKTRACK) < 30
+
+    emit_table(
+        "table1", "Table 1: grammar decision characteristics",
+        ("Grammar", "Lines", "n", "Fixed", "Cyclic", "Backtrack", "Runtime"),
+        rows)
+
+    # Benchmark: full static analysis of the Java-subset grammar.
+    bench_obj = suite["java"][0]
+
+    def analyze_java():
+        from repro.api import compile_grammar
+
+        return compile_grammar(bench_obj.grammar_text)
+
+    benchmark.pedantic(analyze_java, rounds=3, iterations=1)

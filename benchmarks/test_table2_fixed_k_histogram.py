@@ -1,0 +1,40 @@
+"""Table 2: fixed lookahead decision characteristics.
+
+Paper columns: %LL(k) (fixed decisions / all decisions), %LL(1), and a
+histogram of fixed decisions per lookahead depth k = 1..6.  Shape to
+preserve: LL(1) dominates every grammar; depth falls off steeply; ANTLR
+statically determines k almost always despite undecidability.
+"""
+
+from repro.analysis import FIXED
+from repro.grammars import PAPER_ORDER
+
+from conftest import emit_table
+
+
+def test_table2(suite, paper_names, benchmark):
+    max_depth = 6
+    rows = []
+    for name in PAPER_ORDER:
+        _bench, host = suite[name]
+        res = host.analysis
+        hist = res.fixed_k_histogram()
+        depth_cells = [hist.get(k, "") for k in range(1, max_depth + 1)]
+        overflow = sum(v for k, v in hist.items() if k > max_depth)
+        if overflow:
+            depth_cells[-1] = "%s(+%d deeper)" % (depth_cells[-1], overflow)
+        rows.append((paper_names[name],
+                     "%.2f%%" % res.percent(FIXED),
+                     "%.2f%%" % res.percent_ll1(),
+                     *depth_cells))
+        # Shape: LL(1) decisions dominate the histogram.
+        assert hist.get(1, 0) == max(hist.values())
+        assert res.percent_ll1() > 60.0
+
+    emit_table(
+        "table2", "Table 2: fixed lookahead decision characteristics",
+        ("Grammar", "LL(k)%", "LL(1)%") + tuple("k=%d" % k for k in range(1, max_depth + 1)),
+        rows)
+
+    host = suite["sql"][1]
+    benchmark(lambda: host.analysis.fixed_k_histogram())

@@ -1,0 +1,82 @@
+"""Context-sensitive parsing: the C typedef problem (Section 4.2).
+
+``T * x ;`` is a declaration when ``T`` names a type and an expression
+statement (multiplication) otherwise — famously not context-free.  The
+paper's fix is a one-line semantic predicate consulting the symbol
+table: ``type_id : {isTypeName(input)}? ID``, with a ``{{...}}``
+always-exec action keeping the symbol table live even during
+speculation (Section 4.3).
+
+Run:  python examples/c_typedef.py
+"""
+
+import repro
+from repro.runtime.parser import ParserOptions
+
+GRAMMAR = r"""
+grammar Typedef;
+
+program : statement+ ;
+
+statement
+    : 'typedef' base_type ID ';' {{state['types'].add(LT(-2).text)}}
+    | declaration ';'
+    | expression ';'
+    ;
+
+declaration : type_id '*'? ID ('=' expression)? ;
+
+// the paper's predicate, verbatim in spirit:
+// type_id : {isTypeName(next input symbol)}? ID ;
+type_id
+    : {LT(1).text in state['types']}? ID
+    | base_type
+    ;
+
+base_type : 'int' | 'char' | 'double' ;
+
+expression : term (('+' | '*') term)* ;
+
+term : ID | INT ;
+
+ID : [a-zA-Z_]+ ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;
+"""
+
+PROGRAM = """
+typedef int size ;
+int a ;
+size * b ;
+a * b ;
+size c = 4 ;
+"""
+
+
+def main():
+    host = repro.compile_grammar(GRAMMAR)
+    state = {"types": set()}
+    tree = host.parse(PROGRAM, options=ParserOptions(user_state=state))
+
+    kinds = []
+    for stmt in tree.child_rules("statement"):
+        first = stmt.children[0]
+        if getattr(getattr(first, "token", None), "text", None) == "typedef":
+            kinds.append("typedef")
+        elif stmt.child_rules("declaration"):
+            kinds.append("declaration")
+        else:
+            kinds.append("expression")
+
+    for line, kind in zip([l for l in PROGRAM.strip().splitlines()], kinds):
+        print("%-20s -> %s" % (line.strip(), kind))
+
+    # 'size * b ;' is a declaration (size is a typedef); 'a * b ;' is an
+    # expression — same token shapes, different parses: context-sensitive.
+    assert kinds == ["typedef", "declaration", "declaration",
+                     "expression", "declaration"], kinds
+    print("typedef ok: semantic predicates reach into the context-sensitive realm")
+
+
+if __name__ == "__main__":
+    main()

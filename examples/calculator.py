@@ -1,0 +1,121 @@
+"""Calculator: left-recursive expression grammar, actions, and a visitor.
+
+Demonstrates two headline features:
+
+* the Section 1.1 left-recursion rewrite — the grammar below is written
+  in natural left-recursive style and compiled via the predicated
+  precedence-climbing transform (print the rewritten rule to see the
+  paper's ``{_p <= k}?`` loop);
+* an embedded action mutating user ``state`` — the style of
+  host-language side effect the paper argues deterministic LL parsers
+  support safely because they do not speculate here (the action runs
+  exactly once per statement).
+
+Run:  python examples/calculator.py
+"""
+
+import repro
+from repro.runtime.parser import ParserOptions
+from repro.runtime.trees import TreeVisitor
+
+GRAMMAR = r"""
+grammar Calc;
+
+session : statement+ ;
+
+statement
+    : ID '=' e ';' {state['assignments'] += 1}
+    | 'print' e ';'
+    ;
+
+// natural left-recursive arithmetic; precedence = order of alternatives,
+// so unary minus is listed first (binds tightest)
+e : '-' e
+  | e '*' e
+  | e '/' e
+  | e '+' e
+  | e '-' e
+  | INT
+  | ID
+  | '(' e ')'
+  ;
+
+ID : [a-zA-Z_]+ ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;
+"""
+
+_BINOPS = {
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b,
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+}
+
+
+class Evaluator(TreeVisitor):
+    """Folds the rewritten e/e_prec parse tree into integers."""
+
+    def __init__(self):
+        self.vars = {}
+
+    def visit_e(self, node):
+        return self.visit(node.children[0])
+
+    def visit_e_prec(self, node):
+        items = node.children
+        head = items[0]
+        text = getattr(getattr(head, "token", None), "text", None)
+        if text == "-":  # unary minus primary
+            value, i = -self.visit(items[1]), 2
+        elif text == "(":  # parenthesised primary
+            value, i = self.visit(items[1]), 3
+        else:
+            value, i = self.visit(head), 1
+        while i < len(items):  # the predicated operator loop's matches
+            op = items[i].token.text
+            value = _BINOPS[op](value, self.visit(items[i + 1]))
+            i += 2
+        return value
+
+    def visit_token(self, node):
+        text = node.token.text
+        return int(text) if text.isdigit() else self.vars.get(text, 0)
+
+
+def run(program):
+    host = repro.compile_grammar(GRAMMAR)
+    state = {"assignments": 0}
+    tree = host.parse(program, options=ParserOptions(user_state=state))
+    evaluator = Evaluator()
+    printed = []
+    for stmt in tree.child_rules("statement"):
+        kids = stmt.children
+        if kids[0].token.text == "print":
+            printed.append(evaluator.visit(kids[1]))
+        else:
+            evaluator.vars[kids[0].token.text] = evaluator.visit(kids[2])
+    return printed, state["assignments"], host
+
+
+def main():
+    program = """
+        x = 2 + 3 * 4 ;
+        y = (x + 1) * 2 ;
+        print x ;
+        print y ;
+        print -y + 100 ;
+    """
+    printed, assignments, host = run(program)
+    print("rewritten rule:", host.grammar.rules["e_prec"])
+    print()
+    for value in printed:
+        print("=>", value)
+    print("assignments seen by embedded action:", assignments)
+    assert printed == [14, 30, 70], printed
+    assert assignments == 2
+    print("calculator ok")
+
+
+if __name__ == "__main__":
+    main()

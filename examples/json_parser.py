@@ -1,0 +1,105 @@
+"""JSON: a complete small language through the full pipeline.
+
+Grammar -> analysis (every decision is LL(1), as JSON's design intends)
+-> parse tree -> Python objects via a TreeVisitor.  Also round-trips a
+generated parser module to show codegen on a realistic grammar.
+
+Run:  python examples/json_parser.py
+"""
+
+import json as stdlib_json
+
+import repro
+from repro.codegen import generate_python
+from repro.runtime.trees import TreeVisitor
+
+GRAMMAR = r"""
+grammar Json;
+
+value
+    : obj
+    | arr
+    | STRING
+    | NUMBER
+    | 'true'
+    | 'false'
+    | 'null'
+    ;
+
+obj : '{' (pair (',' pair)*)? '}' ;
+
+pair : STRING ':' value ;
+
+arr : '[' (value (',' value)*)? ']' ;
+
+STRING : '"' (~["])* '"' ;
+NUMBER : '-'? [0-9]+ ('.' [0-9]+)? ;
+WS : [ \t\r\n]+ -> skip ;
+"""
+
+
+class ToPython(TreeVisitor):
+    def visit_value(self, node):
+        return self.visit(node.children[0])
+
+    def visit_obj(self, node):
+        return dict(self.visit(p) for p in node.child_rules("pair"))
+
+    def visit_pair(self, node):
+        key = node.children[0].token.text[1:-1]
+        return key, self.visit(node.children[2])
+
+    def visit_arr(self, node):
+        return [self.visit(v) for v in node.child_rules("value")]
+
+    def visit_token(self, node):
+        text = node.token.text
+        if text.startswith('"'):
+            return text[1:-1]
+        if text == "true":
+            return True
+        if text == "false":
+            return False
+        if text == "null":
+            return None
+        return float(text) if "." in text else int(text)
+
+
+DOC = """
+{
+    "name": "LL(*) reproduction",
+    "tables": [1, 2, 3, 4],
+    "strategies": {"topdown": true, "bottomup": false},
+    "speedup": 2.5,
+    "previous": null
+}
+"""
+
+
+def main():
+    host = repro.compile_grammar(GRAMMAR)
+    analysis = host.analysis
+    print("JSON grammar: %d decisions, all fixed LL(k):" % analysis.num_decisions)
+    print("  histogram:", analysis.fixed_k_histogram())
+    assert analysis.percent("fixed") == 100.0
+
+    tree = host.parse(DOC, rule_name="value")
+    data = ToPython().visit(tree)
+    expected = stdlib_json.loads(DOC)
+    assert data == expected, (data, expected)
+    print("parsed:", data)
+
+    # Generated-parser round trip.
+    source = generate_python(analysis)
+    namespace = {}
+    exec(compile(source, "json_parser_gen.py", "exec"), namespace)
+    generated = namespace["JsonParser"](host.tokenize(DOC))
+    tree2 = generated.parse("value")
+    assert ToPython().visit(tree2) == expected
+    print("generated parser agrees (%d lines of Python emitted)"
+          % len(source.splitlines()))
+    print("json ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: compile a grammar, inspect the analysis, parse input.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+GRAMMAR = r"""
+grammar Quickstart;
+
+// The paper's Figure 1 rule: needs arbitrary lookahead over 'unsigned'*
+// to tell alternatives 3 and 4 apart -> a cyclic lookahead DFA.
+s : ID
+  | ID '=' expr
+  | 'unsigned'* 'int' ID
+  | 'unsigned'* ID ID
+  ;
+
+expr : INT ;
+
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;
+"""
+
+
+def main():
+    host = repro.compile_grammar(GRAMMAR)
+
+    print("=== static analysis (Table 1 style) ===")
+    print(host.analysis.summary())
+    print()
+
+    print("=== parsing ===")
+    for text in ["x", "x = 42", "unsigned unsigned int flags",
+                 "unsigned MyType value", "MyType value"]:
+        tree = host.parse(text)
+        print("%-28s -> alt %d  %s" % (text, tree.alt, tree.to_sexpr()))
+
+    print()
+    print("=== error reporting (Section 4.4: blame the deepest token) ===")
+    try:
+        host.parse("unsigned unsigned 42")
+    except repro.RecognitionError as e:
+        print("error:", e)
+
+
+if __name__ == "__main__":
+    main()

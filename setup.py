@@ -1,0 +1,8 @@
+"""Legacy setup shim so ``pip install -e .`` works without network
+access (the environment's setuptools predates PEP 660 editable wheels).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

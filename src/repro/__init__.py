@@ -1,0 +1,97 @@
+"""repro — a reproduction of "LL(*): The Foundation of the ANTLR Parser
+Generator" (Parr & Fisher, PLDI 2011).
+
+Public API tour
+---------------
+
+Front end (:mod:`repro.grammar`):
+    ``parse_grammar(text)`` reads an ANTLR-style grammar;
+    ``GrammarBuilder`` constructs grammars programmatically;
+    ``validate_grammar`` reports left recursion and PEG hazards;
+    ``eliminate_left_recursion`` applies the predicated
+    precedence-climbing rewrite from Section 1.1.
+
+Static analysis (:mod:`repro.analysis`):
+    ``analyze(grammar)`` builds an ATN, runs the modified subset
+    construction (Algorithms 8-11) per decision, and returns an
+    :class:`~repro.analysis.decisions.AnalysisResult` with one lookahead
+    DFA per decision plus its classification (fixed LL(k) / cyclic /
+    backtracking).
+
+Runtime (:mod:`repro.runtime`):
+    ``LLStarParser`` interprets the analysed grammar over a token
+    stream, predicting with the lookahead DFA and failing over to
+    memoized speculation on synpred edges.  ``DecisionProfiler``
+    collects the per-decision-event statistics behind the paper's
+    Tables 2-4.
+
+Convenience:
+    :func:`compile_grammar` wires the whole pipeline together and
+    returns a ready-to-use :class:`ParserHost`.
+
+>>> import repro
+>>> host = repro.compile_grammar(r'''
+...     grammar Demo;
+...     s : ID | ID '=' INT ;
+...     ID : [a-z]+ ;
+...     INT : [0-9]+ ;
+...     WS : [ \t\r\n]+ -> skip ;
+... ''')
+>>> tree = host.parse("x = 42")
+>>> tree.to_sexpr()
+"(s x '=' 42)"
+"""
+
+from repro.exceptions import (
+    LLStarError,
+    GrammarError,
+    GrammarSyntaxError,
+    LeftRecursionError,
+    AnalysisError,
+    LikelyNonLLRegularError,
+    RecognitionError,
+    NoViableAltError,
+    MismatchedTokenError,
+    FailedPredicateError,
+    LexerError,
+)
+from repro.grammar import (
+    Grammar,
+    GrammarBuilder,
+    parse_grammar,
+    validate_grammar,
+    apply_peg_mode,
+    erase_syntactic_predicates,
+    eliminate_left_recursion,
+)
+from repro.api import compile_grammar, ParserHost
+from repro.analysis import analyze, AnalysisOptions, AnalysisResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LLStarError",
+    "GrammarError",
+    "GrammarSyntaxError",
+    "LeftRecursionError",
+    "AnalysisError",
+    "LikelyNonLLRegularError",
+    "RecognitionError",
+    "NoViableAltError",
+    "MismatchedTokenError",
+    "FailedPredicateError",
+    "LexerError",
+    "Grammar",
+    "GrammarBuilder",
+    "parse_grammar",
+    "validate_grammar",
+    "apply_peg_mode",
+    "erase_syntactic_predicates",
+    "eliminate_left_recursion",
+    "compile_grammar",
+    "ParserHost",
+    "analyze",
+    "AnalysisOptions",
+    "AnalysisResult",
+    "__version__",
+]

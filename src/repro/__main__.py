@@ -1,0 +1,7 @@
+"""``python -m repro`` dispatches to the ``llstar`` CLI."""
+
+import sys
+
+from repro.tools.cli import main
+
+sys.exit(main())

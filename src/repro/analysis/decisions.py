@@ -1,0 +1,171 @@
+"""Whole-grammar analysis facade and decision classification.
+
+``analyze(grammar)`` produces an :class:`AnalysisResult`: the ATN, one
+:class:`DecisionRecord` per decision (DFA + classification), and all
+diagnostics.  Classification buckets follow Table 1 of the paper:
+
+* **fixed** — acyclic DFA with no synpred edges: plain LL(k), with the
+  record carrying k;
+* **cyclic** — DFA with a cycle but no synpred edges: arbitrary
+  regular lookahead, beyond any LL(k);
+* **backtrack** — DFA with at least one syntactic-predicate edge: the
+  decision *may* speculate at parse time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.analysis.construction import AnalysisOptions, DecisionAnalyzer
+from repro.analysis.dfa_model import DFA
+from repro.analysis.diagnostics import AnalysisDiagnostic
+from repro.atn.builder import build_atn
+from repro.atn.states import ATN
+from repro.grammar.model import Grammar
+from repro.grammar.transforms import apply_peg_mode, erase_syntactic_predicates
+
+FIXED = "fixed"
+CYCLIC = "cyclic"
+BACKTRACK = "backtrack"
+
+
+class DecisionRecord:
+    """One decision's analysis outcome."""
+
+    def __init__(self, decision: int, rule_name: str, kind: str, dfa: DFA):
+        self.decision = decision
+        self.rule_name = rule_name
+        self.kind = kind  # DecisionKind: rule/block/optional/star/plus
+        self.dfa = dfa
+        self.category = self._classify()
+        self.fixed_k = dfa.fixed_k() if self.category == FIXED else None
+
+    def _classify(self) -> str:
+        if self.dfa.uses_backtracking():
+            return BACKTRACK
+        if self.dfa.is_cyclic():
+            return CYCLIC
+        return FIXED
+
+    @property
+    def can_backtrack(self) -> bool:
+        return self.category == BACKTRACK
+
+    def __repr__(self):
+        extra = " k=%s" % self.fixed_k if self.fixed_k else ""
+        return "DecisionRecord(%d in %s: %s%s)" % (
+            self.decision, self.rule_name, self.category, extra)
+
+
+class AnalysisResult:
+    """Everything static analysis learned about a grammar."""
+
+    def __init__(self, grammar: Grammar, atn: ATN, records: List[DecisionRecord],
+                 diagnostics: List[AnalysisDiagnostic], elapsed_seconds: float):
+        self.grammar = grammar
+        self.atn = atn
+        self.records = records
+        self.diagnostics = diagnostics
+        self.elapsed_seconds = elapsed_seconds
+
+    # -- lookups ----------------------------------------------------------------
+
+    def dfa_for(self, decision: int) -> DFA:
+        return self.records[decision].dfa
+
+    def record(self, decision: int) -> DecisionRecord:
+        return self.records[decision]
+
+    # -- Table 1 / Table 2 style aggregates ----------------------------------------
+
+    @property
+    def num_decisions(self) -> int:
+        return len(self.records)
+
+    def count(self, category: str) -> int:
+        return sum(1 for r in self.records if r.category == category)
+
+    def fixed_k_histogram(self) -> Dict[int, int]:
+        """Number of fixed decisions per lookahead depth k (Table 2)."""
+        hist: Dict[int, int] = {}
+        for r in self.records:
+            if r.category == FIXED and r.fixed_k is not None:
+                hist[r.fixed_k] = hist.get(r.fixed_k, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def percent(self, category: str) -> float:
+        if not self.records:
+            return 0.0
+        return 100.0 * self.count(category) / len(self.records)
+
+    def percent_ll1(self) -> float:
+        if not self.records:
+            return 0.0
+        ll1 = sum(1 for r in self.records if r.category == FIXED and r.fixed_k == 1)
+        return 100.0 * ll1 / len(self.records)
+
+    def summary(self) -> str:
+        lines = [
+            "grammar %s: %d decisions" % (self.grammar.name, self.num_decisions),
+            "  fixed LL(k): %d (%.1f%%)" % (self.count(FIXED), self.percent(FIXED)),
+            "  cyclic:      %d (%.1f%%)" % (self.count(CYCLIC), self.percent(CYCLIC)),
+            "  backtrack:   %d (%.1f%%)" % (self.count(BACKTRACK), self.percent(BACKTRACK)),
+            "  analysis time: %.3fs" % self.elapsed_seconds,
+        ]
+        hist = self.fixed_k_histogram()
+        if hist:
+            lines.append("  fixed-k histogram: %s"
+                         % " ".join("k=%d:%d" % kv for kv in hist.items()))
+        for d in self.diagnostics:
+            lines.append("  %r" % d)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "AnalysisResult(%s: %d decisions, %d diagnostics)" % (
+            self.grammar.name, self.num_decisions, len(self.diagnostics))
+
+
+class GrammarAnalyzer:
+    """Runs the full static pipeline over a grammar.
+
+    Steps: (1) PEG mode if ``backtrack=true``; (2) erase syntactic
+    predicates into synpred rules; (3) build the ATN; (4) per decision,
+    run :class:`DecisionAnalyzer`.  The input grammar is mutated by the
+    transforms, which matches ANTLR (the grammar object *is* the
+    compilation unit).
+    """
+
+    def __init__(self, grammar: Grammar, options: Optional[AnalysisOptions] = None):
+        self.grammar = grammar
+        self.options = options or AnalysisOptions()
+
+    def analyze(self) -> AnalysisResult:
+        started = time.perf_counter()
+        k = self.grammar.option("k")
+        if isinstance(k, int) and self.options.max_fixed_lookahead is None:
+            self.options = self.options.replace(max_fixed_lookahead=k)
+        if self.grammar.option("backtrack", False):
+            apply_peg_mode(self.grammar)
+        erase_syntactic_predicates(self.grammar)
+        atn = build_atn(self.grammar)
+
+        records: List[DecisionRecord] = []
+        diagnostics: List[AnalysisDiagnostic] = []
+        start_rule = self.grammar.start_rule
+        for info in atn.decisions:
+            analyzer = DecisionAnalyzer(atn, info.decision, start_rule=start_rule,
+                                        options=self.options)
+            dfa = analyzer.create_dfa()
+            diagnostics.extend(analyzer.diagnostics)
+            dead = dfa.unreachable_alts()
+            if dead and not dfa.fell_back_to_ll1:
+                diagnostics.append(AnalysisDiagnostic.dead_alternative(info.decision, dead))
+            records.append(DecisionRecord(info.decision, info.rule_name, info.kind, dfa))
+        elapsed = time.perf_counter() - started
+        return AnalysisResult(self.grammar, atn, records, diagnostics, elapsed)
+
+
+def analyze(grammar: Grammar, options: Optional[AnalysisOptions] = None) -> AnalysisResult:
+    """Convenience wrapper: ``GrammarAnalyzer(grammar, options).analyze()``."""
+    return GrammarAnalyzer(grammar, options).analyze()

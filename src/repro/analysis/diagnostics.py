@@ -1,0 +1,61 @@
+"""Analysis diagnostics: grammar ambiguities, recursion overflow,
+non-LL-regular aborts, and the DFA state budget.
+
+One of the paper's selling points over GLR/PEG tools (Section 1.1):
+LL(*) analysis can *statically* identify some grammar ambiguities and
+dead productions and warn the user, instead of silently accepting them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class AnalysisDiagnostic:
+    AMBIGUITY = "ambiguity"
+    OVERFLOW = "recursion-overflow"
+    NON_LL_REGULAR = "non-ll-regular"
+    STATE_BUDGET = "state-budget"
+    DEAD_ALTERNATIVE = "dead-alternative"
+
+    def __init__(self, kind: str, decision: int, message: str,
+                 alts: Optional[List[int]] = None, chosen: Optional[int] = None):
+        self.kind = kind
+        self.decision = decision
+        self.message = message
+        self.alts = list(alts) if alts else []
+        self.chosen = chosen
+
+    @classmethod
+    def ambiguity(cls, decision: int, alts, chosen: int) -> "AnalysisDiagnostic":
+        return cls(cls.AMBIGUITY, decision,
+                   "decision %d: alternatives %s are ambiguous for some input; "
+                   "resolving in favour of alternative %d" % (decision, list(alts), chosen),
+                   alts=alts, chosen=chosen)
+
+    @classmethod
+    def overflow(cls, decision: int, alts, chosen: int) -> "AnalysisDiagnostic":
+        return cls(cls.OVERFLOW, decision,
+                   "decision %d: recursion overflow while computing lookahead; "
+                   "alternatives %s may be ambiguous, resolving in favour of %d"
+                   % (decision, list(alts), chosen), alts=alts, chosen=chosen)
+
+    @classmethod
+    def non_ll_regular(cls, decision: int, alts) -> "AnalysisDiagnostic":
+        return cls(cls.NON_LL_REGULAR, decision,
+                   "decision %d: recursion in more than one alternative %s; "
+                   "lookahead language unlikely to be regular, falling back to LL(1)"
+                   % (decision, sorted(alts)), alts=sorted(alts))
+
+    @classmethod
+    def state_budget(cls, decision: int, detail: str) -> "AnalysisDiagnostic":
+        return cls(cls.STATE_BUDGET, decision, detail)
+
+    @classmethod
+    def dead_alternative(cls, decision: int, alts) -> "AnalysisDiagnostic":
+        return cls(cls.DEAD_ALTERNATIVE, decision,
+                   "decision %d: alternative(s) %s can never be predicted "
+                   "(dead production)" % (decision, sorted(alts)), alts=sorted(alts))
+
+    def __repr__(self):
+        return "[%s] %s" % (self.kind, self.message)

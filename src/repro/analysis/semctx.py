@@ -1,0 +1,132 @@
+"""Semantic contexts: AND/OR combinations of predicates.
+
+Section 5.5 of the paper: "The full algorithm in ANTLR automatically
+discovers and hoists all predicates visible to a decision even from
+productions further down the derivation chain."  During closure each
+configuration accumulates the predicates it traversed (a conjunction);
+when several configurations predict the same alternative, the
+alternative's effective gate is the *disjunction* of their conjunctions.
+
+An alternative with at least one **unpredicated** path cannot be gated:
+the predicate is not required on every derivation, so hoisting it would
+wrongly reject inputs.  :func:`context_for_alt` returns ``None`` in that
+case and resolution falls back to a default edge or static ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.atn.transitions import Predicate
+
+
+class SemanticContext:
+    """Base: a boolean expression over :class:`Predicate` leaves."""
+
+    def evaluate(self, eval_leaf) -> bool:
+        """``eval_leaf(predicate) -> bool`` supplies leaf evaluation."""
+        raise NotImplementedError
+
+    def predicates(self) -> Iterable[Predicate]:
+        raise NotImplementedError
+
+    @property
+    def contains_synpred(self) -> bool:
+        return any(p.is_synpred for p in self.predicates())
+
+
+class PredLeaf(SemanticContext):
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Predicate):
+        self.predicate = predicate
+
+    def evaluate(self, eval_leaf) -> bool:
+        return eval_leaf(self.predicate)
+
+    def predicates(self):
+        yield self.predicate
+
+    def __eq__(self, other):
+        return isinstance(other, PredLeaf) and self.predicate == other.predicate
+
+    def __hash__(self):
+        return hash(("leaf", self.predicate))
+
+    def __repr__(self):
+        return repr(self.predicate)
+
+
+class PredAnd(SemanticContext):
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: List[SemanticContext]):
+        self.terms = list(terms)
+
+    def evaluate(self, eval_leaf) -> bool:
+        return all(t.evaluate(eval_leaf) for t in self.terms)
+
+    def predicates(self):
+        for t in self.terms:
+            yield from t.predicates()
+
+    def __eq__(self, other):
+        return isinstance(other, PredAnd) and self.terms == other.terms
+
+    def __hash__(self):
+        return hash(("and", tuple(self.terms)))
+
+    def __repr__(self):
+        return "(%s)" % " && ".join(repr(t) for t in self.terms)
+
+
+class PredOr(SemanticContext):
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: List[SemanticContext]):
+        self.terms = list(terms)
+
+    def evaluate(self, eval_leaf) -> bool:
+        return any(t.evaluate(eval_leaf) for t in self.terms)
+
+    def predicates(self):
+        for t in self.terms:
+            yield from t.predicates()
+
+    def __eq__(self, other):
+        return isinstance(other, PredOr) and self.terms == other.terms
+
+    def __hash__(self):
+        return hash(("or", tuple(self.terms)))
+
+    def __repr__(self):
+        return "(%s)" % " || ".join(repr(t) for t in self.terms)
+
+
+def conjunction(preds: Tuple[Predicate, ...]) -> SemanticContext:
+    """A configuration's collected predicates form a conjunction."""
+    terms = [PredLeaf(p) for p in preds]
+    return terms[0] if len(terms) == 1 else PredAnd(terms)
+
+
+def context_for_alt(configs) -> Optional[SemanticContext]:
+    """Hoisted gate for an alternative: OR over its *predicated*
+    configurations' conjunctions; ``None`` when no configuration carries
+    a predicate.
+
+    Following Algorithm 11 ("pick any representative with a
+    predicate"), unpredicated configurations of the same alternative do
+    not block resolution — the hazard that a predicate-free derivation
+    gets gated anyway is inherited from ANTLR's hoisting semantics and
+    documented, not hidden.
+    """
+    seen = []
+    for c in configs:
+        if not c.preds:
+            continue
+        term = conjunction(c.preds)
+        if term not in seen:
+            seen.append(term)
+    if not seen:
+        return None
+    return seen[0] if len(seen) == 1 else PredOr(seen)

@@ -1,0 +1,116 @@
+"""High-level convenience API: grammar text in, parser out.
+
+:func:`compile_grammar` runs the full pipeline — meta-parse, validate,
+left-recursion rewrite, LL(*) analysis, lexer build — and returns a
+:class:`ParserHost` that parses strings (through the generated lexer) or
+pre-made token streams.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.construction import AnalysisOptions
+from repro.analysis.decisions import AnalysisResult, analyze
+from repro.exceptions import GrammarError
+from repro.grammar.leftrec import eliminate_left_recursion
+from repro.grammar.meta_parser import parse_grammar
+from repro.grammar.model import Grammar
+from repro.grammar.validation import validate_grammar
+from repro.lexgen.builder import build_lexer
+from repro.runtime.parser import LLStarParser, ParserOptions
+from repro.runtime.token import Token
+from repro.runtime.token_stream import ListTokenStream
+
+
+class ParserHost:
+    """A compiled grammar ready to parse input.
+
+    Wraps the analysis result and (when the grammar has lexer rules) the
+    generated tokenizer.  One host serves many parses; each ``parse``
+    call creates a fresh :class:`LLStarParser`.
+    """
+
+    def __init__(self, grammar: Grammar, analysis: AnalysisResult, lexer_spec=None):
+        self.grammar = grammar
+        self.analysis = analysis
+        self.lexer_spec = lexer_spec
+
+    # -- input preparation -------------------------------------------------------
+
+    def tokenize(self, text: str) -> ListTokenStream:
+        if self.lexer_spec is None:
+            raise GrammarError(
+                "grammar %s has no lexer rules; pass tokens explicitly"
+                % self.grammar.name)
+        return ListTokenStream(self.lexer_spec.tokenizer(text))
+
+    def token_stream_from_types(self, names: Sequence[str]) -> ListTokenStream:
+        """Build a stream from token-name strings (testing convenience).
+
+        Quoted names (``"'int'"``) resolve as literals, bare names as
+        token types.
+        """
+        tokens: List[Token] = []
+        for name in names:
+            if name.startswith("'"):
+                t = self.grammar.vocabulary.type_of_literal(name[1:-1])
+            else:
+                t = self.grammar.vocabulary.type_of(name)
+            if t is None:
+                raise GrammarError("unknown token %s" % name)
+            tokens.append(Token(t, name.strip("'")))
+        return ListTokenStream(tokens)
+
+    # -- parsing ---------------------------------------------------------------------
+
+    def parser(self, source, options: Optional[ParserOptions] = None) -> LLStarParser:
+        """Build a parser over ``source``: str, token stream, or token list."""
+        if isinstance(source, str):
+            stream = self.tokenize(source)
+        elif isinstance(source, ListTokenStream):
+            stream = source
+        else:
+            stream = ListTokenStream(source)
+        return LLStarParser(self.analysis, stream, options)
+
+    def parse(self, source, rule_name: Optional[str] = None,
+              options: Optional[ParserOptions] = None, require_eof: bool = True):
+        return self.parser(source, options).parse(rule_name, require_eof=require_eof)
+
+    def recognize(self, source, rule_name: Optional[str] = None,
+                  options: Optional[ParserOptions] = None) -> bool:
+        return self.parser(source, options).recognize(rule_name)
+
+    def __repr__(self):
+        return "ParserHost(%s)" % self.grammar.name
+
+
+def compile_grammar(source, name: Optional[str] = None,
+                    options: Optional[AnalysisOptions] = None,
+                    rewrite_left_recursion: bool = True,
+                    strict: bool = True) -> ParserHost:
+    """Full pipeline: text or Grammar -> ready-to-parse :class:`ParserHost`.
+
+    ``strict`` raises on validation *errors* (left recursion that the
+    rewrite could not remove, undefined rules, nullable loops); warnings
+    are kept on ``host.analysis`` regardless.
+    """
+    if isinstance(source, Grammar):
+        grammar = source
+    else:
+        grammar = parse_grammar(source, name=name)
+    if rewrite_left_recursion:
+        eliminate_left_recursion(grammar)
+    issues = validate_grammar(grammar)
+    errors = [i for i in issues if i.is_error]
+    if strict and errors:
+        raise GrammarError("; ".join(str(e) for e in errors))
+    analysis = analyze(grammar, options)
+    lexer_spec = None
+    if any(not r.is_fragment for r in grammar.lexer_rules) or grammar.vocabulary.literals():
+        if grammar.lexer_rules:
+            lexer_spec = build_lexer(grammar)
+    host = ParserHost(grammar, analysis, lexer_spec)
+    host.validation_issues = issues
+    return host

@@ -1,0 +1,53 @@
+"""Augmented Transition Networks (Section 5.1 of the paper).
+
+An ATN is the graph form of the grammar that static analysis traces: one
+submachine per rule, nonterminal edges acting as function calls (push the
+return state, jump to the callee's start state).  The construction rules
+follow Figure 7, with cycles added for EBNF operators as noted in
+Section 5.5.
+"""
+
+from repro.atn.states import (
+    ATN,
+    ATNState,
+    BasicState,
+    RuleStartState,
+    RuleStopState,
+    DecisionState,
+    DecisionKind,
+)
+from repro.atn.transitions import (
+    Transition,
+    EpsilonTransition,
+    AtomTransition,
+    SetTransition,
+    RuleTransition,
+    PredicateTransition,
+    ActionTransition,
+    Predicate,
+    SemanticAction,
+)
+from repro.atn.builder import build_atn
+from repro.atn.dot import atn_to_dot, dfa_to_dot
+
+__all__ = [
+    "ATN",
+    "ATNState",
+    "BasicState",
+    "RuleStartState",
+    "RuleStopState",
+    "DecisionState",
+    "DecisionKind",
+    "Transition",
+    "EpsilonTransition",
+    "AtomTransition",
+    "SetTransition",
+    "RuleTransition",
+    "PredicateTransition",
+    "ActionTransition",
+    "Predicate",
+    "SemanticAction",
+    "build_atn",
+    "atn_to_dot",
+    "dfa_to_dot",
+]

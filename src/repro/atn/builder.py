@@ -1,0 +1,233 @@
+"""Grammar -> ATN construction (Figure 7, plus EBNF cycles).
+
+One submachine per parser rule: ``p_A --ε--> p_{A,i} --...--> p'_A`` for
+each alternative i.  EBNF operators add cycles (Section 5.5):
+
+* ``(a|b)`` — a block decision state fanning out to each alternative,
+  all rejoining at a block-end state;
+* ``x?`` — a decision with an enter-branch and a bypass-branch;
+* ``x*`` — a loop-entry decision (iterate / exit) with the body cycling
+  back to the decision;
+* ``x+`` — body first, then a loop-back decision (iterate / exit).
+
+Greedy semantics put the iterate/enter branch first so static ambiguity
+resolution (lowest alternative wins) prefers consuming more input,
+matching ANTLR's EBNF behaviour.
+
+Syntactic predicates must be erased (named) before ATN construction; the
+builder refuses anonymous ones so the pipeline order is enforced.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GrammarError
+from repro.grammar import ast
+from repro.grammar.model import Grammar, Rule
+from repro.atn.states import (
+    ATN,
+    ATNState,
+    BasicState,
+    DecisionKind,
+    DecisionState,
+    RuleStartState,
+    RuleStopState,
+)
+from repro.atn.transitions import (
+    ActionTransition,
+    AtomTransition,
+    EpsilonTransition,
+    Predicate,
+    PredicateTransition,
+    RuleTransition,
+    SemanticAction,
+    SetTransition,
+)
+from repro.runtime.token import EOF
+from repro.util.intervals import IntervalSet
+
+
+def build_atn(grammar: Grammar) -> ATN:
+    """Build the ATN for all parser rules of ``grammar``."""
+    return _ATNBuilder(grammar).build()
+
+
+class _ATNBuilder:
+    def __init__(self, grammar: Grammar):
+        self.grammar = grammar
+        self.atn = ATN(grammar.name)
+
+    def build(self) -> ATN:
+        rules = self.grammar.parser_rules
+        if not rules:
+            raise GrammarError("grammar %s has no parser rules" % self.grammar.name)
+        # Create all start/stop pairs first so rule refs can link forward.
+        for rule in rules:
+            start = self.atn.new_state(RuleStartState, rule.name)
+            stop = self.atn.new_state(RuleStopState, rule.name)
+            start.stop_state = stop
+            self.atn.rule_start[rule.name] = start
+            self.atn.rule_stop[rule.name] = stop
+        for rule in rules:
+            self._build_rule(rule)
+        eof = self.atn.new_state(BasicState, "<eof>")
+        eof.add_transition(AtomTransition(eof, EOF))
+        self.atn.eof_state = eof
+        return self.atn
+
+    # -- rule & alternatives ----------------------------------------------------
+
+    def _build_rule(self, rule: Rule) -> None:
+        start = self.atn.rule_start[rule.name]
+        stop = self.atn.rule_stop[rule.name]
+        if rule.num_alternatives > 1:
+            d = self.atn.register_decision(start, rule.name, DecisionKind.RULE)
+            self.atn.decision_for_rule[rule.name] = d
+        for alt in rule.alternatives:
+            left = self.atn.new_state(BasicState, rule.name)
+            start.add_transition(EpsilonTransition(left))
+            end = self._build_sequence(alt.elements, left, rule.name)
+            end.add_transition(EpsilonTransition(stop))
+
+    def _build_sequence(self, elements, current: ATNState, rule_name: str) -> ATNState:
+        for el in elements:
+            current = self._build_element(el, current, rule_name)
+        return current
+
+    # -- elements ------------------------------------------------------------------
+
+    def _build_element(self, el: ast.Element, current: ATNState, rule_name: str) -> ATNState:
+        if isinstance(el, ast.Epsilon):
+            return current
+        if isinstance(el, (ast.TokenRef, ast.Literal)):
+            return self._atom(current, rule_name, self.grammar.token_type(el))
+        if isinstance(el, ast.RuleRef):
+            return self._rule_ref(el, current, rule_name)
+        if isinstance(el, ast.NotToken):
+            return self._not_token(el, current, rule_name)
+        if isinstance(el, ast.Wildcard):
+            universe = IntervalSet([(1, max(1, self.grammar.vocabulary.max_type))])
+            nxt = self.atn.new_state(BasicState, rule_name)
+            current.add_transition(SetTransition(nxt, universe))
+            return nxt
+        if isinstance(el, ast.Sequence):
+            return self._build_sequence(el.elements, current, rule_name)
+        if isinstance(el, ast.Block):
+            return self._block(el, current, rule_name)
+        if isinstance(el, ast.Optional_):
+            return self._optional(el, current, rule_name)
+        if isinstance(el, ast.Star):
+            return self._star(el, current, rule_name)
+        if isinstance(el, ast.Plus):
+            return self._plus(el, current, rule_name)
+        if isinstance(el, ast.SemanticPredicate):
+            nxt = self.atn.new_state(BasicState, rule_name)
+            current.add_transition(PredicateTransition(nxt, Predicate(code=el.code)))
+            return nxt
+        if isinstance(el, ast.SyntacticPredicate):
+            if el.name is None:
+                raise GrammarError(
+                    "syntactic predicate not erased before ATN construction; "
+                    "run erase_syntactic_predicates() first")
+            nxt = self.atn.new_state(BasicState, rule_name)
+            current.add_transition(PredicateTransition(nxt, Predicate(synpred=el.name)))
+            return nxt
+        if isinstance(el, ast.Action):
+            nxt = self.atn.new_state(BasicState, rule_name)
+            current.add_transition(
+                ActionTransition(nxt, SemanticAction(el.code, el.always_exec)))
+            return nxt
+        if isinstance(el, (ast.CharSet, ast.CharRange)):
+            raise GrammarError(
+                "character element %r in parser rule %s (lexer-only construct)"
+                % (el, rule_name))
+        raise GrammarError("cannot build ATN for element %r" % el)
+
+    def _atom(self, current: ATNState, rule_name: str, token_type: int) -> ATNState:
+        nxt = self.atn.new_state(BasicState, rule_name)
+        current.add_transition(AtomTransition(nxt, token_type))
+        return nxt
+
+    def _rule_ref(self, el: ast.RuleRef, current: ATNState, rule_name: str) -> ATNState:
+        target_rule = self.grammar.rule(el.name)
+        if target_rule.is_lexer_rule:
+            raise GrammarError("parser rule %s references lexer rule %s as a rule"
+                               % (rule_name, el.name))
+        follow = self.atn.new_state(BasicState, rule_name)
+        t = RuleTransition(self.atn.rule_start[el.name], el.name, follow, el.args)
+        current.add_transition(t)
+        self.atn.note_call_site(t)
+        return follow
+
+    def _not_token(self, el: ast.NotToken, current: ATNState, rule_name: str) -> ATNState:
+        excluded = IntervalSet()
+        for name in el.token_names:
+            if name.startswith("'"):
+                t = self.grammar.vocabulary.type_of_literal(name[1:-1])
+            else:
+                t = self.grammar.vocabulary.type_of(name)
+            if t is None:
+                raise GrammarError("unknown token %s in ~ set" % name)
+            excluded.add(t)
+        universe_hi = max(1, self.grammar.vocabulary.max_type)
+        allowed = excluded.complement(1, universe_hi)
+        nxt = self.atn.new_state(BasicState, rule_name)
+        current.add_transition(SetTransition(nxt, allowed))
+        return nxt
+
+    # -- EBNF ---------------------------------------------------------------------
+
+    def _block(self, el: ast.Block, current: ATNState, rule_name: str) -> ATNState:
+        if len(el.alternatives) == 1:
+            return self._build_element(el.alternatives[0], current, rule_name)
+        decision = self.atn.new_state(DecisionState, rule_name, DecisionKind.BLOCK)
+        self.atn.decision_for_element[id(el)] = self.atn.register_decision(
+            decision, rule_name, DecisionKind.BLOCK)
+        current.add_transition(EpsilonTransition(decision))
+        end = self.atn.new_state(BasicState, rule_name)
+        for alt in el.alternatives:
+            left = self.atn.new_state(BasicState, rule_name)
+            decision.add_transition(EpsilonTransition(left))
+            alt_end = self._build_element(alt, left, rule_name)
+            alt_end.add_transition(EpsilonTransition(end))
+        return end
+
+    def _optional(self, el: ast.Optional_, current: ATNState, rule_name: str) -> ATNState:
+        decision = self.atn.new_state(DecisionState, rule_name, DecisionKind.OPTIONAL)
+        self.atn.decision_for_element[id(el)] = self.atn.register_decision(
+            decision, rule_name, DecisionKind.OPTIONAL)
+        current.add_transition(EpsilonTransition(decision))
+        end = self.atn.new_state(BasicState, rule_name)
+        body_left = self.atn.new_state(BasicState, rule_name)
+        decision.add_transition(EpsilonTransition(body_left))  # alt 1: enter
+        body_end = self._build_element(el.element, body_left, rule_name)
+        body_end.add_transition(EpsilonTransition(end))
+        decision.add_transition(EpsilonTransition(end))  # alt 2: bypass
+        return end
+
+    def _star(self, el: ast.Star, current: ATNState, rule_name: str) -> ATNState:
+        decision = self.atn.new_state(DecisionState, rule_name, DecisionKind.STAR)
+        self.atn.decision_for_element[id(el)] = self.atn.register_decision(
+            decision, rule_name, DecisionKind.STAR)
+        current.add_transition(EpsilonTransition(decision))
+        end = self.atn.new_state(BasicState, rule_name)
+        body_left = self.atn.new_state(BasicState, rule_name)
+        decision.add_transition(EpsilonTransition(body_left))  # alt 1: iterate
+        body_end = self._build_element(el.element, body_left, rule_name)
+        body_end.add_transition(EpsilonTransition(decision))  # cycle back
+        decision.add_transition(EpsilonTransition(end))  # alt 2: exit
+        decision.loopback_target = body_left
+        return end
+
+    def _plus(self, el: ast.Plus, current: ATNState, rule_name: str) -> ATNState:
+        body_left = self.atn.new_state(BasicState, rule_name)
+        current.add_transition(EpsilonTransition(body_left))
+        body_end = self._build_element(el.element, body_left, rule_name)
+        decision = self.atn.new_state(DecisionState, rule_name, DecisionKind.PLUS)
+        self.atn.decision_for_element[id(el)] = self.atn.register_decision(
+            decision, rule_name, DecisionKind.PLUS)
+        body_end.add_transition(EpsilonTransition(decision))
+        end = self.atn.new_state(BasicState, rule_name)
+        decision.add_transition(EpsilonTransition(body_left))  # alt 1: iterate
+        decision.add_transition(EpsilonTransition(end))  # alt 2: exit
+        decision.loopback_target = body_left
+        return end

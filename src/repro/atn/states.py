@@ -1,0 +1,178 @@
+"""ATN states and the ATN container.
+
+State taxonomy:
+
+* :class:`RuleStartState` / :class:`RuleStopState` — submachine entry
+  ``p_A`` and exit ``p'_A`` per Figure 6/7.
+* :class:`DecisionState` — any state where the parser must choose among
+  epsilon alternatives: multi-alternative rule starts, subrule blocks,
+  optional blocks, star-loop entries, plus-loop-backs.  Each gets a
+  decision number and, after analysis, a lookahead DFA.
+* :class:`BasicState` — everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.atn.transitions import RuleTransition, Transition
+
+
+class DecisionKind:
+    """Where a decision comes from; affects bookkeeping, not semantics."""
+
+    RULE = "rule"          # A : a1 | a2 | ... an ;
+    BLOCK = "block"        # ( a1 | a2 )
+    OPTIONAL = "optional"  # x?  (alt 1 = enter, alt 2 = skip)
+    STAR = "star"          # x*  (alt 1 = iterate, alt 2 = exit)
+    PLUS = "plus"          # x+ loopback (alt 1 = iterate, alt 2 = exit)
+
+    ALL = (RULE, BLOCK, OPTIONAL, STAR, PLUS)
+
+
+class ATNState:
+    """Graph node: numbered, owned by one rule, with ordered out-edges."""
+
+    __slots__ = ("id", "rule_name", "transitions")
+
+    def __init__(self, state_id: int, rule_name: str):
+        self.id = state_id
+        self.rule_name = rule_name
+        self.transitions: List[Transition] = []
+
+    def add_transition(self, t: Transition) -> None:
+        self.transitions.append(t)
+
+    @property
+    def is_decision(self) -> bool:
+        return False
+
+    def __repr__(self):
+        return "s%d(%s)" % (self.id, self.rule_name)
+
+    # States are identity-hashed: two distinct nodes are never "equal".
+    __hash__ = object.__hash__
+    __eq__ = object.__eq__
+
+
+class BasicState(ATNState):
+    __slots__ = ()
+
+
+class RuleStartState(ATNState):
+    __slots__ = ("stop_state", "decision")
+
+    def __init__(self, state_id: int, rule_name: str):
+        super().__init__(state_id, rule_name)
+        self.stop_state: Optional[RuleStopState] = None
+        self.decision: Optional[int] = None  # set when rule has >1 alternative
+
+    @property
+    def is_decision(self) -> bool:
+        return self.decision is not None
+
+    def __repr__(self):
+        return "p_%s(s%d)" % (self.rule_name, self.id)
+
+
+class RuleStopState(ATNState):
+    __slots__ = ()
+
+    def __repr__(self):
+        return "p'_%s(s%d)" % (self.rule_name, self.id)
+
+
+class DecisionState(ATNState):
+    """A choice point; out-transitions (all epsilon) are the alternatives,
+    in grammar order."""
+
+    __slots__ = ("decision", "kind", "loopback_target")
+
+    def __init__(self, state_id: int, rule_name: str, kind: str):
+        super().__init__(state_id, rule_name)
+        self.decision: Optional[int] = None
+        self.kind = kind
+        # For loops: state the parser jumps to when iterating (body entry).
+        self.loopback_target: Optional[ATNState] = None
+
+    @property
+    def is_decision(self) -> bool:
+        return True
+
+    @property
+    def num_alternatives(self) -> int:
+        return len(self.transitions)
+
+    def __repr__(self):
+        return "d%s:%s(s%d)" % (self.decision, self.kind, self.id)
+
+
+class DecisionInfo:
+    """Static metadata about one decision point."""
+
+    __slots__ = ("decision", "state", "rule_name", "kind")
+
+    def __init__(self, decision: int, state: ATNState, rule_name: str, kind: str):
+        self.decision = decision
+        self.state = state
+        self.rule_name = rule_name
+        self.kind = kind
+
+    @property
+    def num_alternatives(self) -> int:
+        return len(self.state.transitions)
+
+    def __repr__(self):
+        return "decision %d (%s in rule %s, %d alts)" % (
+            self.decision, self.kind, self.rule_name, self.num_alternatives)
+
+
+class ATN:
+    """The whole network: states, rule entry/exit maps, decision table."""
+
+    def __init__(self, grammar_name: str):
+        self.grammar_name = grammar_name
+        self.states: List[ATNState] = []
+        self.rule_start: Dict[str, RuleStartState] = {}
+        self.rule_stop: Dict[str, RuleStopState] = {}
+        self.decisions: List[DecisionInfo] = []
+        #: rule name -> rule transitions that call it (for empty-stack closure)
+        self.call_sites: Dict[str, List[RuleTransition]] = {}
+        #: synthetic state whose only edge matches EOF (self-loop); used
+        #: when lookahead runs off the end of the start rule.
+        self.eof_state: Optional[ATNState] = None
+        #: id(ast element) -> decision number, for subrule decisions
+        #: (Block/Optional_/Star/Plus); lets the code generator emit the
+        #: same decision numbering the builder assigned.
+        self.decision_for_element: Dict[int, int] = {}
+        #: rule name -> decision number for multi-alternative rules.
+        self.decision_for_rule: Dict[str, int] = {}
+
+    # -- construction helpers (used by the builder) ---------------------------
+
+    def new_state(self, cls, rule_name: str, *args) -> ATNState:
+        s = cls(len(self.states), rule_name, *args)
+        self.states.append(s)
+        return s
+
+    def register_decision(self, state, rule_name: str, kind: str) -> int:
+        decision = len(self.decisions)
+        state.decision = decision
+        self.decisions.append(DecisionInfo(decision, state, rule_name, kind))
+        return decision
+
+    def note_call_site(self, t: RuleTransition) -> None:
+        self.call_sites.setdefault(t.rule_name, []).append(t)
+
+    # -- queries ------------------------------------------------------------------
+
+    def decision_state(self, decision: int) -> ATNState:
+        return self.decisions[decision].state
+
+    @property
+    def num_decisions(self) -> int:
+        return len(self.decisions)
+
+    def __repr__(self):
+        return "ATN(%s: %d states, %d decisions)" % (
+            self.grammar_name, len(self.states), len(self.decisions))

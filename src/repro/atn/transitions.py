@@ -1,0 +1,179 @@
+"""ATN edges.
+
+Edge alphabet per the paper: nonterminals (rule calls), terminals,
+predicates, mutators, and epsilon.  Terminal edges are the only ones that
+consume input; analysis ``move`` walks terminal edges and ``closure``
+walks everything else.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.util.intervals import IntervalSet
+
+
+class Predicate:
+    """A semantic predicate, possibly implementing an erased synpred.
+
+    ``code`` is a Python expression for programmer-written predicates;
+    ``synpred`` names the parser rule to speculatively match for erased
+    syntactic predicates (Section 4.1).  Exactly one of the two is set.
+    """
+
+    __slots__ = ("code", "synpred")
+
+    def __init__(self, code: Optional[str] = None, synpred: Optional[str] = None):
+        if (code is None) == (synpred is None):
+            raise ValueError("predicate needs exactly one of code / synpred")
+        self.code = code
+        self.synpred = synpred
+
+    @property
+    def is_synpred(self) -> bool:
+        return self.synpred is not None
+
+    def __eq__(self, other):
+        return (isinstance(other, Predicate)
+                and self.code == other.code and self.synpred == other.synpred)
+
+    def __hash__(self):
+        return hash((self.code, self.synpred))
+
+    def __repr__(self):
+        if self.is_synpred:
+            return "{synpred(%s)}?" % self.synpred
+        return "{%s}?" % self.code
+
+
+class SemanticAction:
+    """An embedded mutator: a Python statement block.
+
+    ``always_exec`` marks ``{{...}}`` actions that run even while the
+    parser is speculating (Section 4.3).
+    """
+
+    __slots__ = ("code", "always_exec")
+
+    def __init__(self, code: str, always_exec: bool = False):
+        self.code = code
+        self.always_exec = always_exec
+
+    def __eq__(self, other):
+        return (isinstance(other, SemanticAction)
+                and self.code == other.code and self.always_exec == other.always_exec)
+
+    def __hash__(self):
+        return hash((self.code, self.always_exec))
+
+    def __repr__(self):
+        return "{{%s}}" % self.code if self.always_exec else "{%s}" % self.code
+
+
+class Transition:
+    """Base edge: target state plus match behaviour."""
+
+    __slots__ = ("target",)
+
+    #: True for edges that consume an input token (terminal edges).
+    consumes_input = False
+    #: True for edges closure may traverse freely.
+    is_epsilon = False
+
+    def __init__(self, target):
+        self.target = target
+
+    def matches(self, token_type: int) -> bool:
+        return False
+
+
+class EpsilonTransition(Transition):
+    __slots__ = ()
+    is_epsilon = True
+
+    def __repr__(self):
+        return "-ε-> %s" % self.target
+
+
+class AtomTransition(Transition):
+    """Match exactly one token type."""
+
+    __slots__ = ("token_type",)
+    consumes_input = True
+
+    def __init__(self, target, token_type: int):
+        super().__init__(target)
+        self.token_type = token_type
+
+    def matches(self, token_type: int) -> bool:
+        return token_type == self.token_type
+
+    def __repr__(self):
+        return "-%d-> %s" % (self.token_type, self.target)
+
+
+class SetTransition(Transition):
+    """Match any token type in an interval set (wildcard, ``~A`` sets)."""
+
+    __slots__ = ("token_set",)
+    consumes_input = True
+
+    def __init__(self, target, token_set: IntervalSet):
+        super().__init__(target)
+        self.token_set = token_set
+
+    def matches(self, token_type: int) -> bool:
+        return token_type in self.token_set
+
+    def __repr__(self):
+        return "-%r-> %s" % (self.token_set, self.target)
+
+
+class RuleTransition(Transition):
+    """Nonterminal edge: call ``rule_name``, return to ``follow_state``.
+
+    ``args`` are host-language expressions for parameterised rules,
+    evaluated in the caller's frame at parse time (ignored by analysis,
+    which has no machine state).
+    """
+
+    __slots__ = ("rule_name", "follow_state", "args")
+    is_epsilon = False  # closure handles rule edges specially (push)
+
+    def __init__(self, target, rule_name: str, follow_state, args: Optional[List[str]] = None):
+        super().__init__(target)
+        self.rule_name = rule_name
+        self.follow_state = follow_state
+        self.args = list(args) if args else []
+
+    def __repr__(self):
+        return "-%s-> %s (follow %s)" % (self.rule_name, self.target, self.follow_state)
+
+
+class PredicateTransition(Transition):
+    """Semantic-predicate edge; traversed freely by closure, which records
+    the predicate in the configuration for later ambiguity resolution."""
+
+    __slots__ = ("predicate",)
+    is_epsilon = True
+
+    def __init__(self, target, predicate: Predicate):
+        super().__init__(target)
+        self.predicate = predicate
+
+    def __repr__(self):
+        return "-%r-> %s" % (self.predicate, self.target)
+
+
+class ActionTransition(Transition):
+    """Mutator edge; free for closure (state is unknown at analysis time)."""
+
+    __slots__ = ("action",)
+    is_epsilon = True
+
+    def __init__(self, target, action: SemanticAction):
+        super().__init__(target)
+        self.action = action
+
+    def __repr__(self):
+        return "-%r-> %s" % (self.action, self.target)

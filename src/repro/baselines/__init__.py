@@ -1,0 +1,27 @@
+"""Baseline parsing strategies the paper compares against.
+
+* :mod:`repro.baselines.packrat` — Ford's packrat/PEG interpreter with
+  ordered choice and memoization; ANTLR's PEG mode mimics its
+  behaviour, and LL(*) is "an optimization of packrat parsing"
+  (Section 7).
+* :mod:`repro.baselines.earley` — Earley's algorithm as a
+  general-CFG *oracle*: differential tests check that the LL(*) parser
+  accepts exactly the context-free language (modulo ordered-choice
+  ambiguity resolution and predicates).
+* :mod:`repro.baselines.llk` — fixed-k lookahead in two flavours:
+  exact LL(k) tuple sets (exponential in k, the LPG/Section 2
+  comparison) and ANTLR v2's linear approximate lookahead
+  (Section 7, Parr's compression).
+"""
+
+from repro.baselines.packrat import PackratParser, PackratStats
+from repro.baselines.earley import EarleyParser
+from repro.baselines.llk import FixedKAnalyzer, FixedKResult
+
+__all__ = [
+    "PackratParser",
+    "PackratStats",
+    "EarleyParser",
+    "FixedKAnalyzer",
+    "FixedKResult",
+]

@@ -1,0 +1,205 @@
+"""Earley recognizer: the general-CFG oracle.
+
+The paper situates LL(*) against general strategies (GLR is "an
+optimization of Earley's algorithm", Section 7).  For testing we want a
+parser that accepts *exactly* the context-free language of a grammar,
+ambiguity and all, so differential tests can check the LL(*) parser:
+
+* every LL(*)-accepted sentence must be Earley-accepted (soundness);
+* an Earley-accepted sentence may be LL(*)-rejected only via a
+  documented mechanism (ambiguity resolution order, predicates,
+  analysis fallback warnings).
+
+The implementation desugars EBNF into plain productions, then runs
+classic Earley (predict/scan/complete) with correct epsilon handling
+(completions re-run within a set until a fixpoint).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import GrammarError
+from repro.grammar import ast
+from repro.grammar.model import Grammar
+from repro.runtime.token import EOF
+from repro.runtime.token_stream import TokenStream
+
+#: Plain production: (lhs, rhs) where rhs mixes nonterminal names (str)
+#: and terminal token types (int).
+Production = Tuple[str, Tuple[object, ...]]
+
+
+def desugar_to_cfg(grammar: Grammar) -> List[Production]:
+    """Lower the EBNF grammar model to plain context-free productions.
+
+    Synthetic nonterminals get ``%``-prefixed names (impossible in the
+    meta-language) so they never collide with user rules.  Predicates
+    and actions vanish: the CFG approximates the grammar's
+    context-free backbone, which is the right oracle for language-level
+    differential testing.
+    """
+    productions: List[Production] = []
+    counter = [0]
+
+    def fresh(base: str) -> str:
+        counter[0] += 1
+        return "%%%s_%d" % (base, counter[0])
+
+    def lower_element(el: ast.Element) -> List[object]:
+        if isinstance(el, (ast.Epsilon, ast.Action, ast.SemanticPredicate,
+                           ast.SyntacticPredicate)):
+            return []
+        if isinstance(el, (ast.TokenRef, ast.Literal)):
+            return [grammar.token_type(el)]
+        if isinstance(el, ast.NotToken):
+            name = fresh("not")
+            excluded = set()
+            for n in el.token_names:
+                if n.startswith("'"):
+                    excluded.add(grammar.vocabulary.type_of_literal(n[1:-1]))
+                else:
+                    excluded.add(grammar.vocabulary.type_of(n))
+            for t in range(1, grammar.vocabulary.max_type + 1):
+                if t not in excluded:
+                    productions.append((name, (t,)))
+            return [name]
+        if isinstance(el, ast.Wildcard):
+            name = fresh("any")
+            for t in range(1, grammar.vocabulary.max_type + 1):
+                productions.append((name, (t,)))
+            return [name]
+        if isinstance(el, ast.RuleRef):
+            return [el.name]
+        if isinstance(el, ast.Sequence):
+            out: List[object] = []
+            for sub in el.elements:
+                out.extend(lower_element(sub))
+            return out
+        if isinstance(el, ast.Block):
+            name = fresh("block")
+            for alt in el.alternatives:
+                productions.append((name, tuple(lower_element(alt))))
+            return [name]
+        if isinstance(el, ast.Optional_):
+            name = fresh("opt")
+            productions.append((name, tuple(lower_element(el.element))))
+            productions.append((name, ()))
+            return [name]
+        if isinstance(el, ast.Star):
+            name = fresh("star")
+            body = tuple(lower_element(el.element))
+            productions.append((name, body + (name,)))
+            productions.append((name, ()))
+            return [name]
+        if isinstance(el, ast.Plus):
+            name = fresh("plus")
+            body = tuple(lower_element(el.element))
+            productions.append((name, body + (name,)))
+            productions.append((name, body))
+            return [name]
+        raise GrammarError("cannot desugar %r for the Earley oracle" % el)
+
+    for rule in grammar.parser_rules:
+        if rule.name.startswith("synpred"):
+            continue  # analysis artifacts, not part of the language
+        for alt in rule.alternatives:
+            productions.append((rule.name, tuple(lower_element(alt.sequence))))
+    return productions
+
+
+class _Item:
+    __slots__ = ("prod_index", "dot", "origin")
+
+    def __init__(self, prod_index: int, dot: int, origin: int):
+        self.prod_index = prod_index
+        self.dot = dot
+        self.origin = origin
+
+    def key(self):
+        return (self.prod_index, self.dot, self.origin)
+
+    def __eq__(self, other):
+        return self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+
+class EarleyParser:
+    """Recognizer over token streams (use as a test oracle)."""
+
+    def __init__(self, grammar: Grammar):
+        self.grammar = grammar
+        self.productions = desugar_to_cfg(grammar)
+        self._by_lhs: Dict[str, List[int]] = {}
+        for i, (lhs, _rhs) in enumerate(self.productions):
+            self._by_lhs.setdefault(lhs, []).append(i)
+
+    def recognize(self, stream: TokenStream, rule_name: Optional[str] = None,
+                  require_eof: bool = True) -> bool:
+        if rule_name is None:
+            rule_name = self.grammar.start_rule
+        if rule_name not in self._by_lhs:
+            return False
+        tokens = [stream.get(i).type for i in range(stream.size)]
+        if tokens and tokens[-1] == EOF:
+            tokens = tokens[:-1]
+        n = len(tokens)
+
+        chart: List[Set[_Item]] = [set() for _ in range(n + 1)]
+        for pi in self._by_lhs[rule_name]:
+            chart[0].add(_Item(pi, 0, 0))
+        for i in range(n + 1):
+            self._close_set(chart, i, tokens, n)
+        # Accept: any completed start production spanning the whole input.
+        for item in chart[n]:
+            lhs, rhs = self.productions[item.prod_index]
+            if lhs == rule_name and item.dot == len(rhs) and item.origin == 0:
+                return True if require_eof or True else False
+        if not require_eof:
+            # Prefix recognition: completed start item ending anywhere.
+            for i in range(n + 1):
+                for item in chart[i]:
+                    lhs, rhs = self.productions[item.prod_index]
+                    if lhs == rule_name and item.dot == len(rhs) and item.origin == 0:
+                        return True
+        return False
+
+    def _close_set(self, chart, i: int, tokens, n: int) -> None:
+        """Predict + complete to fixpoint for set i, then scan into i+1."""
+        work = list(chart[i])
+        seen = set(chart[i])
+        while work:
+            item = work.pop()
+            lhs, rhs = self.productions[item.prod_index]
+            if item.dot < len(rhs):
+                sym = rhs[item.dot]
+                if isinstance(sym, str):  # predict
+                    for pi in self._by_lhs.get(sym, ()):
+                        new = _Item(pi, 0, i)
+                        if new not in seen:
+                            seen.add(new)
+                            chart[i].add(new)
+                            work.append(new)
+                    # Magical completion for nullable nonterminals that
+                    # already completed within this set (Aycock/Horspool).
+                    for done in list(chart[i]):
+                        dl, dr = self.productions[done.prod_index]
+                        if dl == sym and done.dot == len(dr) and done.origin == i:
+                            new = _Item(item.prod_index, item.dot + 1, item.origin)
+                            if new not in seen:
+                                seen.add(new)
+                                chart[i].add(new)
+                                work.append(new)
+                elif i < n and tokens[i] == sym:  # scan
+                    chart[i + 1].add(_Item(item.prod_index, item.dot + 1, item.origin))
+            else:  # complete
+                for parent in list(chart[item.origin]):
+                    pl, pr = self.productions[parent.prod_index]
+                    if parent.dot < len(pr) and pr[parent.dot] == lhs:
+                        new = _Item(parent.prod_index, parent.dot + 1, parent.origin)
+                        if new not in seen:
+                            seen.add(new)
+                            chart[i].add(new)
+                            work.append(new)

@@ -1,0 +1,239 @@
+"""GLR recognizer (Tomita) over an LR(0) automaton — the paper's
+bottom-up comparator.
+
+Section 1: "GLR essentially forks new subparsers to pursue all possible
+actions emanating from nondeterministic LR states, terminating any
+subparsers that lead to invalid parses" — linear on LALR-conforming
+grammars, up to cubic otherwise, and it silently accepts ambiguity.
+
+This implementation follows the classic recipe:
+
+* desugar the grammar to plain productions (shared with the Earley
+  oracle), augment with ``S' -> S``;
+* build the LR(0) item-set automaton;
+* recognize with a graph-structured stack (GSS): one GSS node per
+  (automaton state, input position), reduce via all length-|rhs| paths,
+  then shift survivors.
+
+It is a *recognizer* with instrumentation (GSS size, forked-parser
+counts) sufficient for the comparison benchmarks: how much
+nondeterminism GLR carries at runtime on decisions LL(*) solved
+statically, and that GLR accepts ambiguous grammars without warning
+while LL(*) warns at analysis time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.baselines.earley import Production, desugar_to_cfg
+from repro.grammar.model import Grammar
+from repro.runtime.token import EOF
+from repro.runtime.token_stream import TokenStream
+
+_START = "%start"
+_EOF_SYM = ("$",)  # sentinel terminal symbol for end-of-input
+
+
+class LR0Automaton:
+    """LR(0) item sets and GOTO table for a plain-production grammar."""
+
+    def __init__(self, productions: List[Production], start_symbol: str):
+        self.productions = list(productions)
+        self.productions.append((_START, (start_symbol,)))
+        self.start_prod = len(self.productions) - 1
+        self._by_lhs: Dict[str, List[int]] = {}
+        for i, (lhs, _rhs) in enumerate(self.productions):
+            self._by_lhs.setdefault(lhs, []).append(i)
+        #: states as frozensets of items (prod_index, dot)
+        self.states: List[FrozenSet[Tuple[int, int]]] = []
+        #: (state, symbol) -> state
+        self.goto: Dict[Tuple[int, object], int] = {}
+        self._build()
+
+    def _closure(self, items) -> FrozenSet[Tuple[int, int]]:
+        out = set(items)
+        work = list(items)
+        while work:
+            prod_index, dot = work.pop()
+            _lhs, rhs = self.productions[prod_index]
+            if dot < len(rhs) and isinstance(rhs[dot], str):
+                for pi in self._by_lhs.get(rhs[dot], ()):
+                    item = (pi, 0)
+                    if item not in out:
+                        out.add(item)
+                        work.append(item)
+        return frozenset(out)
+
+    def _build(self) -> None:
+        start = self._closure([(self.start_prod, 0)])
+        index: Dict[FrozenSet, int] = {start: 0}
+        self.states = [start]
+        work = [0]
+        while work:
+            si = work.pop()
+            by_symbol: Dict[object, Set[Tuple[int, int]]] = {}
+            for prod_index, dot in self.states[si]:
+                _lhs, rhs = self.productions[prod_index]
+                if dot < len(rhs):
+                    by_symbol.setdefault(rhs[dot], set()).add((prod_index, dot + 1))
+            for symbol, kernel in sorted(by_symbol.items(), key=lambda kv: repr(kv[0])):
+                target = self._closure(kernel)
+                ti = index.get(target)
+                if ti is None:
+                    ti = len(self.states)
+                    index[target] = ti
+                    self.states.append(target)
+                    work.append(ti)
+                self.goto[(si, symbol)] = ti
+
+    def reductions(self, state: int) -> List[int]:
+        """Production indices completed in this state (dot at end)."""
+        out = []
+        for prod_index, dot in self.states[state]:
+            if dot == len(self.productions[prod_index][1]):
+                out.append(prod_index)
+        return out
+
+    def shifts(self, state: int) -> Set[object]:
+        return {sym for (s, sym) in self.goto if s == state
+                and not isinstance(sym, str)}
+
+    def conflict_states(self) -> List[int]:
+        """States with shift/reduce or reduce/reduce nondeterminism —
+        where GLR forks subparsers."""
+        out = []
+        for si in range(len(self.states)):
+            reds = self.reductions(si)
+            has_shift = any(not isinstance(sym, str)
+                            for (s, sym) in self.goto if s == si)
+            if len(reds) > 1 or (reds and has_shift):
+                out.append(si)
+        return out
+
+
+class GLRStats:
+    """Runtime nondeterminism counters."""
+
+    def __init__(self):
+        self.max_frontier = 0  # widest GSS frontier (live subparsers)
+        self.total_reductions = 0
+        self.total_shifts = 0
+
+    def __repr__(self):
+        return ("GLRStats(frontier<=%d, %d reductions, %d shifts)"
+                % (self.max_frontier, self.total_reductions, self.total_shifts))
+
+
+class _GSSNode:
+    __slots__ = ("state", "position", "parents")
+
+    def __init__(self, state: int, position: int):
+        self.state = state
+        self.position = position
+        self.parents: List["_GSSNode"] = []
+
+
+class GLRParser:
+    """GLR recognizer over token streams."""
+
+    def __init__(self, grammar: Grammar):
+        self.grammar = grammar
+        productions = desugar_to_cfg(grammar)
+        self.automaton = LR0Automaton(productions, grammar.start_rule)
+        self.stats = GLRStats()
+
+    def recognize(self, stream: TokenStream, rule_name: Optional[str] = None) -> bool:
+        if rule_name is not None and rule_name != self.grammar.start_rule:
+            automaton = LR0Automaton(desugar_to_cfg(self.grammar), rule_name)
+        else:
+            automaton = self.automaton
+        self.stats = GLRStats()
+        tokens = [stream.get(i).type for i in range(stream.size)]
+        if tokens and tokens[-1] == EOF:
+            tokens = tokens[:-1]
+
+        root = _GSSNode(0, 0)
+        frontier: Dict[int, _GSSNode] = {0: root}
+
+        for pos in range(len(tokens) + 1):
+            lookahead = tokens[pos] if pos < len(tokens) else None
+            self._reduce_all(automaton, frontier, pos)
+            self.stats.max_frontier = max(self.stats.max_frontier, len(frontier))
+            if pos == len(tokens):
+                break
+            frontier = self._shift_all(automaton, frontier, lookahead, pos)
+            if not frontier:
+                return False
+
+        # Accept: some subparser completed S' -> S . , i.e. reached the
+        # state GOTO(0, start_symbol) with the root as a parent.
+        accept_state = automaton.goto.get((0, self.grammar.start_rule
+                                           if rule_name is None else rule_name))
+        return accept_state in frontier if accept_state is not None else False
+
+    # -- GSS operations -----------------------------------------------------------
+
+    def _reduce_all(self, automaton, frontier: Dict[int, _GSSNode], pos: int) -> None:
+        """Apply reductions to a fixpoint within the current frontier.
+
+        A new GSS edge can unlock reduction *paths through it* starting
+        at any other frontier node, so we sweep the whole frontier until
+        nothing changes (Tomita's reduce-through-new-edge case; the
+        frontier is small, so the quadratic sweep is cheap in practice).
+        """
+        changed = True
+        while changed:
+            changed = False
+            for node in list(frontier.values()):
+                for prod_index in automaton.reductions(node.state):
+                    lhs, rhs = automaton.productions[prod_index]
+                    if lhs == _START:
+                        continue
+                    for base in self._paths(node, len(rhs)):
+                        target = automaton.goto.get((base.state, lhs))
+                        if target is None:
+                            continue
+                        existing = frontier.get(target)
+                        if existing is None:
+                            self.stats.total_reductions += 1
+                            new = _GSSNode(target, pos)
+                            new.parents.append(base)
+                            frontier[target] = new
+                            changed = True
+                        elif base not in existing.parents:
+                            self.stats.total_reductions += 1
+                            existing.parents.append(base)
+                            changed = True
+
+    def _paths(self, node: _GSSNode, length: int) -> List[_GSSNode]:
+        """All GSS nodes reachable by exactly ``length`` parent steps."""
+        current = [node]
+        for _ in range(length):
+            nxt: List[_GSSNode] = []
+            for n in current:
+                nxt.extend(n.parents)
+            # dedupe by identity to avoid path explosion
+            seen: Set[int] = set()
+            current = [n for n in nxt
+                       if id(n) not in seen and not seen.add(id(n))]
+            if not current:
+                return []
+        return current
+
+    def _shift_all(self, automaton, frontier: Dict[int, _GSSNode],
+                   lookahead, pos: int) -> Dict[int, _GSSNode]:
+        new_frontier: Dict[int, _GSSNode] = {}
+        for node in frontier.values():
+            target = automaton.goto.get((node.state, lookahead))
+            if target is None:
+                continue
+            self.stats.total_shifts += 1
+            existing = new_frontier.get(target)
+            if existing is None:
+                new = _GSSNode(target, pos + 1)
+                new.parents.append(node)
+                new_frontier[target] = new
+            elif node not in existing.parents:
+                existing.parents.append(node)
+        return new_frontier

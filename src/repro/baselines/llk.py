@@ -1,0 +1,196 @@
+"""Fixed-k lookahead baselines: exact LL(k) and linear approximate.
+
+Two purposes from the paper:
+
+* **Section 2**: fixed-k tools blow up on decisions like
+  ``a : b A+ X | c A+ Y`` — LPG reports conflicts even at k = 10,000 and
+  exact k-tuple sets grow without ever becoming disjoint, while the
+  LL(*) cyclic DFA has a handful of states.  :class:`FixedKAnalyzer`
+  with ``exact=True`` measures tuple-set sizes and disjointness per k.
+
+* **Section 7 / v2-vs-v3**: ANTLR v2 used *linear approximate*
+  lookahead — per-depth token sets ``sigma_1 .. sigma_k`` (space
+  O(|T| x k)) instead of exact tuple sets (space O(|T|^k)).  The
+  approximation is lossy: decisions that are exactly LL(k) may alias
+  under the cross-product and force backtracking; the v2-vs-v3
+  ablation bench counts how many decisions each strategy solves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.config import ATNConfig, EMPTY_STACK
+from repro.atn.states import ATN, RuleStopState
+from repro.atn.transitions import (
+    ActionTransition,
+    AtomTransition,
+    EpsilonTransition,
+    PredicateTransition,
+    RuleTransition,
+    SetTransition,
+)
+from repro.runtime.token import EOF
+
+Tuples = FrozenSet[Tuple[int, ...]]
+
+
+class FixedKResult:
+    """Lookahead sets for one decision at one k.
+
+    ``truncated`` means tuple enumeration hit the configured budget:
+    the sets are incomplete, so determinism cannot be certified — which
+    is itself the paper's point about O(|T|^k) lookahead storage.
+    """
+
+    def __init__(self, decision: int, k: int, exact: bool,
+                 per_alt_tuples: Dict[int, Tuples], truncated: bool = False):
+        self.decision = decision
+        self.k = k
+        self.exact = exact
+        self.per_alt_tuples = per_alt_tuples
+        self.truncated = truncated
+
+    # -- decidability -------------------------------------------------------------
+
+    def is_deterministic(self) -> bool:
+        """True iff no lookahead word predicts two alternatives.
+
+        For exact sets: pairwise disjointness *including prefix clashes*
+        (a tuple that is a prefix of another alternative's tuple aliases
+        with it — the shorter one stopped early at EOF padding, so plain
+        set disjointness suffices because tuples are padded to k).
+        For approximate sets: disjointness of cross-products, i.e. some
+        depth d <= k must have disjoint sigma_d for every pair.
+        Truncated enumerations are conservatively nondeterministic.
+        """
+        if self.truncated:
+            return False
+        alts = sorted(self.per_alt_tuples)
+        for i, a in enumerate(alts):
+            for b in alts[i + 1:]:
+                if self.exact:
+                    if self.per_alt_tuples[a] & self.per_alt_tuples[b]:
+                        return False
+                else:
+                    if not self._approx_disjoint(a, b):
+                        return False
+        return True
+
+    def _approx_disjoint(self, a: int, b: int) -> bool:
+        sa = _depth_sets(self.per_alt_tuples[a], self.k)
+        sb = _depth_sets(self.per_alt_tuples[b], self.k)
+        return any(not (sa[d] & sb[d]) for d in range(self.k))
+
+    def total_tuples(self) -> int:
+        return sum(len(t) for t in self.per_alt_tuples.values())
+
+    def storage_cost(self) -> int:
+        """Abstract space cost: tuple entries for exact, |T| x k-ish
+        (distinct per-depth tokens) for approximate."""
+        if self.exact:
+            return sum(len(t) * self.k for t in self.per_alt_tuples.values())
+        return sum(sum(len(s) for s in _depth_sets(t, self.k))
+                   for t in self.per_alt_tuples.values())
+
+    def __repr__(self):
+        return "FixedKResult(d%d, k=%d, %s, %d tuples, %s)" % (
+            self.decision, self.k, "exact" if self.exact else "approx",
+            self.total_tuples(),
+            "LL(%d)" % self.k if self.is_deterministic() else "nondeterministic")
+
+
+def _depth_sets(tuples: Tuples, k: int) -> List[Set[int]]:
+    sets: List[Set[int]] = [set() for _ in range(k)]
+    for t in tuples:
+        for d, tok in enumerate(t):
+            sets[d].add(tok)
+    return sets
+
+
+class FixedKAnalyzer:
+    """Computes FIRST_k tuple sets per alternative from the ATN.
+
+    The walk mirrors LL(*) closure (rule calls push, stop states pop or
+    chase call sites) but collects explicit k-deep token tuples rather
+    than building a DFA; recursion is bounded by ``max_stack_repeats``
+    occurrences of any single return state, which is always sufficient
+    to enumerate FIRST_k exactly when the grammar has no hidden
+    left recursion.
+    """
+
+    def __init__(self, atn: ATN, start_rule: Optional[str] = None,
+                 max_stack_repeats: Optional[int] = None,
+                 max_tuples: int = 200000):
+        self.atn = atn
+        self.start_rule = start_rule
+        self.max_stack_repeats = max_stack_repeats
+        self.max_tuples = max_tuples
+        self._truncated = False
+
+    def lookahead(self, decision: int, k: int, exact: bool = True) -> FixedKResult:
+        info = self.atn.decisions[decision]
+        repeats = self.max_stack_repeats if self.max_stack_repeats is not None else k + 1
+        per_alt: Dict[int, Tuples] = {}
+        self._truncated = False
+        for alt, transition in enumerate(info.state.transitions, start=1):
+            tuples: Set[Tuple[int, ...]] = set()
+            seed = ATNConfig(transition.target, alt, EMPTY_STACK)
+            self._explore(seed, (), k, repeats, tuples, set())
+            per_alt[alt] = frozenset(tuples)
+        return FixedKResult(decision, k, exact, per_alt,
+                            truncated=self._truncated)
+
+    def ll_k_for(self, decision: int, max_k: int = 8, exact: bool = True) -> Optional[int]:
+        """Smallest k <= max_k making the decision deterministic, else None."""
+        for k in range(1, max_k + 1):
+            if self.lookahead(decision, k, exact).is_deterministic():
+                return k
+        return None
+
+    # -- tuple enumeration ----------------------------------------------------------
+
+    def _explore(self, config: ATNConfig, prefix: Tuple[int, ...], k: int,
+                 repeats: int, out: Set[Tuple[int, ...]], busy: Set) -> None:
+        if len(out) > self.max_tuples:
+            self._truncated = True
+            return
+        if len(prefix) == k:
+            out.add(prefix)
+            return
+        key = (config.key(), prefix)
+        if key in busy:
+            return
+        busy.add(key)
+
+        state = config.state
+        if isinstance(state, RuleStopState):
+            if config.stack:
+                self._explore(config.pop(), prefix, k, repeats, out, busy)
+            else:
+                sites = self.atn.call_sites.get(state.rule_name, [])
+                for t in sites:
+                    self._explore(config.with_empty_stack_at(t.follow_state),
+                                  prefix, k, repeats, out, busy)
+                if not sites or state.rule_name == self.start_rule:
+                    # Pad with EOF out to depth k.
+                    out.add(prefix + (EOF,) * (k - len(prefix)))
+            return
+        for t in state.transitions:
+            if isinstance(t, AtomTransition):
+                self._explore(config.with_state(t.target), prefix + (t.token_type,),
+                              k, repeats, out, busy)
+            elif isinstance(t, SetTransition):
+                for tok in t.token_set:
+                    self._explore(config.with_state(t.target), prefix + (tok,),
+                                  k, repeats, out, busy)
+            elif isinstance(t, RuleTransition):
+                depth = sum(1 for s in config.stack if s is t.follow_state)
+                if depth >= repeats:
+                    continue
+                self._explore(config.push(t.target, t.follow_state), prefix,
+                              k, repeats, out, busy)
+            elif isinstance(t, (EpsilonTransition, ActionTransition,
+                                PredicateTransition)):
+                self._explore(config.with_state(t.target), prefix, k, repeats,
+                              out, busy)

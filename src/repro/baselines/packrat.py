@@ -1,0 +1,169 @@
+"""Packrat / PEG interpreter (Ford 2002, 2004).
+
+Interprets the same grammar model as the LL(*) machinery but with PEG
+semantics: ordered choice commits to the first matching alternative,
+loops are greedy and never backtrack across iterations, syntactic
+predicates are PEG ``&``-predicates, and every ``(rule, position)``
+result is memoized, giving linear time at the cost of the memo table.
+
+This is the comparator for two of the paper's claims:
+
+* PEG ordered choice silently loses alternatives (``A -> a | a b``)
+  while LL(*) warns statically and can often *choose correctly* with
+  more lookahead;
+* without memoization, backtracking is exponential; LL(*) needs far
+  fewer memo entries because it only speculates where the DFA failed
+  over (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import GrammarError
+from repro.grammar import ast
+from repro.grammar.model import Grammar
+from repro.runtime.token import EOF
+from repro.runtime.token_stream import TokenStream
+
+_FAIL = -1
+
+
+class PackratStats:
+    """Instrumentation: rule invocations, memo hits, peak memo size."""
+
+    def __init__(self):
+        self.rule_invocations = 0
+        self.memo_hits = 0
+        self.memo_entries = 0
+        self.max_position = 0
+
+    def __repr__(self):
+        return ("PackratStats(%d invocations, %d memo hits, %d entries)"
+                % (self.rule_invocations, self.memo_hits, self.memo_entries))
+
+
+class PackratParser:
+    """PEG recognizer over a token stream.
+
+    ``parse`` returns the stop index on success (tokens consumed from
+    the start position) or raises nothing: recognition-style API with
+    explicit success/failure, which suits differential testing.
+    """
+
+    def __init__(self, grammar: Grammar, memoize: bool = True):
+        self.grammar = grammar
+        self.memoize = memoize
+        self.stats = PackratStats()
+        self._memo: Dict[Tuple[str, int], int] = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def recognize(self, stream: TokenStream, rule_name: Optional[str] = None,
+                  require_eof: bool = True) -> bool:
+        """True iff the input matches ``rule_name`` (default start rule)."""
+        self._memo.clear()
+        self.stats = PackratStats()
+        if rule_name is None:
+            rule_name = self.grammar.start_rule
+        types = [stream.get(i).type for i in range(stream.size)]
+        stop = self._rule(rule_name, 0, types)
+        if stop == _FAIL:
+            return False
+        if require_eof:
+            return types[stop] == EOF if stop < len(types) else True
+        return True
+
+    # -- rule / element matching ------------------------------------------------------
+
+    def _rule(self, name: str, pos: int, types) -> int:
+        self.stats.rule_invocations += 1
+        key = (name, pos)
+        if self.memoize:
+            cached = self._memo.get(key)
+            if cached is not None:
+                self.stats.memo_hits += 1
+                return cached
+        rule = self.grammar.rule(name)
+        if rule.is_lexer_rule:
+            raise GrammarError("packrat baseline operates on token streams; "
+                               "lexer rule %s cannot be invoked" % name)
+        result = _FAIL
+        for alt in rule.alternatives:  # ordered choice
+            stop = self._sequence(alt.elements, pos, types)
+            if stop != _FAIL:
+                result = stop
+                break
+        if self.memoize:
+            self._memo[key] = result
+            self.stats.memo_entries = max(self.stats.memo_entries, len(self._memo))
+        if pos > self.stats.max_position:
+            self.stats.max_position = pos
+        return result
+
+    def _sequence(self, elements, pos: int, types) -> int:
+        for el in elements:
+            pos = self._element(el, pos, types)
+            if pos == _FAIL:
+                return _FAIL
+        return pos
+
+    def _element(self, el: ast.Element, pos: int, types) -> int:
+        if isinstance(el, (ast.Epsilon, ast.Action, ast.SemanticPredicate)):
+            # Semantic predicates are outside the PEG model; treated as
+            # always-true so the PEG baseline recognises the same CFG.
+            return pos
+        if isinstance(el, (ast.TokenRef, ast.Literal)):
+            expected = self.grammar.token_type(el)
+            if pos < len(types) and types[pos] == expected:
+                return pos + 1
+            return _FAIL
+        if isinstance(el, ast.NotToken):
+            if pos >= len(types) or types[pos] == EOF:
+                return _FAIL
+            excluded = set()
+            for name in el.token_names:
+                if name.startswith("'"):
+                    t = self.grammar.vocabulary.type_of_literal(name[1:-1])
+                else:
+                    t = self.grammar.vocabulary.type_of(name)
+                excluded.add(t)
+            return pos + 1 if types[pos] not in excluded else _FAIL
+        if isinstance(el, ast.Wildcard):
+            if pos < len(types) and types[pos] != EOF:
+                return pos + 1
+            return _FAIL
+        if isinstance(el, ast.RuleRef):
+            return self._rule(el.name, pos, types)
+        if isinstance(el, ast.Sequence):
+            return self._sequence(el.elements, pos, types)
+        if isinstance(el, ast.Block):
+            for alt in el.alternatives:  # ordered choice
+                stop = self._element(alt, pos, types)
+                if stop != _FAIL:
+                    return stop
+            return _FAIL
+        if isinstance(el, ast.Optional_):
+            stop = self._element(el.element, pos, types)
+            return stop if stop != _FAIL else pos
+        if isinstance(el, ast.Star):
+            while True:
+                stop = self._element(el.element, pos, types)
+                if stop == _FAIL or stop == pos:
+                    return pos
+                pos = stop
+        if isinstance(el, ast.Plus):
+            stop = self._element(el.element, pos, types)
+            if stop == _FAIL:
+                return _FAIL
+            pos = stop
+            while True:
+                stop = self._element(el.element, pos, types)
+                if stop == _FAIL or stop == pos:
+                    return pos
+                pos = stop
+        if isinstance(el, ast.SyntacticPredicate):
+            # PEG &-predicate: must match, consumes nothing.
+            stop = self._element(el.block, pos, types)
+            return pos if stop != _FAIL else _FAIL
+        raise GrammarError("packrat baseline cannot interpret %r" % el)

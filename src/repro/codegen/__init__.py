@@ -1,0 +1,14 @@
+"""Python code generation: emit a standalone recursive-descent parser.
+
+ANTLR's whole point is *generating* parsers: readable recursive-descent
+code a programmer can single-step through (Section 1, debuggability).
+:func:`generate_python` turns an analysed grammar into a Python module
+with one method per rule, explicit if/elif chains per decision, and the
+lookahead DFAs embedded as data tables interpreted by
+:class:`repro.codegen.support.GeneratedParser`.
+"""
+
+from repro.codegen.python_target import generate_python
+from repro.codegen.support import GeneratedParser
+
+__all__ = ["generate_python", "GeneratedParser"]

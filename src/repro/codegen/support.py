@@ -1,0 +1,224 @@
+"""Runtime base class for generated parsers.
+
+Generated modules contain plain recursive-descent methods; everything
+decision-related (DFA walk per Figure 5, synpred speculation with
+memoization, profiling) lives here so the generated code stays readable.
+
+DFA tables are serialized as plain data::
+
+    DFAS = [
+      {"start": 0,
+       "states": [
+          {"edges": {5: 1}, "accept": None,
+           "preds": [[["synpred", "synpred1"], 1], [None, 2]]},
+          ...
+      ]},
+      ...
+    ]
+
+Predicate contexts: ``["pred", code]``, ``["synpred", name]``,
+``["and", [...]]``, ``["or", [...]]``, or ``None`` for default edges.
+Predicate ``code`` strings are evaluated against the calling rule
+method's locals (passed in by generated code as ``frame``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import (
+    FailedPredicateError,
+    MismatchedTokenError,
+    NoViableAltError,
+    RecognitionError,
+)
+from repro.runtime.token import EOF
+from repro.runtime.token_stream import ListTokenStream, TokenStream
+from repro.runtime.trees import RuleNode, TokenNode
+
+_MEMO_FAILED = -2
+
+
+class GeneratedParser:
+    """Base for generated parsers.  Subclasses define:
+
+    * ``DFAS`` — serialized lookahead DFA per decision;
+    * ``TOKEN_NAMES`` — type -> display name (errors);
+    * ``TOKEN_TYPES`` — display name -> type (``self._tt``);
+    * ``START_RULE`` — default entry rule name;
+    * one ``rule_<name>`` method per parser rule and ``synpredN``
+      methods for erased syntactic predicates.
+    """
+
+    DFAS: List[dict] = []
+    TOKEN_NAMES: Dict[int, str] = {}
+    TOKEN_TYPES: Dict[str, int] = {}
+    START_RULE = ""
+
+    def __init__(self, stream: TokenStream, state: Any = None,
+                 build_tree: bool = True, memoize: bool = True, profiler=None):
+        self.stream = stream
+        self.state = state
+        self.build_tree = build_tree
+        self.memoize = memoize
+        self.profiler = profiler
+        self.errors: List[RecognitionError] = []
+        self._speculating = 0
+        self._memo: Dict[Tuple[str, int], int] = {}
+        self._ctx_stack: List[Optional[RuleNode]] = []
+
+    # -- entry ----------------------------------------------------------------------
+
+    @classmethod
+    def from_tokens(cls, tokens, **kwargs) -> "GeneratedParser":
+        return cls(ListTokenStream(tokens), **kwargs)
+
+    def parse(self, rule_name: Optional[str] = None, require_eof: bool = True):
+        rule_name = rule_name or self.START_RULE
+        method = getattr(self, "rule_" + rule_name, None)
+        if method is None:
+            raise AttributeError("no generated rule method for %r" % rule_name)
+        tree = method()
+        if require_eof and self.stream.la(1) != EOF:
+            raise MismatchedTokenError("EOF", self.stream.lt(1), self.stream.index,
+                                       rule_name=rule_name)
+        return tree
+
+    # -- rule scaffolding (called by generated code) --------------------------------------
+
+    @property
+    def speculating(self) -> bool:
+        return self._speculating > 0
+
+    def _enter(self, rule_name: str) -> Optional[RuleNode]:
+        node = RuleNode(rule_name) if self.build_tree and not self.speculating else None
+        if node is not None and self._ctx_stack and self._ctx_stack[-1] is not None:
+            self._ctx_stack[-1].add(node)
+        self._ctx_stack.append(node)
+        return node
+
+    def _exit(self) -> None:
+        self._ctx_stack.pop()
+
+    def _match(self, token_type: int):
+        token = self.stream.lt(1)
+        if token.type != token_type:
+            raise MismatchedTokenError(
+                self.TOKEN_NAMES.get(token_type, str(token_type)), token,
+                self.stream.index, rule_name=self._current_rule())
+        self.stream.consume()
+        if (self._ctx_stack and self._ctx_stack[-1] is not None):
+            self._ctx_stack[-1].add(TokenNode(token))
+        return token
+
+    def _match_any(self, allowed) -> object:
+        token = self.stream.lt(1)
+        if token.type not in allowed or token.type == EOF:
+            raise MismatchedTokenError(
+                "one of %s" % sorted(allowed), token, self.stream.index,
+                rule_name=self._current_rule())
+        self.stream.consume()
+        if self._ctx_stack and self._ctx_stack[-1] is not None:
+            self._ctx_stack[-1].add(TokenNode(token))
+        return token
+
+    def _current_rule(self) -> Optional[str]:
+        for node in reversed(self._ctx_stack):
+            if node is not None:
+                return node.rule_name
+        return None
+
+    def _fail_predicate(self, code: str) -> None:
+        raise FailedPredicateError(code, token=self.stream.lt(1),
+                                   index=self.stream.index,
+                                   rule_name=self._current_rule())
+
+    def _tt(self, name: str) -> int:
+        return self.TOKEN_TYPES[name]
+
+    def _memo_enter(self, rule_name: str) -> Optional[bool]:
+        """Check the speculation memo; True = cached success (stream
+        repositioned), raises on cached failure, None = no entry."""
+        if not (self.speculating and self.memoize):
+            return None
+        cached = self._memo.get((rule_name, self.stream.index))
+        if cached is None:
+            return None
+        if cached == _MEMO_FAILED:
+            raise RecognitionError("memoized failure of %s" % rule_name,
+                                   token=self.stream.lt(1), index=self.stream.index)
+        self.stream.seek(cached)
+        return True
+
+    def _memo_exit(self, rule_name: str, start_index: int, failed: bool) -> None:
+        if self.speculating and self.memoize:
+            self._memo[(rule_name, start_index)] = (
+                _MEMO_FAILED if failed else self.stream.index)
+
+    # -- prediction -------------------------------------------------------------------------
+
+    def _predict(self, decision: int, frame: Dict[str, Any]) -> int:
+        """Walk the serialized DFA; return the predicted alternative."""
+        dfa = self.DFAS[decision]
+        states = dfa["states"]
+        state = states[dfa["start"]]
+        offset = 0
+        backtracked = [False]
+        backtrack_depth = [0]
+        try:
+            while True:
+                if state["accept"] is not None:
+                    return state["accept"]
+                token_type = self.stream.la(offset + 1)
+                nxt = state["edges"].get(token_type)
+                if nxt is not None:
+                    state = states[nxt]
+                    offset += 1
+                    continue
+                for ctx, alt in state["preds"]:
+                    if ctx is None or self._eval_ctx(ctx, frame, backtracked,
+                                                    backtrack_depth):
+                        return alt
+                raise NoViableAltError(decision, self.stream.lt(offset + 1),
+                                       self.stream.index + offset,
+                                       rule_name=self._current_rule())
+        finally:
+            if self.profiler is not None and not self.speculating:
+                self.profiler.record(decision, max(offset, 1), backtracked[0],
+                                     backtrack_depth[0])
+
+    def _eval_ctx(self, ctx, frame, backtracked, backtrack_depth) -> bool:
+        kind = ctx[0]
+        if kind == "pred":
+            env = {"state": self.state, "parser": self, "stream": self.stream,
+                   "LA": self.stream.la, "LT": self.stream.lt, "TT": self._tt}
+            return bool(eval(ctx[1], env, dict(frame)))
+        if kind == "synpred":
+            backtracked[0] = True
+            ok, depth = self._eval_synpred(ctx[1])
+            backtrack_depth[0] = max(backtrack_depth[0], depth)
+            return ok
+        if kind == "and":
+            return all(self._eval_ctx(c, frame, backtracked, backtrack_depth)
+                       for c in ctx[1])
+        if kind == "or":
+            return any(self._eval_ctx(c, frame, backtracked, backtrack_depth)
+                       for c in ctx[1])
+        raise ValueError("bad serialized context %r" % (ctx,))
+
+    def _eval_synpred(self, name: str) -> Tuple[bool, int]:
+        mark = self.stream.mark()
+        self._speculating += 1
+        try:
+            getattr(self, "rule_" + name)()
+            matched = True
+        except RecognitionError:
+            matched = False
+        finally:
+            depth = self.stream.index - mark
+            self._speculating -= 1
+            self.stream.seek(mark)
+            release = getattr(self.stream, "release", None)
+            if release is not None:
+                release(mark)  # lets streaming streams shrink their window
+        return matched, depth

@@ -1,0 +1,157 @@
+"""Exception hierarchy for the LL(*) reproduction.
+
+All library errors derive from :class:`LLStarError` so that callers can
+catch everything coming out of this package with a single ``except``
+clause.  The hierarchy mirrors the phases of the system: grammar reading,
+static analysis, and parse-time recognition.
+"""
+
+from __future__ import annotations
+
+
+class LLStarError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class GrammarError(LLStarError):
+    """A problem with the input grammar itself (syntax or semantics).
+
+    Carries an optional source position so tools can point at the
+    offending grammar text.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = "line %d:%d %s" % (line, column if column is not None else 0, message)
+        super().__init__(message)
+
+
+class GrammarSyntaxError(GrammarError):
+    """The grammar meta-language text could not be parsed."""
+
+
+class LeftRecursionError(GrammarError):
+    """The grammar contains left recursion that was not eliminated.
+
+    LL(*) (like PEGs) precludes left-recursive rules; immediate left
+    recursion can be rewritten automatically (see
+    :mod:`repro.grammar.leftrec`), but indirect cycles are rejected.
+    """
+
+    def __init__(self, cycle):
+        self.cycle = list(cycle)
+        super().__init__("left-recursive rule cycle: %s" % " -> ".join(self.cycle))
+
+
+class AnalysisError(LLStarError):
+    """Static LL(*) analysis failed for a decision."""
+
+
+class LikelyNonLLRegularError(AnalysisError):
+    """Recursion was found in more than one alternative of a decision.
+
+    Section 5.4 of the paper: such decisions are extremely unlikely to
+    have an exact regular partition, so DFA construction is aborted and
+    the decision falls back to LL(1) with backtracking.
+    """
+
+    def __init__(self, decision, alts):
+        self.decision = decision
+        self.alts = sorted(alts)
+        super().__init__(
+            "decision %s: recursion in more than one alternative %s; "
+            "lookahead language is likely not regular" % (decision, self.alts)
+        )
+
+
+class AnalysisTimeoutError(AnalysisError):
+    """DFA construction hit the configured state budget (the 'land mine').
+
+    The classic subset construction is exponential in the worst case; the
+    paper notes ANTLR "provides a means to isolate the offending decisions
+    and manually set their lookahead parameters".  We surface the same
+    safety valve as an explicit error that the analyzer converts into a
+    backtracking fallback.
+    """
+
+
+class RecognitionError(LLStarError):
+    """Base class for parse-time errors (bad input, not a bad grammar)."""
+
+    def __init__(self, message, token=None, index=None):
+        self.token = token
+        self.index = index
+        super().__init__(message)
+
+
+class NoViableAltError(RecognitionError):
+    """The lookahead DFA reached an error state: no production predicts
+    the remaining input.
+
+    Per Section 4.4, the error is reported at the specific token that led
+    the DFA into the error state, not at the decision start.
+    """
+
+    def __init__(self, decision, token, index, rule_name=None):
+        self.decision = decision
+        self.rule_name = rule_name
+        where = "rule %s " % rule_name if rule_name else ""
+        super().__init__(
+            "%sdecision %s: no viable alternative at input %r (token index %d)"
+            % (where, decision, getattr(token, "text", token), index),
+            token=token,
+            index=index,
+        )
+
+
+class MismatchedTokenError(RecognitionError):
+    """The parser expected one specific token type and saw another."""
+
+    def __init__(self, expecting, token, index, rule_name=None):
+        self.expecting = expecting
+        self.rule_name = rule_name
+        where = "rule %s " % rule_name if rule_name else ""
+        super().__init__(
+            "%sexpecting %s, found %r (token index %d)"
+            % (where, expecting, getattr(token, "text", token), index),
+            token=token,
+            index=index,
+        )
+
+
+class FailedPredicateError(RecognitionError):
+    """A semantic predicate gating the chosen production evaluated false."""
+
+    def __init__(self, predicate, token=None, index=None, rule_name=None):
+        self.predicate = predicate
+        self.rule_name = rule_name
+        where = "rule %s " % rule_name if rule_name else ""
+        super().__init__(
+            "%ssemantic predicate failed: {%s}?" % (where, predicate),
+            token=token,
+            index=index,
+        )
+
+
+class LexerError(RecognitionError):
+    """The tokenizer could not match any token at the current position."""
+
+    def __init__(self, char, line, column, index):
+        self.char = char
+        self.line = line
+        self.column = column
+        super().__init__(
+            "line %d:%d no token matches input starting at %r" % (line, column, char),
+            index=index,
+        )
+
+
+class ActionError(LLStarError):
+    """An embedded grammar action or predicate raised while executing."""
+
+    def __init__(self, source, cause):
+        self.source = source
+        self.cause = cause
+        super().__init__("action {%s} raised %r" % (source, cause))

@@ -1,0 +1,36 @@
+"""Predicated-grammar front end: AST, model, meta-parser, transforms.
+
+The grammar subsystem turns ANTLR-style grammar text (or programmatic
+builder calls) into a :class:`repro.grammar.model.Grammar`: an ordered
+collection of parser and lexer rules over a token vocabulary, where each
+alternative is a tree of :mod:`repro.grammar.ast` elements (EBNF
+operators, token/rule references, semantic and syntactic predicates, and
+embedded actions).
+"""
+
+from repro.grammar import ast
+from repro.grammar.model import Grammar, Rule, Alternative, GrammarBuilder
+from repro.grammar.meta_parser import parse_grammar
+from repro.grammar.validation import validate_grammar, GrammarIssue
+from repro.grammar.transforms import (
+    apply_peg_mode,
+    erase_syntactic_predicates,
+)
+from repro.grammar.leftrec import eliminate_left_recursion
+from repro.grammar.printer import print_grammar, print_rule
+
+__all__ = [
+    "print_grammar",
+    "print_rule",
+    "ast",
+    "Grammar",
+    "Rule",
+    "Alternative",
+    "GrammarBuilder",
+    "parse_grammar",
+    "validate_grammar",
+    "GrammarIssue",
+    "apply_peg_mode",
+    "erase_syntactic_predicates",
+    "eliminate_left_recursion",
+]

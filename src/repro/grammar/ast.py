@@ -1,0 +1,307 @@
+"""Grammar right-hand-side AST.
+
+Every alternative of every rule is a :class:`Sequence` of elements drawn
+from this module.  The same node set serves parser rules and lexer rules;
+nodes that only make sense on one side (:class:`CharSet`,
+:class:`CharRange` for lexer rules; :class:`SemanticPredicate`,
+:class:`SyntacticPredicate`, :class:`Action` for parser rules) are policed
+by :mod:`repro.grammar.validation`.
+
+Nodes are plain frozen-ish value objects with structural equality so
+tests can compare trees directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional as Opt, Tuple
+
+from repro.util.intervals import IntervalSet
+
+
+class Element:
+    """Base class for all RHS nodes."""
+
+    def children(self) -> Tuple["Element", ...]:
+        return ()
+
+    def walk(self):
+        """Yield this node and all descendants, preorder."""
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self):
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        return ()
+
+
+class Epsilon(Element):
+    """The empty production."""
+
+    def __repr__(self):
+        return "ε"
+
+
+class TokenRef(Element):
+    """Reference to a named token type, e.g. ``ID``."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _key(self):
+        return (self.name,)
+
+    def __repr__(self):
+        return self.name
+
+
+class Literal(Element):
+    """A quoted literal token, e.g. ``'int'``.
+
+    In a parser rule this denotes an implicitly defined token type; in a
+    lexer rule it is the character sequence itself.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def _key(self):
+        return (self.text,)
+
+    def __repr__(self):
+        return "'%s'" % self.text
+
+
+class RuleRef(Element):
+    """Reference to another rule, optionally passing arguments.
+
+    ``args`` is a list of host-language (Python) expression strings, as in
+    the paper's predicated left-recursion rewrite ``e_[3]``.
+    """
+
+    def __init__(self, name: str, args: Opt[List[str]] = None):
+        self.name = name
+        self.args = list(args) if args else []
+
+    def _key(self):
+        return (self.name, tuple(self.args))
+
+    def __repr__(self):
+        if self.args:
+            return "%s[%s]" % (self.name, ", ".join(self.args))
+        return self.name
+
+
+class CharSet(Element):
+    """Lexer character class ``[a-z0-9_]`` (optionally negated ``~[...]``)."""
+
+    def __init__(self, intervals: IntervalSet, negated: bool = False):
+        self.intervals = intervals
+        self.negated = negated
+
+    def _key(self):
+        return (self.intervals, self.negated)
+
+    def __repr__(self):
+        return ("~" if self.negated else "") + repr(self.intervals)
+
+
+class CharRange(Element):
+    """Lexer character range ``'a'..'z'``."""
+
+    def __init__(self, lo: str, hi: str):
+        self.lo = lo
+        self.hi = hi
+
+    def _key(self):
+        return (self.lo, self.hi)
+
+    def __repr__(self):
+        return "'%s'..'%s'" % (self.lo, self.hi)
+
+
+class Wildcard(Element):
+    """``.`` — any character (lexer) / any token (parser)."""
+
+    def __repr__(self):
+        return "."
+
+
+class NotToken(Element):
+    """Parser-side negation ``~A`` or ``~(A|B)``: any token not in the set."""
+
+    def __init__(self, token_names: List[str]):
+        self.token_names = list(token_names)
+
+    def _key(self):
+        return tuple(self.token_names)
+
+    def __repr__(self):
+        if len(self.token_names) == 1:
+            return "~%s" % self.token_names[0]
+        return "~(%s)" % "|".join(self.token_names)
+
+
+class Sequence(Element):
+    """Concatenation of elements; the body of an alternative."""
+
+    def __init__(self, elements: List[Element]):
+        self.elements = list(elements)
+
+    def children(self):
+        return tuple(self.elements)
+
+    def _key(self):
+        return tuple(self.elements)
+
+    def __repr__(self):
+        return " ".join(repr(e) for e in self.elements) if self.elements else "ε"
+
+
+class Block(Element):
+    """Parenthesised subrule with alternatives: ``(a | b | c)``."""
+
+    def __init__(self, alternatives: List[Sequence]):
+        self.alternatives = list(alternatives)
+
+    def children(self):
+        return tuple(self.alternatives)
+
+    def _key(self):
+        return tuple(self.alternatives)
+
+    def __repr__(self):
+        return "(%s)" % " | ".join(repr(a) for a in self.alternatives)
+
+
+class Optional_(Element):
+    """``x?`` — zero or one occurrences."""
+
+    def __init__(self, element: Element):
+        self.element = element
+
+    def children(self):
+        return (self.element,)
+
+    def _key(self):
+        return (self.element,)
+
+    def __repr__(self):
+        return "%r?" % self.element
+
+
+class Star(Element):
+    """``x*`` — zero or more (greedy)."""
+
+    def __init__(self, element: Element):
+        self.element = element
+
+    def children(self):
+        return (self.element,)
+
+    def _key(self):
+        return (self.element,)
+
+    def __repr__(self):
+        return "%r*" % self.element
+
+
+class Plus(Element):
+    """``x+`` — one or more (greedy)."""
+
+    def __init__(self, element: Element):
+        self.element = element
+
+    def children(self):
+        return (self.element,)
+
+    def _key(self):
+        return (self.element,)
+
+    def __repr__(self):
+        return "%r+" % self.element
+
+
+class SemanticPredicate(Element):
+    """``{code}?`` — gate on a host-language Boolean expression.
+
+    ``code`` is a Python expression evaluated against the parser's action
+    environment.  Semantic predicates are side-effect free by contract
+    (Section 3 of the paper).
+    """
+
+    def __init__(self, code: str):
+        self.code = code
+
+    def _key(self):
+        return (self.code,)
+
+    def __repr__(self):
+        return "{%s}?" % self.code
+
+
+class SyntacticPredicate(Element):
+    """``(fragment)=>`` — gate on a speculative parse of ``fragment``.
+
+    At analysis time these erase to ``synpred`` semantic predicates
+    (Section 4.1); at parse time a synpred launches a speculative parse
+    with actions off and memoization on.
+    """
+
+    def __init__(self, block: Block, name: Opt[str] = None):
+        self.block = block
+        self.name = name  # assigned during erasure: synpred1, synpred2, ...
+
+    def children(self):
+        return (self.block,)
+
+    def _key(self):
+        return (self.block,)
+
+    def __repr__(self):
+        return "(%r)=>" % self.block
+
+
+class Action(Element):
+    """``{code}`` — embedded mutator.
+
+    ``always_exec`` marks the double-bracketed ``{{code}}`` form that runs
+    even during speculation (Section 4.3); the programmer guarantees it is
+    side-effect free or undoable.
+    """
+
+    def __init__(self, code: str, always_exec: bool = False):
+        self.code = code
+        self.always_exec = always_exec
+
+    def _key(self):
+        return (self.code, self.always_exec)
+
+    def __repr__(self):
+        return "{{%s}}" % self.code if self.always_exec else "{%s}" % self.code
+
+
+def is_nullary(element: Element) -> bool:
+    """True when the element can match without consuming input.
+
+    Conservative structural check used by validation (e.g. ``x*`` where
+    ``x`` is nullable would loop forever) and by the LL(1) fallback.
+    Rule references are treated as non-nullary here; full nullability over
+    rules lives in :mod:`repro.grammar.validation`.
+    """
+    if isinstance(element, (Epsilon, SemanticPredicate, Action, SyntacticPredicate)):
+        return True
+    if isinstance(element, (Optional_, Star)):
+        return True
+    if isinstance(element, Sequence):
+        return all(is_nullary(e) for e in element.elements)
+    if isinstance(element, Block):
+        return any(is_nullary(a) for a in element.alternatives)
+    if isinstance(element, Plus):
+        return is_nullary(element.element)
+    return False

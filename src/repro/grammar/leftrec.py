@@ -1,0 +1,213 @@
+"""Immediate left-recursion elimination via predicated precedence climbing.
+
+Section 1.1 of the paper previews the "next major release" feature:
+rewrite a self-left-recursive rule into a predicated loop that compares
+operator precedences.  The worked example::
+
+    e : e '*' e | e '+' e | INT ;
+
+becomes::
+
+    e : e_[0] ;
+    e_[int p]
+      : INT ( {p <= 2}? '*' e_[3]
+            | {p <= 1}? '+' e_[2]
+            )* ;
+
+Precedence follows alternative order, highest first.  We reproduce
+exactly that rewrite (Hanson-style precedence climbing): binary and
+suffix operator alternatives move into the predicated loop; primary
+alternatives seed the loop; prefix-operator alternatives stay primary but
+their trailing recursive reference is bound to their own precedence
+level.  Operators are left-associative (``e_[prec+1]`` on the right),
+which matches the paper's example.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import GrammarError
+from repro.grammar import ast
+from repro.grammar.model import Alternative, Grammar, Rule
+
+BINARY = "binary"
+SUFFIX = "suffix"
+PREFIX = "prefix"
+PRIMARY = "primary"
+
+
+def classify_alternative(alt: Alternative, rule_name: str) -> str:
+    """Classify an alternative of a self-referential rule.
+
+    * ``binary``: starts and ends with a recursive reference
+      (covers ternary too: any interior operands are rewritten to the
+      loop entry).
+    * ``suffix``: starts with a recursive reference, ends with something
+      else (postfix operators like ``e '++'``).
+    * ``prefix``: ends with a recursive reference only (``'-' e``).
+    * ``primary``: no leading/trailing recursion.
+    """
+    els = [e for e in alt.elements if not isinstance(e, (ast.Action, ast.Epsilon))]
+    if not els:
+        return PRIMARY
+    starts = isinstance(els[0], ast.RuleRef) and els[0].name == rule_name
+    ends = isinstance(els[-1], ast.RuleRef) and els[-1].name == rule_name
+    if starts and ends and len(els) > 1:
+        return BINARY
+    if starts:
+        return SUFFIX
+    if ends:
+        return PREFIX
+    return PRIMARY
+
+
+def is_immediately_left_recursive(rule: Rule) -> bool:
+    """True when some alternative begins with a reference to the rule itself."""
+    for alt in rule.alternatives:
+        els = [e for e in alt.elements if not isinstance(e, (ast.Action, ast.Epsilon))]
+        if els and isinstance(els[0], ast.RuleRef) and els[0].name == rule.name:
+            return True
+    return False
+
+
+def eliminate_left_recursion(grammar: Grammar) -> List[str]:
+    """Rewrite every immediately-left-recursive parser rule in place.
+
+    Returns the list of rewritten rule names.  Indirect left recursion is
+    *not* handled (neither does ANTLR); validation reports it as an
+    error.
+    """
+    rewritten = []
+    for rule in list(grammar.parser_rules):
+        if is_immediately_left_recursive(rule):
+            _rewrite_rule(grammar, rule)
+            rewritten.append(rule.name)
+    if rewritten:
+        grammar.register_tokens()
+    return rewritten
+
+
+def _rewrite_rule(grammar: Grammar, rule: Rule) -> None:
+    name = rule.name
+    worker = name + "_prec"
+    if worker in grammar.rules:
+        raise GrammarError("cannot rewrite %s: rule %s already exists" % (name, worker))
+
+    kinds = [classify_alternative(a, name) for a in rule.alternatives]
+    n = len(rule.alternatives)
+    # Precedence of alternative i (0-based): higher for earlier alternatives.
+    prec = {i: n - i for i in range(n)}
+
+    primaries: List[Alternative] = []
+    loop_alts: List[ast.Sequence] = []
+    for i, (alt, kind) in enumerate(zip(rule.alternatives, kinds)):
+        p = prec[i]
+        if kind == BINARY:
+            loop_alts.append(_binary_loop_alt(alt, name, worker, p))
+        elif kind == SUFFIX:
+            loop_alts.append(_suffix_loop_alt(alt, name, worker, p))
+        elif kind == PREFIX:
+            primaries.append(_prefix_primary(alt, name, worker, p))
+        else:
+            primaries.append(_plain_primary(alt, name, worker))
+
+    if not primaries:
+        raise GrammarError(
+            "rule %s is left-recursive in every alternative; no primary case" % name)
+    if not loop_alts:
+        raise GrammarError("rule %s: no operator alternatives found" % name)
+
+    # worker rule: primary ( {p<=k}? op worker[k'] | ... )*
+    loop = ast.Star(ast.Block(loop_alts))
+    worker_alts = [Alternative(list(a.elements) + [loop]) for a in primaries]
+    grammar.rules[worker] = Rule(worker, worker_alts, params=["_p"])
+
+    # original rule becomes a forwarder: name : worker[0] ;
+    rule.alternatives = [Alternative([ast.RuleRef(worker, ["0"])])]
+    rule.params = []
+
+
+def _loop_predicate(p: int, operator_elements: List[ast.Element]) -> ast.SemanticPredicate:
+    """Gate for one operator alternative of the predicated loop.
+
+    ``{_p <= p}?`` expresses precedence, exactly as in the paper's
+    example.  We additionally conjoin the next-token check
+    (``LA(1) == TT('*')``) so that, when analysis hoists the predicates
+    of several operator alternatives into one decision gate (the loop's
+    iterate-vs-exit choice is semantically ambiguous), each disjunct
+    stays tied to its own operator token.  ``LA``/``TT`` are provided by
+    the parser's action environment.
+    """
+    code = "_p <= %d" % p
+    first_token = next((e for e in operator_elements
+                        if isinstance(e, (ast.TokenRef, ast.Literal))), None)
+    if isinstance(first_token, ast.Literal):
+        code += " and LA(1) == TT(%r)" % ("'" + first_token.text + "'")
+    elif isinstance(first_token, ast.TokenRef):
+        code += " and LA(1) == TT(%r)" % first_token.name
+    return ast.SemanticPredicate(code)
+
+
+def _binary_loop_alt(alt: Alternative, name: str, worker: str, p: int) -> ast.Sequence:
+    """``e OP e`` -> ``{_p <= p}? OP worker[p+1]`` (left associative)."""
+    els = list(alt.elements)
+    head = _strip_leading_recursion(els, name)
+    tail_ref = head.pop()  # trailing recursive ref
+    assert isinstance(tail_ref, ast.RuleRef) and tail_ref.name == name
+    middle = [_retarget(e, name, worker, "0") for e in head]
+    out: List[ast.Element] = [_loop_predicate(p, middle)]
+    out.extend(middle)
+    out.append(ast.RuleRef(worker, [str(p + 1)]))
+    return ast.Sequence(out)
+
+
+def _suffix_loop_alt(alt: Alternative, name: str, worker: str, p: int) -> ast.Sequence:
+    els = list(alt.elements)
+    rest = [_retarget(e, name, worker, "0") for e in _strip_leading_recursion(els, name)]
+    out: List[ast.Element] = [_loop_predicate(p, rest)]
+    out.extend(rest)
+    return ast.Sequence(out)
+
+
+def _prefix_primary(alt: Alternative, name: str, worker: str, p: int) -> Alternative:
+    els = list(alt.elements)
+    # trailing recursive ref binds at this operator's own precedence
+    new_els = []
+    for idx, e in enumerate(els):
+        if idx == len(els) - 1 and isinstance(e, ast.RuleRef) and e.name == name:
+            new_els.append(ast.RuleRef(worker, [str(p)]))
+        else:
+            new_els.append(_retarget(e, name, worker, "0"))
+    return Alternative(new_els)
+
+
+def _plain_primary(alt: Alternative, name: str, worker: str) -> Alternative:
+    return Alternative([_retarget(e, name, worker, "0") for e in alt.elements])
+
+
+def _strip_leading_recursion(els: List[ast.Element], name: str) -> List[ast.Element]:
+    out = list(els)
+    while out and isinstance(out[0], (ast.Action, ast.Epsilon)):
+        out.pop(0)
+    if not (out and isinstance(out[0], ast.RuleRef) and out[0].name == name):
+        raise GrammarError("alternative does not start with recursion on %s" % name)
+    out.pop(0)
+    return out
+
+
+def _retarget(el: ast.Element, name: str, worker: str, arg: str) -> ast.Element:
+    """Rewrite interior references ``name`` -> ``worker[arg]`` recursively."""
+    if isinstance(el, ast.RuleRef) and el.name == name:
+        return ast.RuleRef(worker, [arg])
+    if isinstance(el, ast.Sequence):
+        return ast.Sequence([_retarget(e, name, worker, arg) for e in el.elements])
+    if isinstance(el, ast.Block):
+        return ast.Block([_retarget(a, name, worker, arg) for a in el.alternatives])
+    if isinstance(el, ast.Optional_):
+        return ast.Optional_(_retarget(el.element, name, worker, arg))
+    if isinstance(el, ast.Star):
+        return ast.Star(_retarget(el.element, name, worker, arg))
+    if isinstance(el, ast.Plus):
+        return ast.Plus(_retarget(el.element, name, worker, arg))
+    return el

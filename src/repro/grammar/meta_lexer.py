@@ -1,0 +1,242 @@
+"""Tokenizer for the grammar meta-language (ANTLR-style ``.g`` text).
+
+This is a small hand-written scanner, kept separate from the generated
+lexer machinery in :mod:`repro.lexgen` (which the meta-language itself is
+used to *describe*) to avoid a bootstrapping knot.
+
+Token kinds:
+
+====================  ==========================================
+``ID``                rule/token identifiers
+``LITERAL``           ``'...'`` with escapes decoded
+``BRACKET``           ``[...]`` raw inner text (charset or params)
+``ACTION``            ``{...}`` balanced; flags mark ``{{...}}``
+``PREDICATE``         ``{...}?``
+``COLON SEMI OR``     ``: ; |``
+``LPAREN RPAREN``     ``( )``
+``STAR PLUS QUES``    ``* + ?``
+``TILDE DOT RANGE``   ``~ . ..``
+``ARROW IMPLIES``     ``-> =>``
+``COMMA ASSIGN``      ``, =`` (options, commands)
+``EOF``
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.exceptions import GrammarSyntaxError
+
+_ESCAPES = {"n": "\n", "r": "\r", "t": "\t", "b": "\b", "f": "\f",
+            "\\": "\\", "'": "'", '"': '"', "]": "]", "-": "-", "0": "\0"}
+
+
+class MetaToken(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class MetaLexer:
+    """Scanner producing a list of :class:`MetaToken`."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.col = 0
+
+    # -- character helpers -------------------------------------------------
+
+    def _peek(self, k: int = 0) -> str:
+        i = self.pos + k
+        return self.text[i] if i < len(self.text) else ""
+
+    def _advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.col = 0
+        else:
+            self.col += 1
+        return ch
+
+    def _error(self, msg: str) -> GrammarSyntaxError:
+        return GrammarSyntaxError(msg, line=self.line, column=self.col)
+
+    # -- scanning ------------------------------------------------------------
+
+    def tokens(self) -> List[MetaToken]:
+        out: List[MetaToken] = []
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._advance()
+                self._advance()
+                while self.pos < len(self.text) and not (self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise self._error("unterminated block comment")
+                self._advance()
+                self._advance()
+                continue
+            out.append(self._next_token())
+        out.append(MetaToken("EOF", "<EOF>", self.line, self.col))
+        return out
+
+    def _next_token(self) -> MetaToken:
+        line, col = self.line, self.col
+        ch = self._peek()
+        if _is_ident_start(ch):
+            start = self.pos
+            while self.pos < len(self.text) and _is_ident_part(self._peek()):
+                self._advance()
+            return MetaToken("ID", self.text[start:self.pos], line, col)
+        if ch == "'":
+            return MetaToken("LITERAL", self._scan_literal(), line, col)
+        if ch == "[":
+            return MetaToken("BRACKET", self._scan_bracket(), line, col)
+        if ch == "{":
+            return self._scan_action(line, col)
+        two = ch + self._peek(1)
+        if two == "..":
+            self._advance()
+            self._advance()
+            return MetaToken("RANGE", "..", line, col)
+        if two == "->":
+            self._advance()
+            self._advance()
+            return MetaToken("ARROW", "->", line, col)
+        if two == "=>":
+            self._advance()
+            self._advance()
+            return MetaToken("IMPLIES", "=>", line, col)
+        simple = {":": "COLON", ";": "SEMI", "|": "OR", "(": "LPAREN", ")": "RPAREN",
+                  "*": "STAR", "+": "PLUS", "?": "QUES", "~": "TILDE", ".": "DOT",
+                  ",": "COMMA", "=": "ASSIGN"}
+        if ch in simple:
+            self._advance()
+            return MetaToken(simple[ch], ch, line, col)
+        raise self._error("unexpected character %r in grammar" % ch)
+
+    def _scan_literal(self) -> str:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated literal")
+            ch = self._advance()
+            if ch == "'":
+                break
+            if ch == "\\":
+                chars.append(self._scan_escape())
+            else:
+                chars.append(ch)
+        if not chars:
+            raise self._error("empty literal ''")
+        return "".join(chars)
+
+    def _scan_escape(self) -> str:
+        if self.pos >= len(self.text):
+            raise self._error("dangling backslash")
+        ch = self._advance()
+        if ch == "u":
+            hexs = ""
+            for _ in range(4):
+                hexs += self._advance()
+            try:
+                return chr(int(hexs, 16))
+            except ValueError:
+                raise self._error("bad unicode escape \\u%s" % hexs) from None
+        if ch in _ESCAPES:
+            return _ESCAPES[ch]
+        raise self._error("unknown escape \\%s" % ch)
+
+    def _scan_bracket(self) -> str:
+        """Return the raw inner text of ``[...]`` (escapes left intact).
+
+        The parser decides whether it is a charset or a parameter list,
+        so no decoding happens here beyond finding the matching ``]``.
+        """
+        self._advance()  # [
+        start = self.pos
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated [...] block")
+            ch = self._peek()
+            if ch == "\\":
+                self._advance()
+                if self.pos < len(self.text):
+                    self._advance()
+                continue
+            if ch == "]":
+                raw = self.text[start:self.pos]
+                self._advance()
+                return raw
+            self._advance()
+
+    def _scan_action(self, line: int, col: int) -> MetaToken:
+        """Scan ``{...}`` with balanced braces; classify the result.
+
+        ``{{...}}`` -> ACTION with a double-brace marker prefix ``@@``;
+        ``{...}?``  -> PREDICATE.  Brace balancing ignores braces inside
+        Python string literals well enough for realistic actions.
+        """
+        self._advance()  # {
+        double = self._peek() == "{"
+        if double:
+            self._advance()
+        depth = 2 if double else 1
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated action")
+            ch = self._advance()
+            if ch in "'\"":
+                quote = ch
+                chars.append(ch)
+                while self.pos < len(self.text):
+                    c2 = self._advance()
+                    chars.append(c2)
+                    if c2 == "\\" and self.pos < len(self.text):
+                        chars.append(self._advance())
+                    elif c2 == quote:
+                        break
+                continue
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+                if double and depth == 1:
+                    # Possibly the first of the two closing braces.
+                    if self._peek() == "}":
+                        self._advance()
+                        break
+            chars.append(ch)
+        code = "".join(chars)
+        if double:
+            return MetaToken("ACTION", "@@" + code.strip(), line, col)
+        if self._peek() == "?":
+            self._advance()
+            return MetaToken("PREDICATE", code.strip(), line, col)
+        return MetaToken("ACTION", code.strip(), line, col)

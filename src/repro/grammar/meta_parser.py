@@ -1,0 +1,350 @@
+"""Recursive-descent parser for the grammar meta-language.
+
+Grammar of the meta-language (in itself):
+
+.. code-block:: text
+
+   grammarFile : ('grammar' ID ';')? prequel* rule+ EOF ;
+   prequel     : 'options' ACTION            // {k=v; k=v;}
+               ;
+   rule        : 'fragment'? ID BRACKET? ':' altList ';' commands? ;
+   altList     : alternative ('|' alternative)* ;
+   alternative : element* ;                  // empty -> epsilon
+   element     : atom ('*' | '+' | '?')? ;
+   atom        : LITERAL ('..' LITERAL)?     // char range (lexer)
+               | ID BRACKET?                 // token/rule ref (+args)
+               | BRACKET                     // charset (lexer)
+               | '.'                         // wildcard
+               | '~' atom                    // negation
+               | '(' altList ')' '=>'?      // block / syntactic predicate
+               | PREDICATE | ACTION
+               ;
+   commands    : '->' command (',' command)* ;   // skip | channel(X) | hidden
+
+Commands attach to the whole lexer rule (ANTLR puts them per-alternative;
+the rules we need — skip/hidden — are rule-wide in practice).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import GrammarSyntaxError
+from repro.grammar import ast
+from repro.grammar.meta_lexer import MetaLexer, MetaToken
+from repro.grammar.model import Alternative, Grammar, Rule
+from repro.util.intervals import IntervalSet
+
+_CHARSET_ESCAPES = {"n": "\n", "r": "\r", "t": "\t", "b": "\b", "f": "\f",
+                    "\\": "\\", "'": "'", '"': '"', "]": "]", "-": "-", "0": "\0"}
+
+
+def parse_grammar(text: str, name: Optional[str] = None) -> Grammar:
+    """Parse grammar text into a :class:`Grammar` with tokens registered."""
+    grammar = _MetaParser(text).parse()
+    if name is not None:
+        grammar.name = name
+    grammar.options["__source_lines__"] = text.count("\n") + 1
+    grammar.register_tokens()
+    return grammar
+
+
+class _MetaParser:
+    def __init__(self, text: str):
+        self.tokens = MetaLexer(text).tokens()
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def _la(self, k: int = 0) -> MetaToken:
+        i = min(self.pos + k, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _at(self, kind: str, text: Optional[str] = None, k: int = 0) -> bool:
+        t = self._la(k)
+        return t.kind == kind and (text is None or t.text == text)
+
+    def _eat(self, kind: str, text: Optional[str] = None) -> MetaToken:
+        t = self._la()
+        if t.kind != kind or (text is not None and t.text != text):
+            want = text if text is not None else kind
+            raise GrammarSyntaxError(
+                "expected %s but found %r" % (want, t.text), line=t.line, column=t.column)
+        self.pos += 1
+        return t
+
+    def _error(self, msg: str) -> GrammarSyntaxError:
+        t = self._la()
+        return GrammarSyntaxError(msg + " (at %r)" % t.text, line=t.line, column=t.column)
+
+    # -- grammar file ------------------------------------------------------------
+
+    def parse(self) -> Grammar:
+        name = "G"
+        if self._at("ID", "grammar"):
+            self._eat("ID")
+            name = self._eat("ID").text
+            self._eat("SEMI")
+        grammar = Grammar(name)
+        while self._at("ID", "options"):
+            self._eat("ID")
+            block = self._eat("ACTION")
+            self._parse_options(block.text, grammar)
+        while not self._at("EOF"):
+            grammar.add_rule(self._parse_rule())
+        if not grammar.rules:
+            raise self._error("grammar has no rules")
+        return grammar
+
+    def _parse_options(self, block_text: str, grammar: Grammar) -> None:
+        for entry in block_text.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            if "=" not in entry:
+                raise GrammarSyntaxError("bad option entry %r (expected k=v)" % entry)
+            key, _, value = entry.partition("=")
+            grammar.options[key.strip()] = _coerce_option(value.strip())
+
+    # -- rules ---------------------------------------------------------------------
+
+    def _parse_rule(self) -> Rule:
+        is_fragment = False
+        if self._at("ID", "fragment"):
+            self._eat("ID")
+            is_fragment = True
+        name_tok = self._eat("ID")
+        params: List[str] = []
+        if self._at("BRACKET"):
+            params = _parse_params(self._eat("BRACKET").text)
+        self._eat("COLON")
+        in_lexer_rule = name_tok.text[:1].isupper()
+        alts = self._parse_alt_list(in_lexer_rule)
+        commands: List[str] = []
+        if self._at("ARROW"):
+            self._eat("ARROW")
+            commands.append(self._parse_command())
+            while self._at("COMMA"):
+                self._eat("COMMA")
+                commands.append(self._parse_command())
+        self._eat("SEMI")
+        return Rule(name_tok.text, alts, params=params,
+                    is_fragment=is_fragment, commands=commands)
+
+    def _parse_command(self) -> str:
+        cmd = self._eat("ID").text
+        if self._at("LPAREN"):
+            self._eat("LPAREN")
+            arg = self._eat("ID").text
+            self._eat("RPAREN")
+            return "%s(%s)" % (cmd, arg)
+        return cmd
+
+    def _parse_alt_list(self, in_lexer_rule: bool) -> List[Alternative]:
+        alts = [self._parse_alternative(in_lexer_rule)]
+        while self._at("OR"):
+            self._eat("OR")
+            alts.append(self._parse_alternative(in_lexer_rule))
+        return alts
+
+    _ALT_END = {"OR", "SEMI", "RPAREN", "ARROW", "EOF"}
+
+    def _parse_alternative(self, in_lexer_rule: bool) -> Alternative:
+        elements: List[ast.Element] = []
+        while self._la().kind not in self._ALT_END:
+            elements.append(self._parse_element(in_lexer_rule))
+        if not elements:
+            elements = [ast.Epsilon()]
+        return Alternative(elements)
+
+    def _parse_element(self, in_lexer_rule: bool) -> ast.Element:
+        atom = self._parse_atom(in_lexer_rule)
+        if self._at("STAR"):
+            self._eat("STAR")
+            return ast.Star(atom)
+        if self._at("PLUS"):
+            self._eat("PLUS")
+            return ast.Plus(atom)
+        if self._at("QUES"):
+            self._eat("QUES")
+            return ast.Optional_(atom)
+        return atom
+
+    def _parse_atom(self, in_lexer_rule: bool) -> ast.Element:
+        t = self._la()
+        if t.kind == "LITERAL":
+            self._eat("LITERAL")
+            if self._at("RANGE"):
+                self._eat("RANGE")
+                hi = self._eat("LITERAL")
+                if len(t.text) != 1 or len(hi.text) != 1:
+                    raise self._error("range endpoints must be single characters")
+                return ast.CharRange(t.text, hi.text)
+            return ast.Literal(t.text)
+        if t.kind == "ID":
+            self._eat("ID")
+            args: Optional[List[str]] = None
+            if self._at("BRACKET"):
+                args = _split_args(self._eat("BRACKET").text)
+            if t.text[:1].isupper():
+                if args:
+                    raise self._error("token reference %s cannot take arguments" % t.text)
+                return ast.TokenRef(t.text)
+            return ast.RuleRef(t.text, args)
+        if t.kind == "BRACKET":
+            self._eat("BRACKET")
+            if not in_lexer_rule:
+                raise self._error("character set [...] only allowed in lexer rules")
+            return ast.CharSet(_parse_charset(t.text, t.line, t.column))
+        if t.kind == "DOT":
+            self._eat("DOT")
+            return ast.Wildcard()
+        if t.kind == "TILDE":
+            self._eat("TILDE")
+            inner = self._parse_atom(in_lexer_rule)
+            return _negate(inner, in_lexer_rule, self._error)
+        if t.kind == "LPAREN":
+            self._eat("LPAREN")
+            alts = self._parse_alt_list(in_lexer_rule)
+            self._eat("RPAREN")
+            block = ast.Block([a.sequence for a in alts])
+            if self._at("IMPLIES"):
+                self._eat("IMPLIES")
+                return ast.SyntacticPredicate(block)
+            if len(alts) == 1 and len(alts[0].elements) == 1:
+                # (x) is just x; unwrapping keeps the ATN lean.
+                return alts[0].elements[0]
+            return block
+        if t.kind == "PREDICATE":
+            self._eat("PREDICATE")
+            return ast.SemanticPredicate(t.text)
+        if t.kind == "ACTION":
+            self._eat("ACTION")
+            if t.text.startswith("@@"):
+                return ast.Action(t.text[2:], always_exec=True)
+            return ast.Action(t.text)
+        raise self._error("unexpected token in rule body")
+
+
+def _negate(inner: ast.Element, in_lexer_rule: bool, error) -> ast.Element:
+    if isinstance(inner, ast.CharSet):
+        return ast.CharSet(inner.intervals, negated=not inner.negated)
+    if isinstance(inner, ast.Literal) and in_lexer_rule:
+        if len(inner.text) != 1:
+            raise error("can only negate single-character literals")
+        return ast.CharSet(IntervalSet.of_chars(inner.text), negated=True)
+    if isinstance(inner, ast.TokenRef) and not in_lexer_rule:
+        return ast.NotToken([inner.name])
+    if isinstance(inner, ast.Block) and not in_lexer_rule:
+        names: List[str] = []
+        for alt in inner.alternatives:
+            els = [e for e in alt.elements if not isinstance(e, ast.Epsilon)]
+            if len(els) != 1 or not isinstance(els[0], (ast.TokenRef, ast.Literal)):
+                raise error("~(...) must contain only token alternatives")
+            el = els[0]
+            names.append(el.name if isinstance(el, ast.TokenRef) else "'%s'" % el.text)
+        return ast.NotToken(names)
+    if isinstance(inner, ast.Block) and in_lexer_rule:
+        merged = IntervalSet()
+        for alt in inner.alternatives:
+            els = [e for e in alt.elements if not isinstance(e, ast.Epsilon)]
+            if len(els) != 1:
+                raise error("~(...) in lexer must contain single-char alternatives")
+            el = els[0]
+            if isinstance(el, ast.Literal) and len(el.text) == 1:
+                merged.add(ord(el.text))
+            elif isinstance(el, ast.CharRange):
+                merged.add_range(ord(el.lo), ord(el.hi))
+            elif isinstance(el, ast.CharSet) and not el.negated:
+                for lo, hi in el.intervals.intervals():
+                    merged.add_range(lo, hi)
+            else:
+                raise error("cannot negate %r" % el)
+        return ast.CharSet(merged, negated=True)
+    raise error("cannot negate %r" % inner)
+
+
+def _parse_charset(raw: str, line: int, column: int) -> IntervalSet:
+    """Decode the raw inner text of ``[...]`` into an interval set."""
+    out = IntervalSet()
+    i = 0
+
+    def read_char() -> str:
+        nonlocal i
+        ch = raw[i]
+        i += 1
+        if ch != "\\":
+            return ch
+        if i >= len(raw):
+            raise GrammarSyntaxError("dangling backslash in charset", line=line, column=column)
+        esc = raw[i]
+        i += 1
+        if esc == "u":
+            hexs = raw[i:i + 4]
+            i += 4
+            try:
+                return chr(int(hexs, 16))
+            except ValueError:
+                raise GrammarSyntaxError("bad \\u escape in charset", line=line, column=column) from None
+        if esc in _CHARSET_ESCAPES:
+            return _CHARSET_ESCAPES[esc]
+        raise GrammarSyntaxError("unknown escape \\%s in charset" % esc, line=line, column=column)
+
+    while i < len(raw):
+        lo = read_char()
+        if i + 1 < len(raw) + 1 and i < len(raw) and raw[i] == "-" and i + 1 < len(raw):
+            i += 1  # consume '-'
+            hi = read_char()
+            if ord(hi) < ord(lo):
+                raise GrammarSyntaxError("inverted range %s-%s in charset" % (lo, hi),
+                                         line=line, column=column)
+            out.add_range(ord(lo), ord(hi))
+        else:
+            out.add(ord(lo))
+    if not out:
+        raise GrammarSyntaxError("empty charset []", line=line, column=column)
+    return out
+
+
+def _parse_params(raw: str) -> List[str]:
+    """``[int p, q]`` -> ``['p', 'q']`` (last word of each entry)."""
+    params = []
+    for entry in raw.split(","):
+        words = entry.strip().split()
+        if not words:
+            raise GrammarSyntaxError("empty parameter in [%s]" % raw)
+        params.append(words[-1])
+    return params
+
+
+def _split_args(raw: str) -> List[str]:
+    """Split ``[p-1, f(x, y)]`` on top-level commas only."""
+    args: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in raw:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        args.append(tail)
+    return args
+
+
+def _coerce_option(value: str):
+    low = value.lower()
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    try:
+        return int(value)
+    except ValueError:
+        return value

@@ -1,0 +1,128 @@
+"""Grammar pretty-printer: model -> meta-language text.
+
+Round-trips with :func:`repro.grammar.meta_parser.parse_grammar`
+(property-tested), which makes transform pipelines debuggable: print the
+grammar after PEG mode / synpred erasure / left-recursion rewriting and
+feed it back in.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.grammar import ast
+from repro.grammar.model import Grammar, Rule
+
+_CHARSET_REVERSE = {"\n": r"\n", "\r": r"\r", "\t": r"\t", "\b": r"\b",
+                    "\f": r"\f", "\\": "\\\\", "]": r"\]", "-": r"\-"}
+_LITERAL_REVERSE = {"\n": r"\n", "\r": r"\r", "\t": r"\t", "\b": r"\b",
+                    "\f": r"\f", "\\": "\\\\", "'": r"\'"}
+
+
+def print_grammar(grammar: Grammar, include_options: bool = True) -> str:
+    """Render the grammar as parseable meta-language text."""
+    lines: List[str] = ["grammar %s;" % grammar.name]
+    options = {k: v for k, v in grammar.options.items()
+               if include_options and not k.startswith("__")}
+    if options:
+        entries = " ".join("%s=%s;" % (k, _option_text(v))
+                           for k, v in sorted(options.items()))
+        lines.append("options { %s }" % entries)
+    lines.append("")
+    for rule in grammar.rules.values():
+        lines.append(print_rule(rule))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def print_rule(rule: Rule) -> str:
+    prefix = "fragment " if rule.is_fragment else ""
+    params = "[%s]" % ", ".join(rule.params) if rule.params else ""
+    alts = "\n    | ".join(print_elements(a.elements) for a in rule.alternatives)
+    commands = ""
+    if rule.commands:
+        commands = " -> " + ", ".join(rule.commands)
+    return "%s%s%s : %s%s ;" % (prefix, rule.name, params, alts, commands)
+
+
+def print_elements(elements) -> str:
+    parts = [print_element(e) for e in elements
+             if not isinstance(e, ast.Epsilon)]
+    return " ".join(p for p in parts if p)
+
+
+def print_element(el: ast.Element) -> str:
+    if isinstance(el, ast.Epsilon):
+        return ""
+    if isinstance(el, ast.TokenRef):
+        return el.name
+    if isinstance(el, ast.Literal):
+        return "'%s'" % _escape_literal(el.text)
+    if isinstance(el, ast.RuleRef):
+        if el.args:
+            return "%s[%s]" % (el.name, ", ".join(el.args))
+        return el.name
+    if isinstance(el, ast.CharSet):
+        return ("~" if el.negated else "") + "[%s]" % _charset_text(el.intervals)
+    if isinstance(el, ast.CharRange):
+        return "'%s'..'%s'" % (_escape_literal(el.lo), _escape_literal(el.hi))
+    if isinstance(el, ast.Wildcard):
+        return "."
+    if isinstance(el, ast.NotToken):
+        if len(el.token_names) == 1:
+            return "~%s" % el.token_names[0]
+        return "~(%s)" % " | ".join(el.token_names)
+    if isinstance(el, ast.Sequence):
+        return print_elements(el.elements)
+    if isinstance(el, ast.Block):
+        return "(%s)" % " | ".join(print_element(a) for a in el.alternatives)
+    if isinstance(el, ast.Optional_):
+        return "%s?" % _group(el.element)
+    if isinstance(el, ast.Star):
+        return "%s*" % _group(el.element)
+    if isinstance(el, ast.Plus):
+        return "%s+" % _group(el.element)
+    if isinstance(el, ast.SemanticPredicate):
+        return "{%s}?" % el.code
+    if isinstance(el, ast.SyntacticPredicate):
+        return "(%s)=>" % " | ".join(print_element(a)
+                                     for a in el.block.alternatives)
+    if isinstance(el, ast.Action):
+        if el.always_exec:
+            return "{{%s}}" % el.code
+        return "{%s}" % el.code
+    raise TypeError("cannot print %r" % el)
+
+
+def _group(el: ast.Element) -> str:
+    """Wrap multi-element operands of ?/*/+ so suffixes bind correctly."""
+    text = print_element(el)
+    needs_parens = isinstance(el, ast.Sequence) and len(
+        [e for e in el.elements if not isinstance(e, ast.Epsilon)]) > 1
+    if needs_parens:
+        return "(%s)" % text
+    return text
+
+
+def _escape_literal(text: str) -> str:
+    return "".join(_LITERAL_REVERSE.get(ch, ch) for ch in text)
+
+
+def _charset_text(intervals) -> str:
+    parts = []
+    for lo, hi in intervals.intervals():
+        lo_c = _CHARSET_REVERSE.get(chr(lo), chr(lo))
+        if lo == hi:
+            parts.append(lo_c)
+        else:
+            hi_c = _CHARSET_REVERSE.get(chr(hi), chr(hi))
+            parts.append("%s-%s" % (lo_c, hi_c))
+    return "".join(parts)
+
+
+def _option_text(value) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    return str(value)

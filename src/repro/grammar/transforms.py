@@ -1,0 +1,118 @@
+"""Grammar-to-grammar transforms.
+
+Two transforms from the paper:
+
+* **PEG mode** (Section 2): ``options {backtrack=true;}`` auto-inserts a
+  syntactic predicate at the left edge of every alternative of every
+  decision, mimicking PEG ordered choice.  The analysis then *removes*
+  the predicates from every decision it can solve with a pure DFA; only
+  decisions whose DFA construction finds unresolvable conflicts keep
+  predicate (backtracking) edges.
+
+* **Syntactic-predicate erasure** (Section 4.1): every ``(alpha)=>``
+  becomes a fresh parser rule ``synpredN`` holding ``alpha``, and the
+  predicate element is renamed to reference it.  At parse time,
+  evaluating the predicate speculatively invokes ``synpredN``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List
+
+from repro.grammar import ast
+from repro.grammar.model import Alternative, Grammar, Rule
+
+
+def apply_peg_mode(grammar: Grammar) -> Grammar:
+    """Insert auto syntactic predicates per ``backtrack=true`` semantics.
+
+    Every alternative except the last of each multi-alternative decision
+    (rule level and subrule blocks) gets ``(alt)=>`` at its left edge.
+    The last alternative needs no guard: if the earlier ones failed their
+    speculation, ordered choice commits to it.  Alternatives that already
+    begin with a syntactic predicate are left alone (manual predicates
+    win), matching ANTLR.
+    """
+    for rule in list(grammar.parser_rules):
+        if rule.name.startswith("synpred"):
+            continue
+        if rule.num_alternatives > 1:
+            _guard_alternatives(rule.alternatives)
+        for alt in rule.alternatives:
+            for el in alt.elements:
+                _guard_blocks_in(el)
+    return grammar
+
+
+def _guard_alternatives(alternatives: List[Alternative]) -> None:
+    for alt in alternatives[:-1]:
+        if any(isinstance(e, ast.SyntacticPredicate) for e in alt.elements[:1]):
+            continue
+        guard_elements = [copy.deepcopy(e) for e in alt.elements
+                          if not isinstance(e, (ast.Action, ast.SemanticPredicate))]
+        guard_elements = [e for e in guard_elements if not isinstance(e, ast.Epsilon)]
+        if not guard_elements:
+            continue  # epsilon alternative: nothing to speculate on
+        block = ast.Block([ast.Sequence(_strip_actions(guard_elements))])
+        alt.elements.insert(0, ast.SyntacticPredicate(block))
+
+
+def _guard_blocks_in(el: ast.Element) -> None:
+    """Recursively guard multi-alternative sub-blocks.
+
+    Subrule decisions in PEG mode do *not* get auto predicates in ANTLR
+    (ordered choice there is handled by the decision itself falling back
+    to the rule-level predicate), so we only recurse to find nested
+    rule-level-like blocks and leave them unguarded.  Kept as an explicit
+    no-op walk for symmetry and future tuning.
+    """
+    for child in el.children():
+        _guard_blocks_in(child)
+
+
+def _strip_actions(elements: List[ast.Element]) -> List[ast.Element]:
+    out = []
+    for el in elements:
+        if isinstance(el, (ast.Action, ast.SemanticPredicate)):
+            continue
+        if isinstance(el, ast.Sequence):
+            out.append(ast.Sequence(_strip_actions(el.elements)))
+        elif isinstance(el, ast.Block):
+            out.append(ast.Block([ast.Sequence(_strip_actions(a.elements))
+                                  for a in el.alternatives]))
+        elif isinstance(el, ast.Optional_):
+            out.append(ast.Optional_(_strip_actions([el.element])[0]))
+        elif isinstance(el, ast.Star):
+            out.append(ast.Star(_strip_actions([el.element])[0]))
+        elif isinstance(el, ast.Plus):
+            out.append(ast.Plus(_strip_actions([el.element])[0]))
+        else:
+            out.append(el)
+    return out or [ast.Epsilon()]
+
+
+def erase_syntactic_predicates(grammar: Grammar) -> Grammar:
+    """Lower every ``(alpha)=>`` to a named synpred rule + reference.
+
+    Mutates the grammar: adds ``synpred1``, ``synpred2``, ... parser
+    rules and stamps each :class:`~repro.grammar.ast.SyntacticPredicate`
+    node's ``name`` with the rule that implements it.  Idempotent: nodes
+    that already carry a name are skipped.
+    """
+    counter = sum(1 for r in grammar.parser_rules if r.name.startswith("synpred"))
+    for rule in list(grammar.parser_rules):
+        if rule.name.startswith("synpred"):
+            continue
+        for alt in rule.alternatives:
+            for el in alt.elements:
+                for node in el.walk():
+                    if isinstance(node, ast.SyntacticPredicate) and node.name is None:
+                        counter += 1
+                        name = "synpred%d" % counter
+                        node.name = name
+                        synpred_alts = [Alternative(list(a.elements))
+                                        for a in node.block.alternatives]
+                        grammar.add_rule(Rule(name, synpred_alts))
+    grammar.register_tokens()
+    return grammar

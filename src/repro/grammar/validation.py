@@ -1,0 +1,268 @@
+"""Static sanity checks over a grammar.
+
+LL(*) accepts all but left-recursive CFGs, so the validator's main job is
+finding left-recursive cycles (direct or indirect through nullable
+prefixes).  It also reports the classic PEG hazard the paper opens with
+(``A -> a | a b``: the second production can never win under ordered
+choice), undefined/unreachable rules, and nullable loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.exceptions import LeftRecursionError
+from repro.grammar import ast
+from repro.grammar.model import Grammar, Rule
+
+
+class GrammarIssue:
+    """One diagnostic: an error or a warning about the grammar."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __init__(self, severity: str, code: str, message: str, rule: Optional[str] = None):
+        self.severity = severity
+        self.code = code
+        self.message = message
+        self.rule = rule
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == self.ERROR
+
+    def __repr__(self):
+        where = " in rule %s" % self.rule if self.rule else ""
+        return "[%s %s]%s %s" % (self.severity, self.code, where, self.message)
+
+
+def validate_grammar(grammar: Grammar, raise_on_left_recursion: bool = False) -> List[GrammarIssue]:
+    """Run all checks; return diagnostics (errors first)."""
+    issues: List[GrammarIssue] = []
+    issues.extend(_check_references(grammar))
+    issues.extend(_check_reachability(grammar))
+    nullable = compute_nullable_rules(grammar)
+    cycles = find_left_recursion(grammar, nullable)
+    for cycle in cycles:
+        if raise_on_left_recursion:
+            raise LeftRecursionError(cycle)
+        issues.append(GrammarIssue(
+            GrammarIssue.ERROR, "left-recursion",
+            "left-recursive cycle: %s" % " -> ".join(cycle), rule=cycle[0]))
+    issues.extend(_check_nullable_loops(grammar, nullable))
+    issues.extend(find_dead_alternatives(grammar))
+    issues.sort(key=lambda i: (i.severity != GrammarIssue.ERROR, i.code))
+    return issues
+
+
+# -- references / reachability ----------------------------------------------------
+
+
+def _check_references(grammar: Grammar) -> List[GrammarIssue]:
+    issues = []
+    for rule in grammar.rules.values():
+        for el in rule.walk_elements():
+            if isinstance(el, ast.RuleRef):
+                if el.name not in grammar.rules:
+                    issues.append(GrammarIssue(
+                        GrammarIssue.ERROR, "undefined-rule",
+                        "reference to undefined rule %s" % el.name, rule=rule.name))
+                elif rule.is_lexer_rule and grammar.rules[el.name].is_parser_rule:
+                    issues.append(GrammarIssue(
+                        GrammarIssue.ERROR, "lexer-calls-parser",
+                        "lexer rule references parser rule %s" % el.name, rule=rule.name))
+            elif isinstance(el, ast.SemanticPredicate) and rule.is_lexer_rule:
+                issues.append(GrammarIssue(
+                    GrammarIssue.WARNING, "lexer-predicate",
+                    "semantic predicates in lexer rules are ignored", rule=rule.name))
+    return issues
+
+
+def _check_reachability(grammar: Grammar) -> List[GrammarIssue]:
+    if not grammar.parser_rules:
+        return []
+    reachable: Set[str] = set()
+    work = [grammar.start_rule]
+    while work:
+        name = work.pop()
+        if name in reachable or name not in grammar.rules:
+            continue
+        reachable.add(name)
+        for el in grammar.rules[name].walk_elements():
+            if isinstance(el, ast.RuleRef):
+                work.append(el.name)
+    issues = []
+    for rule in grammar.parser_rules:
+        if rule.name not in reachable and not rule.name.startswith("synpred"):
+            issues.append(GrammarIssue(
+                GrammarIssue.WARNING, "unreachable-rule",
+                "rule %s is not reachable from start rule %s"
+                % (rule.name, grammar.start_rule), rule=rule.name))
+    return issues
+
+
+# -- nullability -------------------------------------------------------------------
+
+
+def compute_nullable_rules(grammar: Grammar) -> Set[str]:
+    """Fixpoint: rules that can derive the empty string."""
+    nullable: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in grammar.parser_rules:
+            if rule.name in nullable:
+                continue
+            if any(_elem_nullable(a.sequence, nullable) for a in rule.alternatives):
+                nullable.add(rule.name)
+                changed = True
+    return nullable
+
+
+def _elem_nullable(el: ast.Element, nullable: Set[str]) -> bool:
+    if isinstance(el, (ast.Epsilon, ast.SemanticPredicate, ast.Action,
+                       ast.SyntacticPredicate, ast.Optional_, ast.Star)):
+        return True
+    if isinstance(el, ast.Sequence):
+        return all(_elem_nullable(e, nullable) for e in el.elements)
+    if isinstance(el, ast.Block):
+        return any(_elem_nullable(a, nullable) for a in el.alternatives)
+    if isinstance(el, ast.Plus):
+        return _elem_nullable(el.element, nullable)
+    if isinstance(el, ast.RuleRef):
+        return el.name in nullable
+    return False
+
+
+# -- left recursion ----------------------------------------------------------------
+
+
+def find_left_recursion(grammar: Grammar, nullable: Optional[Set[str]] = None) -> List[List[str]]:
+    """Find left-recursive cycles among parser rules.
+
+    Builds the leftmost-call graph (``A -> B`` iff some alternative of A
+    can begin with B, skipping nullable prefixes) and returns each cycle
+    found, as a list of rule names closing back on the first.
+    """
+    if nullable is None:
+        nullable = compute_nullable_rules(grammar)
+    edges: Dict[str, Set[str]] = {r.name: set() for r in grammar.parser_rules}
+    for rule in grammar.parser_rules:
+        for alt in rule.alternatives:
+            _leftmost_rule_refs(alt.sequence, nullable, grammar, edges[rule.name])
+
+    cycles: List[List[str]] = []
+    color: Dict[str, int] = {}
+    stack: List[str] = []
+
+    def dfs(name: str) -> None:
+        color[name] = 1
+        stack.append(name)
+        for succ in sorted(edges.get(name, ())):
+            if color.get(succ, 0) == 0:
+                dfs(succ)
+            elif color.get(succ) == 1:
+                cycle = stack[stack.index(succ):] + [succ]
+                cycles.append(cycle)
+        stack.pop()
+        color[name] = 2
+
+    for rule in grammar.parser_rules:
+        if color.get(rule.name, 0) == 0:
+            dfs(rule.name)
+    return cycles
+
+
+def _leftmost_rule_refs(el: ast.Element, nullable: Set[str], grammar: Grammar,
+                        out: Set[str]) -> bool:
+    """Collect rules that can appear leftmost in ``el``.
+
+    Returns True when ``el`` is nullable (so callers keep scanning right).
+    """
+    if isinstance(el, ast.RuleRef):
+        if el.name in grammar.rules and grammar.rules[el.name].is_parser_rule:
+            out.add(el.name)
+        return el.name in nullable
+    if isinstance(el, ast.Sequence):
+        for sub in el.elements:
+            if not _leftmost_rule_refs(sub, nullable, grammar, out):
+                return False
+        return True
+    if isinstance(el, ast.Block):
+        result = False
+        for alt in el.alternatives:
+            if _leftmost_rule_refs(alt, nullable, grammar, out):
+                result = True
+        return result
+    if isinstance(el, (ast.Optional_, ast.Star)):
+        _leftmost_rule_refs(el.element, nullable, grammar, out)
+        return True
+    if isinstance(el, ast.Plus):
+        return _leftmost_rule_refs(el.element, nullable, grammar, out)
+    if isinstance(el, (ast.Epsilon, ast.SemanticPredicate, ast.Action)):
+        return True
+    if isinstance(el, ast.SyntacticPredicate):
+        return True  # predicates consume no input
+    return False  # terminals
+
+
+# -- nullable loops & dead alternatives ------------------------------------------------
+
+
+def _check_nullable_loops(grammar: Grammar, nullable: Set[str]) -> List[GrammarIssue]:
+    issues = []
+    for rule in grammar.parser_rules:
+        for el in rule.walk_elements():
+            if isinstance(el, (ast.Star, ast.Plus)) and _elem_nullable(el.element, nullable):
+                issues.append(GrammarIssue(
+                    GrammarIssue.ERROR, "nullable-loop",
+                    "loop body %r can match the empty string; the loop would never terminate"
+                    % el.element, rule=rule.name))
+    return issues
+
+
+def find_dead_alternatives(grammar: Grammar) -> List[GrammarIssue]:
+    """Detect the PEG ``A -> a | a b`` hazard for plain token alternatives.
+
+    Under ordered choice (and under LL(*) static min-alt resolution when
+    the decision is ambiguous), a later alternative whose token sequence
+    extends an earlier alternative's full sequence can never be chosen at
+    a point where the earlier one also matches and is followed by
+    anything.  This static check flags the easy, common case: both
+    alternatives are flat token sequences and one is a proper prefix of
+    the other, with the *shorter* one earlier.
+    """
+    issues = []
+    for rule in grammar.parser_rules:
+        flat = []
+        for idx, alt in enumerate(rule.alternatives):
+            seq = _flat_token_names(alt.elements)
+            flat.append((idx, seq))
+        for i, seq_i in flat:
+            if seq_i is None:
+                continue
+            for j, seq_j in flat:
+                if seq_j is None or j <= i:
+                    continue
+                if len(seq_i) < len(seq_j) and seq_j[:len(seq_i)] == seq_i:
+                    issues.append(GrammarIssue(
+                        GrammarIssue.WARNING, "shadowed-alternative",
+                        "alternative %d is a prefix of alternative %d; under ordered "
+                        "choice the longer alternative may never match" % (i + 1, j + 1),
+                        rule=rule.name))
+    return issues
+
+
+def _flat_token_names(elements) -> Optional[List[str]]:
+    names: List[str] = []
+    for el in elements:
+        if isinstance(el, ast.TokenRef):
+            names.append(el.name)
+        elif isinstance(el, ast.Literal):
+            names.append("'%s'" % el.text)
+        elif isinstance(el, (ast.Epsilon, ast.Action, ast.SemanticPredicate)):
+            continue
+        else:
+            return None
+    return names

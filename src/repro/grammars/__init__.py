@@ -1,0 +1,98 @@
+"""Benchmark grammar suite.
+
+Six grammars mirroring the paper's Table 1/Figure 12 suite in *kind*:
+
+==============  =============================================================
+``java``        Java subset in PEG mode (auto synpreds), like Java1.5
+``rats_c``      C subset in PEG mode — declaration/definition ambiguity
+                drives deep backtracking, like RatsC
+``rats_java``   second, smaller Java-style grammar in PEG mode, like RatsJava
+``vb``          VB.NET-style grammar with a few manual synpreds
+``sql``         TSQL-style grammar (keyword-rich, mostly LL(1))
+``csharp``      C#-style grammar with manual synpreds (cast vs parens)
+==============  =============================================================
+
+Each module exposes ``GRAMMAR`` (the grammar text), ``SAMPLE`` (a small
+input), and ``generate_program(units, seed)`` (a deterministic workload
+generator producing realistic source of roughly ``units`` top-level
+declarations).  The registry below feeds the Table 1-4 benchmarks.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, Optional
+
+from repro.analysis.construction import AnalysisOptions
+
+_MODULES = {
+    "java": "repro.grammars.java_subset",
+    "rats_c": "repro.grammars.rats_c",
+    "rats_java": "repro.grammars.rats_java",
+    "vb": "repro.grammars.vb_like",
+    "sql": "repro.grammars.sql_subset",
+    "csharp": "repro.grammars.csharp_like",
+}
+
+#: Paper-suite display names, in Table 1 row order.
+PAPER_ORDER = ["java", "rats_c", "rats_java", "vb", "sql", "csharp"]
+PAPER_NAMES = {
+    "java": "Java1.5*", "rats_c": "RatsC*", "rats_java": "RatsJava*",
+    "vb": "VB.NET*", "sql": "TSQL*", "csharp": "C#*",
+}
+
+
+class BenchmarkGrammar:
+    """Lazy handle on one suite grammar: text, generator, compiled host."""
+
+    def __init__(self, name: str, module_path: str):
+        self.name = name
+        self._module_path = module_path
+        self._module = None
+        self._host = None
+
+    @property
+    def module(self):
+        if self._module is None:
+            self._module = importlib.import_module(self._module_path)
+        return self._module
+
+    @property
+    def grammar_text(self) -> str:
+        return self.module.GRAMMAR
+
+    @property
+    def sample(self) -> str:
+        return self.module.SAMPLE
+
+    def generate_program(self, units: int, seed: int = 0) -> str:
+        return self.module.generate_program(units, seed)
+
+    def compile(self, options: Optional[AnalysisOptions] = None):
+        """Compile (cached when using default options)."""
+        from repro.api import compile_grammar
+
+        if options is not None:
+            return compile_grammar(self.grammar_text, options=options)
+        if self._host is None:
+            self._host = compile_grammar(self.grammar_text)
+        return self._host
+
+    def grammar_lines(self) -> int:
+        return self.grammar_text.count("\n") + 1
+
+    def __repr__(self):
+        return "BenchmarkGrammar(%s)" % self.name
+
+
+ALL: Dict[str, BenchmarkGrammar] = {
+    name: BenchmarkGrammar(name, path) for name, path in _MODULES.items()
+}
+
+
+def load(name: str) -> BenchmarkGrammar:
+    try:
+        return ALL[name]
+    except KeyError:
+        raise KeyError("unknown benchmark grammar %r (have %s)"
+                       % (name, sorted(ALL))) from None

@@ -1,0 +1,275 @@
+"""C#-style grammar — the C# analogue (manual synpreds, no PEG mode).
+
+Like the paper's commercial C# grammar, this one relies on hand-placed
+syntactic predicates where C# genuinely needs unbounded or structural
+lookahead:
+
+* cast-vs-parenthesized expression: ``(Foo)(x)`` vs ``(x)`` — classic
+  ``((type) ')' unary)=>`` synpred;
+* member dispatch across the shared ``attribute* modifier* type ID``
+  prefix — mostly solvable with a cyclic DFA, with a synpred separating
+  properties (``ID '{'``) from methods (``ID '('``) and fields;
+* local-variable-declaration vs expression statements.
+"""
+
+from __future__ import annotations
+
+import random
+
+GRAMMAR = r"""
+grammar CsLike;
+options { memoize=true; }
+
+compilation_unit : using_directive* namespace_member* ;
+
+using_directive : 'using' qualified_name ';' ;
+
+qualified_name : ID ('.' ID)* ;
+
+namespace_member
+    : 'namespace' qualified_name '{' namespace_member* '}'
+    | class_decl
+    ;
+
+class_decl
+    : cs_modifier* ('class' | 'struct' | 'interface') ID
+      (':' type_list)? '{' class_member* '}'
+    ;
+
+cs_modifier
+    : 'public' | 'private' | 'protected' | 'internal' | 'static'
+    | 'sealed' | 'abstract' | 'virtual' | 'override' | 'readonly' | 'partial'
+    ;
+
+type_list : cs_type (',' cs_type)* ;
+
+class_member
+    : (cs_modifier* ('class' | 'struct' | 'interface'))=> class_decl
+    | (cs_modifier* cs_type ID '{')=> property_decl
+    | (cs_modifier* cs_type ID '(')=> method_decl
+    | (cs_modifier* cs_type ID)=> field_decl
+    | ctor_decl
+    ;
+
+property_decl
+    : cs_modifier* cs_type ID '{' accessor+ '}'
+    ;
+
+accessor
+    : 'get' (block | ';')
+    | 'set' (block | ';')
+    ;
+
+method_decl
+    : cs_modifier* cs_type ID '(' param_seq? ')' (block | ';')
+    ;
+
+field_decl : cs_modifier* cs_type declarator (',' declarator)* ';' ;
+
+declarator : ID ('=' expression)? ;
+
+ctor_decl : cs_modifier* ID '(' param_seq? ')' block ;
+
+param_seq : param (',' param)* ;
+
+param : ('ref' | 'out')? cs_type ID ;
+
+cs_type
+    : ('int' | 'long' | 'bool' | 'double' | 'string' | 'char' | 'object'
+       | 'void' | 'var' | qualified_name type_args?) rank_spec*
+    ;
+
+type_args : '<' cs_type (',' cs_type)* '>' ;
+
+rank_spec : '[' ','* ']' ;
+
+block : '{' statement* '}' ;
+
+statement
+    : block
+    | 'if' '(' expression ')' statement ('else' statement)?
+    | 'while' '(' expression ')' statement
+    | 'for' '(' for_initializer? ';' expression? ';' expression_list? ')'
+      statement
+    | 'foreach' '(' cs_type ID 'in' expression ')' statement
+    | 'return' expression? ';'
+    | 'throw' expression? ';'
+    | 'break' ';'
+    | 'continue' ';'
+    | 'try' block catch_clause* ('finally' block)?
+    | 'using' '(' local_decl ')' statement
+    | (local_decl ';')=> local_decl ';'
+    | expression ';'
+    | ';'
+    ;
+
+catch_clause : 'catch' ('(' cs_type ID? ')')? block ;
+
+for_initializer
+    : (local_decl)=> local_decl
+    | expression_list
+    ;
+
+expression_list : expression (',' expression)* ;
+
+local_decl : cs_type declarator (',' declarator)* ;
+
+expression : conditional (assign_op expression)? ;
+
+assign_op : '=' | '+=' | '-=' | '*=' | '/=' | '??=' ;
+
+conditional : null_coalesce ('?' expression ':' expression)? ;
+
+null_coalesce : logical_or ('??' logical_or)* ;
+
+logical_or : logical_and ('||' logical_and)* ;
+
+logical_and : equality ('&&' equality)* ;
+
+equality : relational (('==' | '!=') relational)* ;
+
+relational : additive (('<' | '>' | '<=' | '>=' | 'is' | 'as') additive)* ;
+
+additive : multiplicative (('+' | '-') multiplicative)* ;
+
+multiplicative : unary (('*' | '/' | '%') unary)* ;
+
+unary
+    : ('(' cs_type ')' unary)=> '(' cs_type ')' unary
+    | ('-' | '!' | '++' | '--') unary
+    | postfix
+    ;
+
+postfix : primary suffix* ;
+
+suffix
+    : '.' ID ((type_args)=> type_args)? call_args?
+    | '[' expression_list ']'
+    | '++'
+    | '--'
+    ;
+
+call_args : '(' argument_seq? ')' ;
+
+argument_seq : argument (',' argument)* ;
+
+argument : ('ref' | 'out')? expression ;
+
+primary
+    : '(' expression ')'
+    | ID ((type_args)=> type_args)? call_args?
+    | INT_LIT
+    | FLOAT_LIT
+    | CHAR_LIT
+    | STRING_LIT
+    | 'true' | 'false' | 'null' | 'this' | 'base'
+    | 'new' cs_type (call_args | array_body)
+    | 'typeof' '(' cs_type ')'
+    ;
+
+array_body : ('[' expression_list ']')? ('{' expression_list? '}')? ;
+
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT_LIT : [0-9]+ [uUlL]? ;
+FLOAT_LIT : [0-9]+ '.' [0-9]+ [fFmMdD]? ;
+CHAR_LIT : '\'' ~['] '\'' ;
+STRING_LIT : '"' (~["])* '"' ;
+WS : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '/' '/' (~[\n])* -> skip ;
+"""
+
+SAMPLE = r"""
+using System.Collections;
+
+namespace Demo.App {
+    public class Accumulator {
+        private int total = 0;
+        public int Limit { get; set; }
+
+        public Accumulator(int limit) {
+            Limit = limit;
+        }
+
+        public int Add(int value) {
+            total += value;
+            if (total > Limit) {
+                total = (int)(total * 0.5);
+            }
+            return total;
+        }
+    }
+}
+"""
+
+_NAMES = ["total", "index", "count", "buffer", "limit", "value", "result",
+          "cache", "source", "target"]
+_TYPES = ["int", "long", "double", "bool", "string", "List<int>", "object"]
+_MODS = ["public", "private", "internal", "static"]
+
+
+def _expr(rng: random.Random, depth: int = 0) -> str:
+    if depth > 2 or rng.random() < 0.45:
+        c = rng.random()
+        if c < 0.45:
+            return rng.choice(_NAMES)
+        if c < 0.7:
+            return str(rng.randint(0, 999))
+        if c < 0.85:
+            return "%s.%s(%s)" % (rng.choice(_NAMES), rng.choice(_NAMES),
+                                  rng.choice(_NAMES))
+        return "(int)(%s)" % rng.choice(_NAMES)
+    op = rng.choice(["+", "-", "*", "<", "==", "&&", "??"])
+    return "%s %s %s" % (_expr(rng, depth + 1), op, _expr(rng, depth + 1))
+
+
+def _statement(rng: random.Random, depth: int = 0) -> str:
+    indent = "            " + "    " * depth
+    c = rng.random()
+    if c < 0.3 or depth >= 2:
+        return "%s%s = %s;" % (indent, rng.choice(_NAMES), _expr(rng))
+    if c < 0.45:
+        return "%sint %s%d = %s;" % (indent, rng.choice(_NAMES),
+                                     rng.randint(0, 99), _expr(rng))
+    if c < 0.6:
+        return "%sif (%s) {\n%s\n%s}" % (indent, _expr(rng),
+                                         _statement(rng, depth + 1), indent)
+    if c < 0.72:
+        return "%swhile (%s) {\n%s\n%s}" % (indent, _expr(rng),
+                                            _statement(rng, depth + 1), indent)
+    if c < 0.84:
+        return "%sfor (int i = 0; i < %d; i += 1) {\n%s\n%s}" % (
+            indent, rng.randint(2, 40), _statement(rng, depth + 1), indent)
+    if c < 0.92:
+        return "%sreturn %s;" % (indent, _expr(rng))
+    return "%s%s.%s(%s);" % (indent, rng.choice(_NAMES), rng.choice(_NAMES),
+                             _expr(rng))
+
+
+def generate_program(units: int, seed: int = 0) -> str:
+    rng = random.Random(seed)
+    classes = []
+    left = units
+    ci = 0
+    while left > 0:
+        n = min(left, rng.randint(3, 7))
+        left -= n
+        members = []
+        for i in range(n):
+            c = rng.random()
+            mods = rng.choice(_MODS)
+            if c < 0.25:
+                members.append("        %s %s %s%d = %s;" % (
+                    mods, rng.choice(_TYPES), rng.choice(_NAMES), i, _expr(rng)))
+            elif c < 0.4:
+                members.append("        %s %s %s%d { get; set; }" % (
+                    mods, rng.choice(_TYPES), rng.choice(_NAMES).title(), i))
+            else:
+                body = "\n".join(_statement(rng) for _ in range(rng.randint(2, 6)))
+                members.append(
+                    "        %s int %s%d(int a) {\n%s\n            return a;\n"
+                    "        }" % (mods, rng.choice(_NAMES), i, body))
+        classes.append("    public class K%d {\n%s\n    }"
+                       % (ci, "\n\n".join(members)))
+        ci += 1
+    return ("using System;\n\nnamespace Bench.Gen {\n"
+            + "\n\n".join(classes) + "\n}\n")

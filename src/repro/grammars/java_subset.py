@@ -1,0 +1,332 @@
+"""Java subset in PEG mode — the Java1.5 analogue.
+
+Characteristic hazards carried over from the paper's native Java1.5
+grammar (which also ran in PEG mode):
+
+* class members: field vs method vs constructor share the
+  ``modifier* type ID`` prefix — regular lookahead (cyclic DFA) usually
+  suffices;
+* statements: local variable declaration vs expression statement share
+  a ``qualified-name`` prefix, and generics make the type language
+  self-nested (context-free), so the decision falls back to
+  backtracking — the PEG-mode synpreds earn their keep here;
+* the rest of the grammar is overwhelmingly LL(1), which is what makes
+  Table 2's "most decisions are LL(1)" row come out.
+"""
+
+from __future__ import annotations
+
+import random
+
+GRAMMAR = r"""
+grammar JavaSub;
+options { backtrack=true; memoize=true; }
+
+compilation_unit : package_decl? import_decl* type_decl* ;
+
+package_decl : 'package' qualified_name ';' ;
+
+import_decl : 'import' 'static'? qualified_name ('.' '*')? ';' ;
+
+qualified_name : ID ('.' ID)* ;
+
+type_decl
+    : class_decl
+    | interface_decl
+    | enum_decl
+    | ';'
+    ;
+
+enum_decl
+    : modifier* 'enum' ID ('implements' type_list)?
+      '{' ID (',' ID)* (';' member*)? '}'
+    ;
+
+annotation : '@' qualified_name ('(' expression ')')? ;
+
+class_decl
+    : modifier* 'class' ID type_params?
+      ('extends' jtype)? ('implements' type_list)? class_body
+    ;
+
+interface_decl
+    : modifier* 'interface' ID type_params? ('extends' type_list)? class_body
+    ;
+
+modifier
+    : 'public' | 'protected' | 'private' | 'static' | 'final'
+    | 'abstract' | 'native' | 'synchronized' | 'transient' | 'volatile'
+    | annotation
+    ;
+
+type_params : '<' ID (',' ID)* '>' ;
+
+type_list : jtype (',' jtype)* ;
+
+class_body : '{' member* '}' ;
+
+member
+    : field_decl
+    | method_decl
+    | ctor_decl
+    | class_decl
+    | ';'
+    ;
+
+field_decl : modifier* jtype var_declarator (',' var_declarator)* ';' ;
+
+var_declarator : ID ('[' ']')* ('=' var_init)? ;
+
+var_init
+    : expression
+    | array_init
+    ;
+
+array_init : '{' (var_init (',' var_init)*)? '}' ;
+
+method_decl
+    : modifier* type_params? result_type ID '(' formal_params? ')'
+      ('throws' type_list)? (block | ';')
+    ;
+
+result_type
+    : jtype
+    | 'void'
+    ;
+
+ctor_decl : modifier* ID '(' formal_params? ')' block ;
+
+formal_params : formal_param (',' formal_param)* ;
+
+formal_param : 'final'? jtype ID ('[' ']')* ;
+
+jtype
+    : qualified_name type_args? ('[' ']')*
+    | primitive_type ('[' ']')*
+    ;
+
+primitive_type
+    : 'boolean' | 'byte' | 'char' | 'short' | 'int' | 'long'
+    | 'float' | 'double'
+    ;
+
+type_args : '<' jtype (',' jtype)* '>' ;
+
+block : '{' block_statement* '}' ;
+
+block_statement
+    : local_var_decl ';'
+    | statement
+    | class_decl
+    ;
+
+local_var_decl : 'final'? jtype var_declarator (',' var_declarator)* ;
+
+statement
+    : block
+    | 'if' par_expression statement ('else' statement)?
+    | 'for' '(' for_init? ';' expression? ';' expression_list? ')' statement
+    | 'while' par_expression statement
+    | 'do' statement 'while' par_expression ';'
+    | 'try' block ('catch' '(' formal_param ')' block)* ('finally' block)?
+    | 'switch' par_expression '{' switch_group* '}'
+    | 'return' expression? ';'
+    | 'throw' expression ';'
+    | 'break' ID? ';'
+    | 'continue' ID? ';'
+    | ';'
+    | statement_expression ';'
+    | ID ':' statement
+    ;
+
+switch_group : ('case' expression | 'default') ':' block_statement* ;
+
+for_init
+    : local_var_decl
+    | expression_list
+    ;
+
+par_expression : '(' expression ')' ;
+
+expression_list : expression (',' expression)* ;
+
+statement_expression : expression ;
+
+expression : conditional_expr (assign_op expression)? ;
+
+assign_op : '=' | '+=' | '-=' | '*=' | '/=' | '%=' ;
+
+conditional_expr : logical_or ('?' expression ':' expression)? ;
+
+logical_or : logical_and ('||' logical_and)* ;
+
+logical_and : equality_expr ('&&' equality_expr)* ;
+
+equality_expr : relational_expr (('==' | '!=') relational_expr)* ;
+
+relational_expr
+    : shift_expr (('<=' | '>=' | '<' | '>') shift_expr
+                  | 'instanceof' jtype)*
+    ;
+
+shift_expr : additive_expr (('<<' | '>>') additive_expr)* ;
+
+additive_expr : multiplicative_expr (('+' | '-') multiplicative_expr)* ;
+
+multiplicative_expr : unary_expr (('*' | '/' | '%') unary_expr)* ;
+
+unary_expr
+    : ('+' | '-' | '++' | '--' | '!' | '~') unary_expr
+    | ('(' jtype ')' unary_expr)=> '(' jtype ')' unary_expr
+    | postfix_expr
+    ;
+
+postfix_expr : primary postfix_suffix* ;
+
+postfix_suffix
+    : '.' ID arguments?
+    | '[' expression ']'
+    | '++'
+    | '--'
+    ;
+
+primary
+    : par_expression
+    | 'this' arguments?
+    | 'super' '.' ID arguments?
+    | literal
+    | 'new' creator
+    | ID arguments?
+    ;
+
+creator : qualified_name type_args? (arguments | array_dims) ;
+
+array_dims : ('[' expression ']')+ ('[' ']')* ;
+
+arguments : '(' expression_list? ')' ;
+
+literal
+    : INT_LIT | FLOAT_LIT | CHAR_LIT | STRING_LIT
+    | 'true' | 'false' | 'null'
+    ;
+
+ID : [a-zA-Z_$] [a-zA-Z0-9_$]* ;
+INT_LIT : [0-9]+ [lL]? ;
+FLOAT_LIT : [0-9]+ '.' [0-9]+ [fFdD]? ;
+CHAR_LIT : '\'' ~['] '\'' ;
+STRING_LIT : '"' (~["])* '"' ;
+WS : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '/' '/' (~[\n])* -> skip ;
+"""
+
+SAMPLE = r"""
+package demo.app;
+
+import java.util.List;
+
+public class Greeter {
+    private static int count;
+    private List<String> names;
+
+    public Greeter(int seed) {
+        count = seed;
+    }
+
+    public int greet(String name, int times) {
+        int total = 0;
+        for (int i = 0; i < times; i += 1) {
+            total = total + name.length();
+            if (total > 100) {
+                break;
+            }
+        }
+        return total;
+    }
+}
+"""
+
+_TYPES = ["int", "long", "double", "boolean", "String", "List<String>",
+          "Map<String, Integer>", "int[]"]
+_NAMES = ["alpha", "beta", "gamma", "delta", "index", "total", "count",
+          "buffer", "result", "limit", "name", "value"]
+_MODS = ["public", "private", "protected", "static", "final"]
+
+
+def _expr(rng: random.Random, depth: int = 0) -> str:
+    if depth > 2 or rng.random() < 0.45:
+        c = rng.random()
+        if c < 0.4:
+            return rng.choice(_NAMES)
+        if c < 0.7:
+            return str(rng.randint(0, 999))
+        if c < 0.85:
+            return "%s.%s(%s)" % (rng.choice(_NAMES), rng.choice(_NAMES),
+                                  rng.choice(_NAMES))
+        return '"%s"' % rng.choice(_NAMES)
+    op = rng.choice(["+", "-", "*", "<", "==", "&&", "||"])
+    return "%s %s %s" % (_expr(rng, depth + 1), op, _expr(rng, depth + 1))
+
+
+def _statement(rng: random.Random, depth: int = 0) -> str:
+    indent = "        " + "    " * depth
+    c = rng.random()
+    if c < 0.3 or depth >= 2:
+        return "%s%s = %s;" % (indent, rng.choice(_NAMES), _expr(rng))
+    if c < 0.45:
+        return "%sint %s_%d = %s;" % (indent, rng.choice(_NAMES),
+                                      rng.randint(0, 99), _expr(rng))
+    if c < 0.6:
+        return "%sif (%s) {\n%s\n%s}" % (indent, _expr(rng),
+                                         _statement(rng, depth + 1), indent)
+    if c < 0.7:
+        return "%swhile (%s) {\n%s\n%s}" % (indent, _expr(rng),
+                                            _statement(rng, depth + 1), indent)
+    if c < 0.8:
+        return "%sfor (int i = 0; i < %d; i += 1) {\n%s\n%s}" % (
+            indent, rng.randint(2, 50), _statement(rng, depth + 1), indent)
+    if c < 0.9:
+        return "%sreturn %s;" % (indent, _expr(rng))
+    return "%s%s.%s(%s);" % (indent, rng.choice(_NAMES), rng.choice(_NAMES),
+                             _expr(rng))
+
+
+def _method(rng: random.Random, i: int) -> str:
+    body = "\n".join(_statement(rng) for _ in range(rng.randint(2, 7)))
+    return ("    %s %s %s_%d(%s a, int b) {\n%s\n        return a;\n    }"
+            % (rng.choice(_MODS), "int", rng.choice(_NAMES), i, "int", body))
+
+
+def _field(rng: random.Random, i: int) -> str:
+    init = " = %s" % _expr(rng) if rng.random() < 0.5 else ""
+    return "    %s %s %s_%d%s;" % (rng.choice(_MODS), rng.choice(_TYPES),
+                                   rng.choice(_NAMES), i, init)
+
+
+def generate_program(units: int, seed: int = 0) -> str:
+    """Generate a compilation unit with ~``units`` members across classes."""
+    rng = random.Random(seed)
+    classes = []
+    members_left = units
+    class_index = 0
+    while members_left > 0:
+        if rng.random() < 0.12:
+            names = ", ".join("%s_%d" % (rng.choice(_NAMES).upper(), i)
+                              for i in range(rng.randint(2, 5)))
+            classes.append("public enum E%d { %s }" % (class_index, names))
+            class_index += 1
+            members_left -= 1
+            continue
+        n = min(members_left, rng.randint(3, 8))
+        members_left -= n
+        members = []
+        for i in range(n):
+            prefix = "    @Override\n" if rng.random() < 0.15 else ""
+            if rng.random() < 0.4:
+                members.append(prefix + _field(rng, i))
+            else:
+                members.append(prefix + _method(rng, i))
+        classes.append("public class C%d {\n%s\n}" % (class_index,
+                                                      "\n\n".join(members)))
+        class_index += 1
+    header = "package bench.gen;\n\nimport java.util.List;\n"
+    return header + "\n\n" + "\n\n".join(classes) + "\n"

@@ -1,0 +1,255 @@
+"""C subset in PEG mode — the RatsC analogue.
+
+The characteristic hazard (Section 6.2): C declarations and function
+definitions "look the same from the left edge" — ``int f();`` vs
+``int f() { ... }`` — so the ``external_decl`` decision must speculate
+across the entire declarator (and, failing that, the whole definition),
+which is exactly why RatsC shows the deepest backtracks in Table 3
+(7,968 tokens: an entire function body).  ``backtrack=true`` puts a
+synpred on every production like Rats! does.
+"""
+
+from __future__ import annotations
+
+import random
+
+GRAMMAR = r"""
+grammar RatsC;
+options { backtrack=true; memoize=true; }
+
+translation_unit : external_decl+ ;
+
+external_decl
+    : function_def
+    | declaration
+    ;
+
+function_def
+    : decl_specs declarator compound_stmt
+    ;
+
+declaration
+    : decl_specs init_declarator_list? ';'
+    ;
+
+decl_specs
+    : storage_class? type_spec type_qualifier*
+    ;
+
+storage_class : 'static' | 'extern' | 'typedef' ;
+
+type_qualifier : 'const' | 'volatile' ;
+
+type_spec
+    : 'void' | 'char' | 'short' | 'int' | 'long' | 'float' | 'double'
+    | 'unsigned' type_spec
+    | 'signed' type_spec
+    | 'struct' ID struct_body?
+    | ID
+    ;
+
+struct_body : '{' struct_decl* '}' ;
+
+struct_decl : decl_specs declarator (',' declarator)* ';' ;
+
+init_declarator_list : init_declarator (',' init_declarator)* ;
+
+init_declarator : declarator ('=' initializer)? ;
+
+initializer
+    : assignment_expr
+    | '{' initializer (',' initializer)* '}'
+    ;
+
+declarator : pointer? direct_declarator ;
+
+pointer : '*' type_qualifier* pointer? ;
+
+direct_declarator
+    : ID declarator_suffix*
+    | '(' declarator ')' declarator_suffix*
+    ;
+
+declarator_suffix
+    : '[' constant_expr? ']'
+    | '(' param_list? ')'
+    ;
+
+param_list : param_decl (',' param_decl)* ;
+
+param_decl : decl_specs declarator? ;
+
+compound_stmt : '{' block_item* '}' ;
+
+block_item
+    : declaration
+    | statement
+    ;
+
+statement
+    : compound_stmt
+    | 'if' '(' expr ')' statement ('else' statement)?
+    | 'while' '(' expr ')' statement
+    | 'do' statement 'while' '(' expr ')' ';'
+    | 'for' '(' expr_stmt expr_stmt expr? ')' statement
+    | 'switch' '(' expr ')' '{' switch_section* '}'
+    | 'return' expr? ';'
+    | 'break' ';'
+    | 'continue' ';'
+    | 'goto' ID ';'
+    | (ID ':')=> ID ':' statement
+    | expr_stmt
+    ;
+
+switch_section
+    : 'case' constant_expr ':' block_item*
+    | 'default' ':' block_item*
+    ;
+
+expr_stmt : expr? ';' ;
+
+expr : assignment_expr (',' assignment_expr)* ;
+
+assignment_expr
+    : unary_expr assign_op assignment_expr
+    | cond_expr
+    ;
+
+assign_op : '=' | '+=' | '-=' | '*=' | '/=' ;
+
+cond_expr : logical_or ('?' expr ':' cond_expr)? ;
+
+logical_or : logical_and ('||' logical_and)* ;
+
+logical_and : equality ('&&' equality)* ;
+
+equality : relational (('==' | '!=') relational)* ;
+
+relational : additive (('<' | '>' | '<=' | '>=') additive)* ;
+
+additive : multiplicative (('+' | '-') multiplicative)* ;
+
+multiplicative : unary_expr (('*' | '/' | '%') unary_expr)* ;
+
+unary_expr
+    : ('++' | '--' | '-' | '!' | '~' | '*' | '&') unary_expr
+    | 'sizeof' '(' type_spec pointer? ')'
+    | postfix_expr
+    ;
+
+postfix_expr : primary_expr postfix_suffix* ;
+
+postfix_suffix
+    : '[' expr ']'
+    | '(' arg_list? ')'
+    | '.' ID
+    | '->' ID
+    | '++'
+    | '--'
+    ;
+
+arg_list : assignment_expr (',' assignment_expr)* ;
+
+primary_expr
+    : ID
+    | INT_LIT
+    | FLOAT_LIT
+    | CHAR_LIT
+    | STRING_LIT
+    | '(' expr ')'
+    ;
+
+constant_expr : cond_expr ;
+
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT_LIT : [0-9]+ ;
+FLOAT_LIT : [0-9]+ '.' [0-9]+ ;
+CHAR_LIT : '\'' ~['] '\'' ;
+STRING_LIT : '"' (~["])* '"' ;
+WS : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '/' '/' (~[\n])* -> skip ;
+"""
+
+SAMPLE = r"""
+static int counter;
+
+int add(int a, int b) {
+    return a + b;
+}
+
+int main(void) {
+    int i;
+    int total = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        total += add(total, i);
+        if (total > 100) {
+            break;
+        }
+    }
+    return total;
+}
+"""
+
+_TYPES = ["int", "long", "char", "double", "float", "unsigned int"]
+_NAMES = ["alpha", "beta", "gamma", "delta", "idx", "total", "count", "tmp",
+          "value", "result", "acc", "limit", "size", "offset", "flag"]
+
+
+def _expr(rng: random.Random, depth: int = 0) -> str:
+    if depth > 2 or rng.random() < 0.4:
+        choice = rng.random()
+        if choice < 0.5:
+            return rng.choice(_NAMES)
+        if choice < 0.9:
+            return str(rng.randint(0, 9999))
+        return "%s(%s)" % (rng.choice(_NAMES), rng.choice(_NAMES))
+    op = rng.choice(["+", "-", "*", "/", "<", "==", "&&"])
+    return "%s %s %s" % (_expr(rng, depth + 1), op, _expr(rng, depth + 1))
+
+
+def _statement(rng: random.Random, depth: int = 0) -> str:
+    indent = "    " * (depth + 1)
+    kind = rng.random()
+    if kind < 0.35 or depth >= 2:
+        return "%s%s = %s;" % (indent, rng.choice(_NAMES), _expr(rng))
+    if kind < 0.5:
+        return "%sif (%s) {\n%s\n%s}" % (
+            indent, _expr(rng), _statement(rng, depth + 1), indent)
+    if kind < 0.6:
+        return "%swhile (%s) {\n%s\n%s}" % (
+            indent, _expr(rng), _statement(rng, depth + 1), indent)
+    if kind < 0.7:
+        return "%sfor (%s = 0; %s < %d; %s += 1) {\n%s\n%s}" % (
+            indent, "idx", "idx", rng.randint(2, 64), "idx",
+            _statement(rng, depth + 1), indent)
+    if kind < 0.76:
+        cases = "\n".join(
+            "%s    case %d:\n%s\n%s        break;" % (
+                indent, i, _statement(rng, depth + 2), indent)
+            for i in range(rng.randint(1, 3)))
+        return "%sswitch (%s) {\n%s\n%s    default:\n%s        break;\n%s}" % (
+            indent, rng.choice(_NAMES), cases, indent, indent, indent)
+    if kind < 0.8:
+        return "%sreturn %s;" % (indent, _expr(rng))
+    return "%s%s(%s);" % (indent, rng.choice(_NAMES), _expr(rng))
+
+
+def generate_program(units: int, seed: int = 0) -> str:
+    """Generate ~``units`` top-level declarations/definitions of C."""
+    rng = random.Random(seed)
+    parts = []
+    for i in range(units):
+        kind = rng.random()
+        name = "%s_%d" % (rng.choice(_NAMES), i)
+        if kind < 0.25:
+            # plain declaration: the fast path of external_decl's synpred
+            parts.append("%s %s;" % (rng.choice(_TYPES), name))
+        elif kind < 0.35:
+            parts.append("extern %s %s(%s a, %s b);" % (
+                rng.choice(_TYPES), name, rng.choice(_TYPES), rng.choice(_TYPES)))
+        else:
+            # function definition: forces the deep backtrack
+            body = "\n".join(_statement(rng) for _ in range(rng.randint(2, 8)))
+            parts.append("%s %s(int a, int b) {\n%s\n    return a;\n}" % (
+                rng.choice(_TYPES), name, body))
+    return "\n\n".join(parts) + "\n"

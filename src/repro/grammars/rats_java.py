@@ -1,0 +1,204 @@
+"""Second Java-style grammar in PEG mode — the RatsJava analogue.
+
+The paper's RatsJava grammar was mechanically converted from a Rats!
+module, preserving its *structure*: fewer, flatter rules than the native
+ANTLR Java grammar, heavier reliance on ordered choice, and PEG mode
+throughout.  This module mirrors that character: a compact Java-like
+grammar where more decisions lean on the auto-inserted synpreds instead
+of hand-tuned lookahead.
+"""
+
+from __future__ import annotations
+
+import random
+
+GRAMMAR = r"""
+grammar RatsJava;
+options { backtrack=true; memoize=true; }
+
+compilation_unit : package_part? import_part* declaration* ;
+
+package_part : 'package' name ';' ;
+
+import_part : 'import' name ('.' '*')? ';' ;
+
+name : ID ('.' ID)* ;
+
+declaration
+    : modifiers 'class' ID extension? class_body
+    | modifiers 'interface' ID extension? class_body
+    ;
+
+modifiers : modifier* ;
+
+modifier : 'public' | 'private' | 'protected' | 'static' | 'final' | 'abstract' ;
+
+extension : 'extends' name ;
+
+class_body : '{' body_decl* '}' ;
+
+body_decl
+    : modifiers type_name declarators ';'
+    | modifiers type_name ID '(' params? ')' (block | ';')
+    | modifiers ID '(' params? ')' block
+    | ';'
+    ;
+
+declarators : declarator (',' declarator)* ;
+
+declarator : ID ('=' expression)? ;
+
+type_name
+    : 'void'
+    | 'int' dims?
+    | 'boolean' dims?
+    | 'char' dims?
+    | 'double' dims?
+    | name type_arguments? dims?
+    ;
+
+type_arguments : '<' type_name (',' type_name)* '>' ;
+
+dims : ('[' ']')+ ;
+
+params : param (',' param)* ;
+
+param : type_name ID ;
+
+block : '{' statement* '}' ;
+
+statement
+    : block
+    | 'if' '(' expression ')' statement ('else' statement)?
+    | 'while' '(' expression ')' statement
+    | 'for' '(' statement_expr? ';' expression? ';' statement_expr? ')' statement
+    | 'return' expression? ';'
+    | 'break' ';'
+    | 'continue' ';'
+    | type_name declarators ';'
+    | statement_expr ';'
+    | ';'
+    ;
+
+statement_expr : expression ;
+
+expression : ternary (('=' | '+=' | '-=') expression)? ;
+
+ternary : disjunction ('?' expression ':' expression)? ;
+
+disjunction : conjunction ('||' conjunction)* ;
+
+conjunction : comparison ('&&' comparison)* ;
+
+comparison : sum (('==' | '!=' | '<' | '>' | '<=' | '>=') sum)* ;
+
+sum : product (('+' | '-') product)* ;
+
+product : unary (('*' | '/' | '%') unary)* ;
+
+unary
+    : ('-' | '!' | '++' | '--') unary
+    | postfix
+    ;
+
+postfix : atom suffix* ;
+
+suffix
+    : '.' ID call_args?
+    | '[' expression ']'
+    | '++'
+    | '--'
+    ;
+
+call_args : '(' (expression (',' expression)*)? ')' ;
+
+atom
+    : ID call_args?
+    | INT_LIT
+    | STRING_LIT
+    | 'true' | 'false' | 'null' | 'this'
+    | 'new' name call_args
+    | 'new' name ('[' expression ']')+
+    | '(' expression ')'
+    ;
+
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT_LIT : [0-9]+ ;
+STRING_LIT : '"' (~["])* '"' ;
+WS : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '/' '/' (~[\n])* -> skip ;
+"""
+
+SAMPLE = r"""
+package sample;
+
+public class Counter {
+    private int count = 0;
+
+    public int bump(int by) {
+        count = count + by;
+        if (count > 100) {
+            count = 0;
+        }
+        return count;
+    }
+}
+"""
+
+_NAMES = ["item", "node", "list", "total", "index", "cache", "next", "prev",
+          "size", "head"]
+_TYPES = ["int", "boolean", "double", "String", "Object"]
+
+
+def _expr(rng: random.Random, depth: int = 0) -> str:
+    if depth > 2 or rng.random() < 0.5:
+        c = rng.random()
+        if c < 0.5:
+            return rng.choice(_NAMES)
+        if c < 0.8:
+            return str(rng.randint(0, 500))
+        return "%s.%s()" % (rng.choice(_NAMES), rng.choice(_NAMES))
+    op = rng.choice(["+", "-", "*", "<", "==", "&&"])
+    return "%s %s %s" % (_expr(rng, depth + 1), op, _expr(rng, depth + 1))
+
+
+def _statement(rng: random.Random, depth: int = 0) -> str:
+    indent = "        " + "    " * depth
+    c = rng.random()
+    if c < 0.35 or depth >= 2:
+        return "%s%s = %s;" % (indent, rng.choice(_NAMES), _expr(rng))
+    if c < 0.5:
+        return "%s%s %s%d = %s;" % (indent, rng.choice(_TYPES),
+                                    rng.choice(_NAMES), rng.randint(0, 9),
+                                    _expr(rng))
+    if c < 0.65:
+        return "%sif (%s) {\n%s\n%s}" % (indent, _expr(rng),
+                                         _statement(rng, depth + 1), indent)
+    if c < 0.8:
+        return "%swhile (%s) {\n%s\n%s}" % (indent, _expr(rng),
+                                            _statement(rng, depth + 1), indent)
+    return "%sreturn %s;" % (indent, _expr(rng))
+
+
+def generate_program(units: int, seed: int = 0) -> str:
+    rng = random.Random(seed)
+    classes = []
+    left = units
+    ci = 0
+    while left > 0:
+        n = min(left, rng.randint(2, 6))
+        left -= n
+        members = []
+        for i in range(n):
+            if rng.random() < 0.35:
+                field_type = rng.choice(_TYPES + ["List<String>", "Map<String, Object>"])
+                members.append("    private %s %s%d = %s;" % (
+                    field_type, rng.choice(_NAMES), i, _expr(rng)))
+            else:
+                body = "\n".join(_statement(rng) for _ in range(rng.randint(2, 6)))
+                members.append(
+                    "    public int %s%d(int a) {\n%s\n        return a;\n    }"
+                    % (rng.choice(_NAMES), i, body))
+        classes.append("public class R%d {\n%s\n}" % (ci, "\n\n".join(members)))
+        ci += 1
+    return "package gen;\n\n" + "\n\n".join(classes) + "\n"

@@ -1,0 +1,329 @@
+"""TSQL-style grammar — the TSQL analogue.
+
+The paper's TSQL grammar was the largest (8,241 lines, 1,120 decisions)
+and also the most deterministic in practice (94% fixed, runtime avg
+k = 1.08, max k = 20): SQL's keyword-led statements make prediction
+cheap, with a few deeper decisions (CASE forms, JOIN variants,
+function-call vs column reference).  This subset keeps those deeper
+spots: ``CASE WHEN`` vs ``CASE expr WHEN`` (LL(2)), join chains,
+``TOP`` clauses, subqueries, and a small T-SQL procedural layer
+(DECLARE/SET/BEGIN..END/IF/WHILE) so statement dispatch has real width.
+"""
+
+from __future__ import annotations
+
+import random
+
+GRAMMAR = r"""
+grammar SqlSub;
+options { memoize=true; }
+
+batch : sql_statement (';' sql_statement)* ';'? ;
+
+sql_statement
+    : (select_into)=> select_into
+    | select_statement
+    | insert_statement
+    | update_statement
+    | delete_statement
+    | create_statement
+    | alter_statement
+    | declare_statement
+    | set_statement
+    | if_statement
+    | while_statement
+    | begin_block
+    |
+    ;
+
+begin_block : 'BEGIN' sql_statement (';' sql_statement)* ';'? 'END' ;
+
+if_statement : 'IF' search_condition sql_statement ('ELSE' sql_statement)? ;
+
+while_statement : 'WHILE' search_condition sql_statement ;
+
+declare_statement : 'DECLARE' LOCAL_ID 'AS'? data_type ('=' expression)? ;
+
+set_statement : 'SET' LOCAL_ID '=' expression ;
+
+create_statement
+    : 'CREATE' 'TABLE' table_name '(' column_def (',' column_def)* ')'
+    | 'CREATE' 'UNIQUE'? 'INDEX' ID 'ON' table_name '(' ID (',' ID)* ')'
+    | 'CREATE' 'VIEW' ID 'AS' select_statement
+    ;
+
+// ALTER forms share a 3-token prefix; k=4 separates ADD from DROP.
+alter_statement
+    : 'ALTER' 'TABLE' ID 'ADD' column_def
+    | 'ALTER' 'TABLE' ID 'DROP' 'COLUMN' ID
+    ;
+
+column_def : ID data_type column_option* ;
+
+column_option
+    : 'NOT' 'NULL'
+    | 'NULL'
+    | 'PRIMARY' 'KEY'
+    | 'UNIQUE'
+    | 'DEFAULT' expression
+    ;
+
+data_type : ID ('(' INT_LIT (',' INT_LIT)? ')')? ;
+
+select_statement
+    : 'SELECT' ('DISTINCT' | 'ALL')? top_clause? select_list
+      from_clause? where_clause? group_clause? having_clause? order_clause?
+    ;
+
+select_into
+    : 'SELECT' ('DISTINCT' | 'ALL')? top_clause? select_list
+      'INTO' table_name from_clause? where_clause?
+    ;
+
+top_clause : 'TOP' INT_LIT ;
+
+select_list : select_item (',' select_item)* ;
+
+select_item
+    : '*'
+    | column_ref '.' '*'
+    | expression ('AS'? ID)?
+    ;
+
+from_clause : 'FROM' table_source (',' table_source)* ;
+
+table_source : table_primary join_part* ;
+
+table_primary
+    : table_name ('AS'? ID)?
+    | '(' select_statement ')' 'AS'? ID
+    ;
+
+join_part
+    : join_kind 'JOIN' table_primary 'ON' search_condition
+    | 'CROSS' 'JOIN' table_primary
+    ;
+
+join_kind
+    : 'INNER'?
+    | 'LEFT' 'OUTER'?
+    | 'RIGHT' 'OUTER'?
+    | 'FULL' 'OUTER'?
+    ;
+
+table_name : ID ('.' ID)* ;
+
+where_clause : 'WHERE' search_condition ;
+
+group_clause : 'GROUP' 'BY' expression (',' expression)* ;
+
+having_clause : 'HAVING' search_condition ;
+
+order_clause : 'ORDER' 'BY' order_item (',' order_item)* ;
+
+order_item : expression ('ASC' | 'DESC')? ;
+
+insert_statement
+    : 'INSERT' 'INTO'? table_name ('(' ID (',' ID)* ')')?
+      ('VALUES' '(' expression (',' expression)* ')' | select_statement)
+    ;
+
+update_statement
+    : 'UPDATE' table_name 'SET' assignment (',' assignment)* where_clause?
+    ;
+
+assignment : column_ref '=' expression ;
+
+delete_statement : 'DELETE' 'FROM'? table_name where_clause? ;
+
+search_condition : boolean_term ('OR' boolean_term)* ;
+
+boolean_term : boolean_factor ('AND' boolean_factor)* ;
+
+boolean_factor
+    : 'NOT' boolean_factor
+    | predicate
+    ;
+
+predicate
+    : 'EXISTS' '(' select_statement ')'
+    | expression predicate_tail?
+    ;
+
+predicate_tail
+    : comparison_op expression
+    | 'IS' 'NOT'? 'NULL'
+    | 'NOT'? 'BETWEEN' expression 'AND' expression
+    | 'NOT'? 'IN' '(' in_list ')'
+    | 'NOT'? 'LIKE' expression
+    ;
+
+in_list
+    : select_statement
+    | expression (',' expression)*
+    ;
+
+comparison_op : '=' | '<>' | '!=' | '<' | '>' | '<=' | '>=' ;
+
+expression : term (('+' | '-' | '||') term)* ;
+
+term : factor (('*' | '/' | '%') factor)* ;
+
+factor
+    : '-' factor
+    | primary_value
+    ;
+
+primary_value
+    : case_expression
+    | function_call
+    | column_ref
+    | LOCAL_ID
+    | INT_LIT
+    | FLOAT_LIT
+    | STRING_LIT
+    | 'NULL'
+    | '(' paren_body ')'
+    ;
+
+paren_body
+    : select_statement
+    | expression
+    ;
+
+case_expression
+    : 'CASE' 'WHEN' search_condition 'THEN' expression when_part*
+      else_case? 'END'
+    | 'CASE' expression 'WHEN' expression 'THEN' expression simple_when*
+      else_case? 'END'
+    ;
+
+when_part : 'WHEN' search_condition 'THEN' expression ;
+
+simple_when : 'WHEN' expression 'THEN' expression ;
+
+else_case : 'ELSE' expression ;
+
+function_call : ID '(' ('*' | 'DISTINCT'? expression (',' expression)*)? ')' ;
+
+column_ref : ID ('.' ID)* ;
+
+ID : [a-zA-Z_] [a-zA-Z0-9_]* ;
+LOCAL_ID : '@' [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT_LIT : [0-9]+ ;
+FLOAT_LIT : [0-9]+ '.' [0-9]+ ;
+STRING_LIT : '\'' (~['])* '\'' ;
+WS : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '-' '-' (~[\n])* -> skip ;
+"""
+
+SAMPLE = r"""
+DECLARE @limit AS INT = 10;
+SELECT TOP 5 c.name, COUNT(o.id) AS orders
+FROM customers c
+LEFT OUTER JOIN orders o ON o.customer_id = c.id
+WHERE c.active = 1 AND c.region IN ('NA', 'EU')
+GROUP BY c.name
+HAVING COUNT(o.id) > @limit
+ORDER BY orders DESC;
+UPDATE customers SET active = 0 WHERE last_seen < 20200101;
+INSERT INTO audit (event, at) VALUES ('sweep', 20260705)
+"""
+
+_TABLES = ["customers", "orders", "items", "events", "users", "sessions",
+           "products", "invoices"]
+_COLUMNS = ["id", "name", "total", "status", "created_at", "region",
+            "amount", "quantity", "price", "active"]
+_FUNCS = ["COUNT", "SUM", "AVG", "MIN", "MAX"]
+
+
+def _value(rng: random.Random) -> str:
+    c = rng.random()
+    if c < 0.4:
+        return rng.choice(_COLUMNS)
+    if c < 0.7:
+        return str(rng.randint(0, 5000))
+    if c < 0.85:
+        return "'%s'" % rng.choice(_COLUMNS)
+    return "%s(%s)" % (rng.choice(_FUNCS), rng.choice(_COLUMNS))
+
+
+def _condition(rng: random.Random, depth: int = 0) -> str:
+    if depth > 1 or rng.random() < 0.6:
+        op = rng.choice(["=", "<>", "<", ">", "<=", ">="])
+        return "%s %s %s" % (rng.choice(_COLUMNS), op, _value(rng))
+    glue = rng.choice(["AND", "OR"])
+    return "%s %s %s" % (_condition(rng, depth + 1), glue,
+                         _condition(rng, depth + 1))
+
+
+def _select(rng: random.Random, depth: int = 0) -> str:
+    col_items = sorted(rng.sample(_COLUMNS, rng.randint(1, 4)))
+    if rng.random() < 0.15:
+        col_items.append("t0.*")
+    cols = ", ".join(col_items)
+    table = rng.choice(_TABLES)
+    into = " INTO snapshot_%d" % rng.randint(0, 99) if rng.random() < 0.15 else ""
+    parts = ["SELECT %s%s%s FROM %s t0" % (
+        "TOP %d " % rng.randint(1, 100) if rng.random() < 0.3 else "",
+        cols, into, table)]
+    if rng.random() < 0.5:
+        kind = rng.choice(["INNER", "LEFT OUTER", ""])
+        parts.append("%s JOIN %s t1 ON t0.id = t1.%s"
+                     % (kind, rng.choice(_TABLES), rng.choice(_COLUMNS)))
+    if rng.random() < 0.7:
+        parts.append("WHERE " + _condition(rng))
+    if not into:  # SELECT ... INTO has no GROUP BY / ORDER BY tail
+        if rng.random() < 0.3:
+            parts.append("GROUP BY " + rng.choice(_COLUMNS))
+        if rng.random() < 0.3:
+            parts.append("ORDER BY %s %s" % (rng.choice(_COLUMNS),
+                                             rng.choice(["ASC", "DESC"])))
+    return "\n".join(parts)
+
+
+def generate_program(units: int, seed: int = 0) -> str:
+    """Generate a batch of ~``units`` SQL statements."""
+    rng = random.Random(seed)
+    stmts = []
+    for i in range(units):
+        c = rng.random()
+        if c < 0.5:
+            stmts.append(_select(rng))
+        elif c < 0.65:
+            table = rng.choice(_TABLES)
+            sets = ", ".join("%s = %s" % (col, _value(rng))
+                             for col in sorted(rng.sample(_COLUMNS, 2)))
+            stmts.append("UPDATE %s SET %s WHERE %s"
+                         % (table, sets, _condition(rng)))
+        elif c < 0.78:
+            cols = sorted(rng.sample(_COLUMNS, 3))
+            stmts.append("INSERT INTO %s (%s) VALUES (%s)" % (
+                rng.choice(_TABLES), ", ".join(cols),
+                ", ".join(_value(rng) for _ in cols)))
+        elif c < 0.88:
+            stmts.append("DELETE FROM %s WHERE %s"
+                         % (rng.choice(_TABLES), _condition(rng)))
+        elif c < 0.92:
+            stmts.append("DECLARE @v%d AS INT = %d" % (i, rng.randint(0, 99)))
+        elif c < 0.95:
+            kind = rng.random()
+            if kind < 0.4:
+                stmts.append("CREATE %sINDEX ix%d ON %s (%s)" % (
+                    "UNIQUE " if rng.random() < 0.5 else "", i,
+                    rng.choice(_TABLES), rng.choice(_COLUMNS)))
+            else:
+                stmts.append("CREATE VIEW v%d AS SELECT %s FROM %s t0" % (
+                    i, rng.choice(_COLUMNS), rng.choice(_TABLES)))
+        elif c < 0.975:
+            if rng.random() < 0.5:
+                stmts.append("ALTER TABLE t%d ADD %s INT NULL"
+                             % (i, rng.choice(_COLUMNS)))
+            else:
+                stmts.append("ALTER TABLE t%d DROP COLUMN %s"
+                             % (i, rng.choice(_COLUMNS)))
+        else:
+            cols = ",\n    ".join("%s INT NOT NULL" % c
+                                  for c in sorted(rng.sample(_COLUMNS, 3)))
+            stmts.append("CREATE TABLE t%d (\n    %s\n)" % (i, cols))
+    return ";\n\n".join(stmts) + ";\n"

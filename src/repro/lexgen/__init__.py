@@ -1,0 +1,28 @@
+"""Lexer generator: lexer grammar rules -> DFA tokenizer.
+
+ANTLR is not scannerless (Section 6, "Rats! is also scannerless, unlike
+ANTLR"), so the reproduction needs a real lexing substrate.  Lexer rules
+from the combined grammar compile via Thompson construction to an NFA
+(:mod:`repro.lexgen.nfa`), then via subset construction over character
+intervals to a DFA (:mod:`repro.lexgen.dfa`), which a maximal-munch
+tokenizer drives (:mod:`repro.lexgen.lexer`).
+
+Rule priority follows ANTLR: implicit literal tokens (keywords quoted in
+parser rules) beat explicit lexer rules at equal match length; earlier
+rules beat later ones.
+"""
+
+from repro.lexgen.nfa import NFA, NFAState
+from repro.lexgen.dfa import LexerDFA, build_lexer_dfa
+from repro.lexgen.builder import build_lexer
+from repro.lexgen.lexer import DFATokenizer, LexerSpec
+
+__all__ = [
+    "NFA",
+    "NFAState",
+    "LexerDFA",
+    "build_lexer_dfa",
+    "build_lexer",
+    "DFATokenizer",
+    "LexerSpec",
+]

@@ -1,0 +1,111 @@
+"""Maximal-munch DFA tokenizer.
+
+Longest match wins; ties break by rule priority (implicit literals
+first, then lexer-rule definition order).  ``-> skip`` drops the token;
+``-> channel(HIDDEN)`` / ``-> hidden`` routes it off the parser channel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.exceptions import LexerError
+from repro.lexgen.dfa import LexerDFA
+from repro.runtime.char_stream import CharStream
+from repro.runtime.token import DEFAULT_CHANNEL, HIDDEN_CHANNEL, Token, Vocabulary
+
+
+class LexerSpec:
+    """Compiled lexer: DFA plus the vocabulary mapping rule names to types."""
+
+    def __init__(self, dfa: LexerDFA, vocabulary: Vocabulary):
+        self.dfa = dfa
+        self.vocabulary = vocabulary
+
+    def tokenizer(self, text: str, name: str = "<input>") -> "DFATokenizer":
+        return DFATokenizer(self, CharStream(text, name))
+
+    def tokenize(self, text: str, include_hidden: bool = False):
+        """All tokens for ``text`` (skipped rules never appear)."""
+        tokens = list(self.tokenizer(text))
+        if include_hidden:
+            return tokens
+        return [t for t in tokens if t.channel == DEFAULT_CHANNEL]
+
+    def token_type_for(self, accept_name: str) -> int:
+        """Map an accept-rule display name to its token type."""
+        if accept_name.startswith("'"):
+            t = self.vocabulary.type_of_literal(accept_name[1:-1])
+        else:
+            t = self.vocabulary.type_of(accept_name)
+        if t is None:
+            raise LexerError(accept_name, 0, 0, 0)
+        return t
+
+
+class DFATokenizer:
+    """Iterator of Tokens over a char stream, driven by the lexer DFA."""
+
+    def __init__(self, spec: LexerSpec, stream: CharStream):
+        self.spec = spec
+        self.stream = stream
+        self._emitted_eof = False
+
+    def __iter__(self) -> Iterator[Token]:
+        return self
+
+    def __next__(self) -> Token:
+        if self._emitted_eof:
+            raise StopIteration
+        token = self.next_token()
+        while token is None:  # skipped rule: keep scanning
+            token = self.next_token()
+        if token.type == -1:
+            self._emitted_eof = True
+        return token
+
+    def next_token(self) -> Optional[Token]:
+        """Scan one token; None for skipped rules; EOF token at end."""
+        stream = self.stream
+        if stream.at_eof:
+            line, col = stream.line_column()
+            return Token.eof(line=line, column=col, start=stream.index)
+
+        dfa = self.spec.dfa
+        start_index = stream.index
+        state_id = dfa.start_id
+        last_accept = None  # (end_index, accept_rule)
+        index = start_index
+        text = stream.text
+        n = len(text)
+        while index < n:
+            state_id = dfa.state(state_id).next_state(ord(text[index]))
+            if state_id < 0:
+                break
+            index += 1
+            accept = dfa.state(state_id).accept
+            if accept is not None:
+                last_accept = (index, accept)
+
+        if last_accept is None:
+            line, col = stream.line_column(start_index)
+            raise LexerError(text[start_index], line, col, start_index)
+
+        end_index, (priority, name, commands) = last_accept
+        stream.seek(end_index)
+        if "skip" in commands:
+            return None
+        channel = DEFAULT_CHANNEL
+        for cmd in commands:
+            if cmd == "hidden" or cmd == "channel(HIDDEN)":
+                channel = HIDDEN_CHANNEL
+        line, col = stream.line_column(start_index)
+        return Token(
+            self.spec.token_type_for(name),
+            text[start_index:end_index],
+            line=line,
+            column=col,
+            channel=channel,
+            start=start_index,
+            stop=end_index,
+        )

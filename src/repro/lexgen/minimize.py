@@ -1,0 +1,93 @@
+"""Lexer-DFA minimization (Moore partition refinement).
+
+Subset construction tends to mint distinguishable-in-name-only states,
+especially with many keyword literals sharing prefixes with the
+identifier rule.  Minimization merges states that are equivalent under
+(accept label, successor partitions), shrinking the transition tables
+the tokenizer walks on every character.
+
+Moore's algorithm rather than Hopcroft: partitions refine by whole-state
+signature, which extends naturally to interval-labelled edges (the
+signature of a state is its accept label plus its interval->partition
+map, with adjacent intervals mapping to the same partition coalesced).
+For lexer-sized automata the O(n^2)-ish behaviour is irrelevant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lexgen.dfa import LexerDFA, LexerDFAState
+
+
+def minimize_lexer_dfa(dfa: LexerDFA) -> LexerDFA:
+    """Return an equivalent DFA with equivalence classes merged."""
+    n = len(dfa.states)
+    if n == 0:
+        return dfa
+
+    # Initial partition: by accept label (None vs each distinct label).
+    part: List[int] = [0] * n
+    labels: Dict[object, int] = {}
+    for i, state in enumerate(dfa.states):
+        key = state.accept
+        if key not in labels:
+            labels[key] = len(labels)
+        part[i] = labels[key]
+
+    def signature(state: LexerDFAState) -> Tuple:
+        sig: List[Tuple[int, int, int]] = []
+        for (lo, hi), target in zip(state.ivals, state.targets):
+            p = part[target]
+            if sig and sig[-1][2] == p and sig[-1][1] + 1 == lo:
+                sig[-1] = (sig[-1][0], hi, p)
+            else:
+                sig.append((lo, hi, p))
+        return (part_label(state), tuple(sig))
+
+    def part_label(state: LexerDFAState):
+        return state.accept
+
+    # Refine to fixpoint.
+    while True:
+        buckets: Dict[Tuple, int] = {}
+        new_part: List[int] = [0] * n
+        for i, state in enumerate(dfa.states):
+            key = (part[i], signature(state))
+            if key not in buckets:
+                buckets[key] = len(buckets)
+            new_part[i] = buckets[key]
+        if new_part == part:
+            break
+        part = new_part
+
+    num_classes = max(part) + 1
+    if num_classes == n:
+        return dfa  # already minimal
+
+    # Build the quotient automaton; class of the old start comes first.
+    order: List[int] = []
+    remap: Dict[int, int] = {}
+    for old in [dfa.start_id] + list(range(n)):
+        cls = part[old]
+        if cls not in remap:
+            remap[cls] = len(order)
+            order.append(old)
+
+    out = LexerDFA()
+    for representative in order:
+        old_state = dfa.states[representative]
+        new_state = LexerDFAState(len(out.states))
+        new_state.accept = old_state.accept
+        merged: List[Tuple[int, int, int]] = []
+        for (lo, hi), target in zip(old_state.ivals, old_state.targets):
+            t = remap[part[target]]
+            if merged and merged[-1][2] == t and merged[-1][1] + 1 == lo:
+                merged[-1] = (merged[-1][0], hi, t)
+            else:
+                merged.append((lo, hi, t))
+        new_state.ivals = [(lo, hi) for lo, hi, _t in merged]
+        new_state.targets = [t for _lo, _hi, t in merged]
+        out.states.append(new_state)
+    out.start_id = 0
+    return out

@@ -1,0 +1,60 @@
+"""Character-level NFA with interval-labelled edges (Thompson style)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.util.intervals import IntervalSet
+
+#: Highest code point edges may cover; complements (~[...]) span this.
+MAX_CODEPOINT = 0x10FFFF
+
+
+class NFAState:
+    """NFA node.  ``accept_rule`` is ``(priority, token_name, commands)``
+    on accepting states; lower priority wins ties."""
+
+    __slots__ = ("id", "edges", "accept_rule")
+
+    def __init__(self, state_id: int):
+        self.id = state_id
+        #: (label, target); label None == epsilon, else IntervalSet of chars
+        self.edges: List[Tuple[Optional[IntervalSet], "NFAState"]] = []
+        self.accept_rule: Optional[Tuple[int, str, tuple]] = None
+
+    def add_edge(self, label: Optional[IntervalSet], target: "NFAState") -> None:
+        self.edges.append((label, target))
+
+    def __repr__(self):
+        acc = "!" + self.accept_rule[1] if self.accept_rule else ""
+        return "n%d%s" % (self.id, acc)
+
+
+class NFA:
+    """NFA container with a single combined start state."""
+
+    def __init__(self):
+        self.states: List[NFAState] = []
+        self.start: Optional[NFAState] = None
+
+    def new_state(self) -> NFAState:
+        s = NFAState(len(self.states))
+        self.states.append(s)
+        return s
+
+    def epsilon_closure(self, states) -> frozenset:
+        """Set of NFA state ids reachable via epsilon edges."""
+        seen = set()
+        work = list(states)
+        while work:
+            s = work.pop()
+            if s.id in seen:
+                continue
+            seen.add(s.id)
+            for label, target in s.edges:
+                if label is None:
+                    work.append(target)
+        return frozenset(seen)
+
+    def __repr__(self):
+        return "NFA(%d states)" % len(self.states)

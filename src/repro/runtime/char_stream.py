@@ -1,0 +1,79 @@
+"""Character stream over source text, with line/column tracking.
+
+The lexer consumes a :class:`CharStream`.  The stream supports arbitrary
+``seek`` so the DFA tokenizer can implement longest-match with rollback
+to the last accepting position.
+"""
+
+from __future__ import annotations
+
+EOF_CHAR = ""  # returned by LA past the end; "" sorts outside every char class
+
+
+class CharStream:
+    """Random-access character stream with 1-based line / 0-based column.
+
+    Line/column are computed lazily from a precomputed table of newline
+    offsets so that ``seek`` (used heavily by the longest-match lexer)
+    stays O(1).
+    """
+
+    def __init__(self, text: str, name: str = "<input>"):
+        self.text = text
+        self.name = name
+        self.index = 0
+        self._nl_offsets = [i for i, ch in enumerate(text) if ch == "\n"]
+
+    # -- core accessors --------------------------------------------------
+
+    def la(self, offset: int = 1) -> str:
+        """Look ahead ``offset`` characters (1 == current), "" past EOF."""
+        i = self.index + offset - 1
+        if 0 <= i < len(self.text):
+            return self.text[i]
+        return EOF_CHAR
+
+    def consume(self) -> str:
+        """Advance one character and return it ("" at EOF)."""
+        ch = self.la(1)
+        if ch is not EOF_CHAR and ch != "":
+            self.index += 1
+        return ch
+
+    def seek(self, index: int) -> None:
+        self.index = max(0, min(index, len(self.text)))
+
+    def mark(self) -> int:
+        return self.index
+
+    @property
+    def size(self) -> int:
+        return len(self.text)
+
+    @property
+    def at_eof(self) -> bool:
+        return self.index >= len(self.text)
+
+    # -- position reporting ----------------------------------------------
+
+    def line_column(self, index=None):
+        """(line, column) for a character offset; line 1-based, col 0-based."""
+        if index is None:
+            index = self.index
+        lo, hi = 0, len(self._nl_offsets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._nl_offsets[mid] < index:
+                lo = mid + 1
+            else:
+                hi = mid
+        line = lo + 1
+        line_start = self._nl_offsets[lo - 1] + 1 if lo > 0 else 0
+        return line, index - line_start
+
+    def substring(self, start: int, stop: int) -> str:
+        """Text in [start, stop) character offsets."""
+        return self.text[start:stop]
+
+    def __repr__(self):
+        return "CharStream(%s, %d/%d)" % (self.name, self.index, len(self.text))

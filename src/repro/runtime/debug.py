@@ -1,0 +1,43 @@
+"""Parse tracing.
+
+One of the paper's arguments for top-down parsing is debuggability: a
+one-to-one mapping from grammar elements to parser operations.  The
+:class:`TraceListener` hook surfaces that mapping: rule enter/exit,
+prediction events, and speculation, indented by call depth.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class TraceListener:
+    """Records (and optionally prints) rule-level parser activity."""
+
+    def __init__(self, echo: bool = False):
+        self.echo = echo
+        self.events: List[str] = []
+        self._depth = 0
+
+    def _emit(self, text: str) -> None:
+        line = "  " * self._depth + text
+        self.events.append(line)
+        if self.echo:
+            print(line)
+
+    def enter_rule(self, rule_name: str, index: int, speculating: bool) -> None:
+        tag = "?" if speculating else ""
+        self._emit("enter %s%s @%d" % (rule_name, tag, index))
+        self._depth += 1
+
+    def exit_rule(self, rule_name: str, index: int, failed: bool) -> None:
+        self._depth = max(0, self._depth - 1)
+        tag = " FAILED" if failed else ""
+        self._emit("exit %s @%d%s" % (rule_name, index, tag))
+
+    def predict(self, decision: int, depth: int, backtracked: bool) -> None:
+        tag = " (backtracked)" if backtracked else ""
+        self._emit("predict d%d k=%d%s" % (decision, depth, tag))
+
+    def transcript(self) -> str:
+        return "\n".join(self.events)

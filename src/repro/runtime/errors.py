@@ -1,0 +1,61 @@
+"""Parse-time error strategies.
+
+The paper argues (Section 1) that reducing uncertainty during the parse
+is the key to good error recovery: deterministic LL decisions know
+exactly what they expected.  Two strategies are provided:
+
+* :class:`BailErrorStrategy` — raise immediately (useful under tests and
+  always used while speculating);
+* :class:`SingleTokenDeletionStrategy` — on a mismatch, if deleting the
+  current token would let the parse continue, report and resynchronise;
+  otherwise raise.  This is the cheap half of ANTLR's inline recovery.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import MismatchedTokenError, RecognitionError
+
+
+class ErrorStrategy:
+    """Hook interface; ``recover_inline`` may consume tokens and return
+    the matched token, or raise."""
+
+    def recover_inline(self, parser, expected_type: int, rule_name: str):
+        raise NotImplementedError
+
+    def report(self, parser, error: RecognitionError) -> None:
+        parser.errors.append(error)
+
+
+class BailErrorStrategy(ErrorStrategy):
+    """Fail fast: every mismatch is fatal."""
+
+    def recover_inline(self, parser, expected_type: int, rule_name: str):
+        token = parser.stream.lt(1)
+        raise MismatchedTokenError(
+            parser.vocabulary.name_of(expected_type), token, parser.stream.index,
+            rule_name=rule_name)
+
+
+class SingleTokenDeletionStrategy(ErrorStrategy):
+    """Delete one offending token if the next one matches expectations."""
+
+    def recover_inline(self, parser, expected_type: int, rule_name: str):
+        stream = parser.stream
+        token = stream.lt(1)
+        if stream.la(2) == expected_type:
+            error = MismatchedTokenError(
+                parser.vocabulary.name_of(expected_type), token, stream.index,
+                rule_name=rule_name)
+            self.report(parser, error)
+            stream.consume()  # drop the extraneous token
+            return stream.consume()
+        raise MismatchedTokenError(
+            parser.vocabulary.name_of(expected_type), token, stream.index,
+            rule_name=rule_name)
+
+
+def format_errors(errors: List[RecognitionError]) -> str:
+    return "\n".join(str(e) for e in errors)

@@ -1,0 +1,420 @@
+"""The LL(*) parser: an ATN interpreter with DFA-driven prediction.
+
+At every decision point the parser runs the decision's lookahead DFA
+(Figure 5 configuration-change rules): follow token edges while they
+match; on an accept state, predict that alternative.  States carrying
+predicate edges evaluate them in alternative order — a user predicate is
+``eval``-ed against the action environment, a synpred launches a
+speculative parse of its fragment rule (backtracking), and a ``None``
+predicate is the ordered-choice default.
+
+Speculation machinery (Section 4):
+
+* actions are disabled while speculating, except ``{{...}}``
+  always-exec actions (Section 4.3);
+* rule invocations are memoized per ``(rule, token index)`` *only while
+  speculating* (the paper's policy: "ANTLR only memoizes while
+  speculating"), turning nested backtracking from exponential to linear
+  like a packrat parser;
+* prediction errors are reported at the specific token that killed the
+  DFA or the deepest token a failed speculation reached (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.atn.transitions import (
+    ActionTransition,
+    AtomTransition,
+    EpsilonTransition,
+    PredicateTransition,
+    RuleTransition,
+    SetTransition,
+)
+from repro.exceptions import (
+    ActionError,
+    FailedPredicateError,
+    MismatchedTokenError,
+    NoViableAltError,
+    RecognitionError,
+)
+from repro.runtime.errors import BailErrorStrategy, ErrorStrategy
+from repro.runtime.token import EOF
+from repro.runtime.token_stream import TokenStream
+from repro.runtime.trees import RuleNode, TokenNode
+
+_MEMO_FAILED = -2  # sentinel stop index for memoized failures
+
+
+class ParserOptions:
+    """Runtime knobs.
+
+    ``memoize``: cache speculative rule invocations (packrat-style).
+    ``build_tree``: construct a parse tree (off for pure recognition).
+    ``profiler``: a :class:`~repro.runtime.profiler.DecisionProfiler`.
+    ``user_state``: arbitrary object exposed to actions/predicates as
+    ``state``.
+    ``action_globals``: extra names visible to embedded Python code.
+    ``error_strategy``: inline-mismatch handling outside speculation.
+    ``trace``: optional :class:`~repro.runtime.debug.TraceListener`.
+    """
+
+    def __init__(self, memoize: bool = True, build_tree: bool = True,
+                 profiler=None, user_state: Any = None,
+                 action_globals: Optional[Dict[str, Any]] = None,
+                 error_strategy: Optional[ErrorStrategy] = None,
+                 trace=None, recover: bool = False):
+        self.memoize = memoize
+        self.build_tree = build_tree
+        self.profiler = profiler
+        self.user_state = user_state
+        self.action_globals = dict(action_globals) if action_globals else {}
+        self.error_strategy = error_strategy or BailErrorStrategy()
+        self.trace = trace
+        # Panic-mode recovery: on an error inside rule A (outside
+        # speculation), report it, consume tokens until FOLLOW(A), and
+        # continue — so one parse surfaces *all* the input's errors,
+        # the deterministic-LL error-handling advantage of Section 1.
+        self.recover = recover
+
+
+class LLStarParser:
+    """Interpreted LL(*) parser over an analysed grammar.
+
+    Build one per parse (it owns per-parse state: memo table, error
+    list, speculation depth).  ``analysis`` is the result of
+    :func:`repro.analysis.analyze`; ``stream`` a rewindable token
+    stream.
+    """
+
+    def __init__(self, analysis, stream: TokenStream,
+                 options: Optional[ParserOptions] = None):
+        self.analysis = analysis
+        self.grammar = analysis.grammar
+        self.atn = analysis.atn
+        self.stream = stream
+        self.options = options or ParserOptions()
+        self.vocabulary = self.grammar.vocabulary
+        self.errors: List[RecognitionError] = []
+        self._speculating = 0
+        self._memo: Dict[Tuple[str, int], int] = {}
+        self._deepest_spec_index = -1
+        self._deepest_spec_error: Optional[RecognitionError] = None
+        self._sets = None  # lazy FIRST/FOLLOW tables for recovery
+        self._last_recovery_index = -1
+        # While True, subsequent errors are cascades of one mistake and
+        # are resynced silently; cleared when a token matches for real.
+        self._error_recovery_mode = False
+
+    # -- public entry points --------------------------------------------------------
+
+    def parse(self, rule_name: Optional[str] = None, require_eof: bool = True):
+        """Parse from ``rule_name`` (default: grammar start rule).
+
+        Returns the parse tree root (or None when tree building is off).
+        Raises :class:`RecognitionError` subclasses on bad input.
+        """
+        if rule_name is None:
+            rule_name = self.grammar.start_rule
+        node = self._run_rule(rule_name, [])
+        if require_eof and self.stream.la(1) != EOF:
+            token = self.stream.lt(1)
+            error = MismatchedTokenError("EOF", token, self.stream.index,
+                                         rule_name=rule_name)
+            if self.options.recover:
+                self.errors.append(error)
+            else:
+                raise error
+        return node
+
+    def recognize(self, rule_name: Optional[str] = None, require_eof: bool = True) -> bool:
+        """Pure recognition: True iff the input parses."""
+        saved = self.options.build_tree
+        self.options.build_tree = False
+        try:
+            self.parse(rule_name, require_eof=require_eof)
+            return True
+        except RecognitionError:
+            return False
+        finally:
+            self.options.build_tree = saved
+
+    # -- core interpreter ---------------------------------------------------------------
+
+    @property
+    def speculating(self) -> bool:
+        return self._speculating > 0
+
+    def _run_rule(self, rule_name: str, arg_values: List[Any]) -> Optional[RuleNode]:
+        rule = self.grammar.rule(rule_name)
+        memo_key = None
+        if (self.speculating and self.options.memoize and not rule.params):
+            memo_key = (rule_name, self.stream.index)
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                if cached == _MEMO_FAILED:
+                    raise RecognitionError(
+                        "memoized failure of rule %s" % rule_name,
+                        token=self.stream.lt(1), index=self.stream.index)
+                self.stream.seek(cached)
+                return None  # tree building is off while speculating
+
+        frame: Dict[str, Any] = dict(zip(rule.params, arg_values))
+        node = (RuleNode(rule_name) if self.options.build_tree and not self.speculating
+                else None)
+        frame["ctx"] = node
+        if self.options.trace is not None:
+            self.options.trace.enter_rule(rule_name, self.stream.index, self.speculating)
+        try:
+            self._walk(self.atn.rule_start[rule_name], rule_name, frame, node)
+        except RecognitionError as error:
+            if memo_key is not None:
+                self._memo[memo_key] = _MEMO_FAILED
+            if self.options.trace is not None:
+                self.options.trace.exit_rule(rule_name, self.stream.index, failed=True)
+            if self.options.recover and not self.speculating:
+                self._recover(rule_name, error)
+                return node
+            raise
+        if memo_key is not None:
+            self._memo[memo_key] = self.stream.index
+        if self.options.trace is not None:
+            self.options.trace.exit_rule(rule_name, self.stream.index, failed=False)
+        return node
+
+    def _walk(self, start, rule_name: str, frame: Dict[str, Any],
+              node: Optional[RuleNode]) -> None:
+        state = start
+        stop = self.atn.rule_stop[rule_name]
+        while state is not stop:
+            if state.is_decision:
+                alt = self._adaptive_predict(state.decision, frame)
+                if node is not None and state is start:
+                    node.alt = alt
+                state = state.transitions[alt - 1].target
+                continue
+            transition = state.transitions[0]
+            if isinstance(transition, (AtomTransition, SetTransition)):
+                token = self._match(transition, rule_name)
+                if node is not None:
+                    node.add(TokenNode(token))
+                state = transition.target
+            elif isinstance(transition, RuleTransition):
+                args = [self._eval_expr(a, frame) for a in transition.args]
+                child = self._run_rule(transition.rule_name, args)
+                if node is not None and child is not None:
+                    node.add(child)
+                state = transition.follow_state
+            elif isinstance(transition, PredicateTransition):
+                if transition.predicate.is_synpred:
+                    # Syntactic predicates only direct prediction; once an
+                    # alternative is chosen, the gate has done its job
+                    # (ANTLR semantics: synpreds are decision directives).
+                    state = transition.target
+                    continue
+                if not self._eval_predicate(transition.predicate, frame):
+                    raise FailedPredicateError(
+                        transition.predicate, token=self.stream.lt(1),
+                        index=self.stream.index, rule_name=rule_name)
+                state = transition.target
+            elif isinstance(transition, ActionTransition):
+                self._execute_action(transition.action, frame)
+                state = transition.target
+            elif isinstance(transition, EpsilonTransition):
+                state = transition.target
+            else:  # pragma: no cover - builder invariant
+                raise AssertionError("unexpected transition %r" % transition)
+
+    def _match(self, transition, rule_name: str):
+        token = self.stream.lt(1)
+        if transition.matches(token.type):
+            self.stream.consume()
+            if self.speculating:
+                if self.stream.index > self._deepest_spec_index:
+                    self._deepest_spec_index = self.stream.index
+            else:
+                self._error_recovery_mode = False
+            return token
+        if self.speculating:
+            expected = (self.vocabulary.name_of(transition.token_type)
+                        if isinstance(transition, AtomTransition) else repr(transition))
+            raise MismatchedTokenError(expected, token, self.stream.index,
+                                       rule_name=rule_name)
+        expected_type = (transition.token_type
+                         if isinstance(transition, AtomTransition) else None)
+        if expected_type is not None:
+            return self.options.error_strategy.recover_inline(
+                self, expected_type, rule_name)
+        raise MismatchedTokenError(repr(transition), token, self.stream.index,
+                                   rule_name=rule_name)
+
+    def _recover(self, rule_name: str, error: RecognitionError) -> None:
+        """Panic-mode resynchronisation: report, then consume tokens until
+        one that may follow ``rule_name`` (or EOF) comes up.  If the error
+        token itself is already in FOLLOW, delete nothing extra — but
+        always make progress so cascading errors cannot loop forever."""
+        if not self._error_recovery_mode:
+            self.errors.append(error)
+            self._error_recovery_mode = True
+        if self._sets is None:
+            from repro.analysis.sets import GrammarSets
+
+            self._sets = GrammarSets(self.grammar)
+        resync = self._sets.resync_set(rule_name)
+        while self.stream.la(1) not in resync and self.stream.la(1) != EOF:
+            self.stream.consume()
+        if (self.stream.index == self._last_recovery_index
+                and self.stream.la(1) != EOF):
+            # No progress since the previous recovery at this position:
+            # drop one token so cascading errors cannot loop forever
+            # (ANTLR's single-token failsafe).
+            self.stream.consume()
+        self._last_recovery_index = self.stream.index
+
+    # -- prediction ------------------------------------------------------------------------
+
+    def _adaptive_predict(self, decision: int, frame: Dict[str, Any]) -> int:
+        """Run the lookahead DFA for ``decision`` (Figure 5 rules).
+
+        Returns the predicted 1-based alternative.  Reports the event to
+        the profiler with the lookahead depth used and any backtracking.
+        """
+        record = self.analysis.records[decision]
+        dfa = record.dfa
+        state = dfa.start
+        offset = 0  # tokens of lookahead consumed along DFA edges
+        backtracked = False
+        backtrack_depth = 0
+        try:
+            while True:
+                if state.is_accept:
+                    return state.predicted_alt
+                token_type = self.stream.la(offset + 1)
+                nxt = state.edges.get(token_type)
+                if nxt is not None:
+                    offset += 1
+                    state = nxt
+                    continue
+                if state.predicate_edges:
+                    alt, backtracked, backtrack_depth = self._evaluate_predicates(
+                        state, decision, frame)
+                    if alt is not None:
+                        return alt
+                token = self.stream.lt(offset + 1)
+                raise NoViableAltError(decision, token,
+                                       self.stream.index + offset,
+                                       rule_name=record.rule_name)
+        finally:
+            depth = max(offset, 1)
+            if self.options.profiler is not None and not self.speculating:
+                self.options.profiler.record(decision, depth, backtracked,
+                                             backtrack_depth)
+            if self.options.trace is not None:
+                self.options.trace.predict(decision, depth, backtracked)
+
+    def _evaluate_predicates(self, state, decision: int, frame: Dict[str, Any]):
+        """Try predicate edges in alternative order; first success wins.
+
+        Each edge carries a hoisted semantic context (AND/OR tree over
+        predicates); synpred leaves evaluate by speculative parsing.
+        """
+        stats = {"backtracked": False, "deepest": 0}
+
+        def eval_leaf(predicate) -> bool:
+            if predicate.is_synpred:
+                stats["backtracked"] = True
+                ok, depth = self._eval_synpred(predicate.synpred)
+                stats["deepest"] = max(stats["deepest"], depth)
+                return ok
+            return self._eval_predicate(predicate, frame)
+
+        for context, alt, _target in state.predicate_edges:
+            if context is None:
+                return alt, stats["backtracked"], stats["deepest"]
+            if context.evaluate(eval_leaf):
+                return alt, stats["backtracked"], stats["deepest"]
+        return None, stats["backtracked"], stats["deepest"]
+
+    def _eval_synpred(self, rule_name: str) -> Tuple[bool, int]:
+        """Speculatively parse the synpred fragment rule.
+
+        Returns (matched, speculation depth in tokens).  The stream is
+        always rewound; actions stay off; failures are memoized.
+        """
+        mark = self.stream.mark()
+        self._speculating += 1
+        prev_deepest = self._deepest_spec_index
+        self._deepest_spec_index = mark
+        try:
+            self._run_rule(rule_name, [])
+            matched = True
+        except RecognitionError as e:
+            matched = False
+            if (self._deepest_spec_error is None
+                    or (e.index or 0) >= (self._deepest_spec_error.index or 0)):
+                self._deepest_spec_error = e
+        finally:
+            depth = max(self._deepest_spec_index, self.stream.index) - mark
+            self._deepest_spec_index = max(prev_deepest, self._deepest_spec_index)
+            self._speculating -= 1
+            # The memo table persists for the whole parse (ANTLR policy):
+            # repeated speculation of the same rule at the same position
+            # across decisions is what makes nested backtracking linear.
+            self.stream.seek(mark)
+            release = getattr(self.stream, "release", None)
+            if release is not None:
+                release(mark)  # lets streaming streams shrink their window
+        return matched, depth
+
+    # -- embedded host-language code ---------------------------------------------------------
+
+    def _action_env(self) -> Dict[str, Any]:
+        env = {
+            "state": self.options.user_state,
+            "parser": self,
+            "stream": self.stream,
+            "LA": self.stream.la,
+            "LT": self.stream.lt,
+            "TT": self._token_type_named,
+        }
+        env.update(self.options.action_globals)
+        return env
+
+    def _token_type_named(self, name: str) -> int:
+        """Resolve a token display name to its type (``TT`` in actions).
+
+        Accepts both bare token names (``ID``) and quoted literals
+        (``"'*'"``); used by generated precedence predicates.
+        """
+        if name.startswith("'"):
+            t = self.vocabulary.type_of_literal(name[1:-1])
+        else:
+            t = self.vocabulary.type_of(name)
+        if t is None:
+            raise ActionError("TT(%r)" % name, KeyError(name))
+        return t
+
+    def _eval_predicate(self, predicate, frame: Dict[str, Any]) -> bool:
+        try:
+            return bool(eval(predicate.code, self._action_env(), frame))
+        except RecognitionError:
+            raise
+        except Exception as e:
+            raise ActionError(predicate.code, e) from e
+
+    def _eval_expr(self, expr: str, frame: Dict[str, Any]) -> Any:
+        try:
+            return eval(expr, self._action_env(), frame)
+        except Exception as e:
+            raise ActionError(expr, e) from e
+
+    def _execute_action(self, action, frame: Dict[str, Any]) -> None:
+        if self.speculating and not action.always_exec:
+            return  # mutators are deactivated during speculation (Section 4.3)
+        try:
+            exec(action.code, self._action_env(), frame)
+        except RecognitionError:
+            raise
+        except Exception as e:
+            raise ActionError(action.code, e) from e

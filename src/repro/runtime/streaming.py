@@ -1,0 +1,150 @@
+"""Streaming (one-pass) token stream.
+
+Section 4 of the paper: earlier LL-regular parsers (Nijholt, Poplawski)
+were two-pass — the first pass read the input right-to-left, so they
+"cannot parse infinite streams such as socket protocols and interactive
+interpreters".  LL(*) is strictly left-to-right and one-pass, so the
+only buffering it ever needs is (a) the lookahead window of the decision
+currently executing and (b) input held while a speculation is
+outstanding.
+
+:class:`StreamingTokenStream` makes that concrete: it pulls tokens from
+any iterator on demand and discards everything behind the parse point
+as soon as no mark protects it.  ``peak_buffered`` exposes the high-water
+mark, which the tests assert stays O(max lookahead) on deterministic
+grammars no matter how long the input runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.runtime.token import EOF, Token, DEFAULT_CHANNEL
+from repro.runtime.token_stream import TokenStream
+
+
+class StreamingTokenStream(TokenStream):
+    """TokenStream over a live token iterator with a sliding window.
+
+    Absolute token indexes are preserved (``index``/``seek`` speak the
+    same coordinates as a buffered stream); only the *storage* slides.
+    ``seek`` can rewind at most to the oldest outstanding mark —
+    rewinding further raises, which is exactly the contract the LL(*)
+    parser honours (it only rewinds to marks it took).
+    """
+
+    def __init__(self, tokens: Iterable[Token], channel: int = DEFAULT_CHANNEL):
+        self._source: Iterator[Token] = iter(tokens)
+        self._channel = channel
+        self._window: List[Token] = []
+        self._window_start = 0  # absolute index of _window[0]
+        self._index = 0
+        self._marks: List[int] = []
+        self._eof_seen: Optional[Token] = None
+        self._next_abs = 0  # absolute index to assign to the next pull
+        self.peak_buffered = 0
+
+    # -- window management ---------------------------------------------------------
+
+    def _pull(self) -> bool:
+        """Materialise one more visible token; False at true EOF."""
+        if self._eof_seen is not None:
+            return False
+        for token in self._source:
+            if token.channel != self._channel and token.type != EOF:
+                continue
+            token.index = self._next_abs
+            self._next_abs += 1
+            self._window.append(token)
+            if token.type == EOF:
+                self._eof_seen = token
+            self.peak_buffered = max(self.peak_buffered, len(self._window))
+            return True
+        eof = Token.eof(index=self._next_abs)
+        self._next_abs += 1
+        self._eof_seen = eof
+        self._window.append(eof)
+        self.peak_buffered = max(self.peak_buffered, len(self._window))
+        return True
+
+    def _ensure(self, absolute: int) -> None:
+        while absolute >= self._window_start + len(self._window):
+            if not self._pull():
+                return
+
+    def _trim(self) -> None:
+        """Drop tokens no mark (and not the cursor) can ever reach again.
+
+        One token before the floor is retained so ``lt(-1)`` keeps
+        working after a trim.
+        """
+        floor = min(self._marks) if self._marks else self._index
+        keep_from = max(self._window_start, floor - 1)
+        drop = keep_from - self._window_start
+        if drop > 0:
+            del self._window[:drop]
+            self._window_start = keep_from
+
+    # -- TokenStream interface ----------------------------------------------------------
+
+    def la(self, offset: int = 1) -> int:
+        return self.lt(offset).type
+
+    def lt(self, offset: int = 1) -> Token:
+        if offset == 0:
+            raise ValueError("lt(0) is undefined")
+        absolute = self._index + (offset - 1 if offset > 0 else offset)
+        if absolute < self._window_start:
+            raise ValueError(
+                "token %d already discarded (window starts at %d); "
+                "only marked positions stay reachable"
+                % (absolute, self._window_start))
+        self._ensure(absolute)
+        i = absolute - self._window_start
+        if i >= len(self._window):
+            i = len(self._window) - 1  # sticky EOF
+        return self._window[i]
+
+    def consume(self) -> Token:
+        token = self.lt(1)
+        if token.type != EOF:
+            self._index += 1
+            self._trim()
+        return token
+
+    def mark(self) -> int:
+        self._marks.append(self._index)
+        return self._index
+
+    def release(self, marker: int) -> None:
+        """Retire a mark taken with :meth:`mark`; frees its window pin."""
+        try:
+            self._marks.remove(marker)
+        except ValueError:
+            pass
+        self._trim()
+
+    def seek(self, index: int) -> None:
+        if index < self._window_start:
+            raise ValueError(
+                "cannot seek to %d: discarded (window starts at %d)"
+                % (index, self._window_start))
+        self._index = index
+
+    @property
+    def index(self) -> int:
+        return self._index
+
+    @property
+    def size(self) -> int:
+        """Tokens materialised so far (a streaming source has no total)."""
+        return self._next_abs
+
+    @property
+    def buffered(self) -> int:
+        return len(self._window)
+
+    def __repr__(self):
+        return ("StreamingTokenStream(at %d, window %d..%d, %d marks)"
+                % (self._index, self._window_start,
+                   self._window_start + len(self._window), len(self._marks)))

@@ -1,0 +1,160 @@
+"""Tokens and token vocabularies.
+
+A :class:`Token` is what the lexer produces and what LL(*) lookahead DFA
+consume.  Token *types* are small integers; a :class:`Vocabulary` maps
+between integer types and human-readable names so that error messages and
+DFA dumps stay legible.
+
+Reserved types follow the ANTLR convention:
+
+* ``EOF`` (-1): end of the token stream; every token stream ends with an
+  explicit EOF token so lookahead can run off the end safely.
+* ``EPSILON_TYPE`` (-2): used internally by the analysis to label
+  epsilon edges; never appears in a token stream.
+* ``INVALID_TYPE`` (0): the "no such token" placeholder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+EOF = -1
+EPSILON_TYPE = -2
+INVALID_TYPE = 0
+
+# Channels, mirroring ANTLR: the parser only sees DEFAULT_CHANNEL tokens;
+# whitespace/comments typically go to HIDDEN_CHANNEL or are skipped.
+DEFAULT_CHANNEL = 0
+HIDDEN_CHANNEL = 1
+
+# Type alias used throughout: token types are plain ints.
+TokenType = int
+
+
+class Token:
+    """A single lexed token.
+
+    Attributes
+    ----------
+    type:
+        Integer token type (see :class:`Vocabulary`).
+    text:
+        The matched source text.
+    index:
+        Position of this token in the *parser-visible* token stream
+        (assigned by the stream, -1 until then).
+    line, column:
+        1-based line and 0-based column of the first character.
+    channel:
+        Which channel the token was emitted on.
+    start, stop:
+        Character offsets into the source (inclusive start, exclusive
+        stop), handy for error underlining.
+    """
+
+    __slots__ = ("type", "text", "index", "line", "column", "channel", "start", "stop")
+
+    def __init__(self, type, text="", line=1, column=0, channel=DEFAULT_CHANNEL,
+                 start=-1, stop=-1, index=-1):
+        self.type = type
+        self.text = text
+        self.line = line
+        self.column = column
+        self.channel = channel
+        self.start = start
+        self.stop = stop
+        self.index = index
+
+    def __repr__(self):
+        return "Token(%r, type=%d, %d:%d)" % (self.text, self.type, self.line, self.column)
+
+    def __eq__(self, other):
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (self.type == other.type and self.text == other.text
+                and self.line == other.line and self.column == other.column)
+
+    def __hash__(self):
+        return hash((self.type, self.text, self.line, self.column))
+
+    @classmethod
+    def eof(cls, line=1, column=0, start=-1, index=-1):
+        """Build the sentinel end-of-file token."""
+        return cls(EOF, "<EOF>", line=line, column=column, start=start, stop=start,
+                   index=index)
+
+
+class Vocabulary:
+    """Bidirectional mapping between token type integers and names.
+
+    Token types are allocated densely starting at 1 (0 is
+    ``INVALID_TYPE``).  Literal tokens (``'int'`` in a grammar) get a
+    display name that is the quoted literal, matching ANTLR output.
+    """
+
+    def __init__(self):
+        self._name_to_type: Dict[str, int] = {}
+        self._type_to_name: Dict[int, str] = {EOF: "EOF", INVALID_TYPE: "<INVALID>"}
+        self._literal_to_type: Dict[str, int] = {}
+        self._next = 1
+
+    # -- allocation ------------------------------------------------------
+
+    def define(self, name: str) -> int:
+        """Allocate (or return the existing) type for a named token."""
+        if name == "EOF":
+            return EOF
+        existing = self._name_to_type.get(name)
+        if existing is not None:
+            return existing
+        t = self._next
+        self._next += 1
+        self._name_to_type[name] = t
+        self._type_to_name[t] = name
+        return t
+
+    def define_literal(self, literal: str) -> int:
+        """Allocate (or return) the type for a quoted literal like ``'int'``."""
+        existing = self._literal_to_type.get(literal)
+        if existing is not None:
+            return existing
+        t = self._next
+        self._next += 1
+        self._literal_to_type[literal] = t
+        self._type_to_name[t] = "'%s'" % literal
+        return t
+
+    # -- lookup ----------------------------------------------------------
+
+    def type_of(self, name: str) -> Optional[int]:
+        """Type for a token name, or ``None`` if undefined."""
+        if name == "EOF":
+            return EOF
+        return self._name_to_type.get(name)
+
+    def type_of_literal(self, literal: str) -> Optional[int]:
+        return self._literal_to_type.get(literal)
+
+    def name_of(self, type_: int) -> str:
+        """Display name for a type; falls back to ``<t>`` for unknowns."""
+        return self._type_to_name.get(type_, "<%d>" % type_)
+
+    def names(self) -> Iterable[str]:
+        return self._name_to_type.keys()
+
+    def literals(self) -> Dict[str, int]:
+        """The literal->type table (used by lexers to prioritise keywords)."""
+        return dict(self._literal_to_type)
+
+    @property
+    def max_type(self) -> int:
+        return self._next - 1
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_to_type
+
+    def __len__(self) -> int:
+        return self._next - 1
+
+    def __repr__(self):
+        return "Vocabulary(%d types)" % len(self)

@@ -1,0 +1,183 @@
+"""Rewindable token streams.
+
+LL(*) prediction scans arbitrarily far ahead and backtracking rewinds to
+the decision point, so the token stream must support ``mark``/``seek``
+cheaply.  We buffer the whole token sequence (as ANTLR's
+CommonTokenStream effectively does for backtracking grammars) and expose
+O(1) lookahead and rewind.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.runtime.token import EOF, Token, DEFAULT_CHANNEL
+
+
+class TokenStream:
+    """Abstract interface the parser and lookahead DFA run against."""
+
+    def la(self, offset: int = 1) -> int:
+        """Token *type* ``offset`` tokens ahead (1 == current)."""
+        raise NotImplementedError
+
+    def lt(self, offset: int = 1) -> Token:
+        """Token object ``offset`` tokens ahead (1 == current)."""
+        raise NotImplementedError
+
+    def consume(self) -> Token:
+        raise NotImplementedError
+
+    def mark(self) -> int:
+        """Checkpoint the current position; pair with :meth:`seek`."""
+        raise NotImplementedError
+
+    def seek(self, index: int) -> None:
+        raise NotImplementedError
+
+    @property
+    def index(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+
+class ListTokenStream(TokenStream):
+    """Token stream over a fully materialised token list.
+
+    Only ``DEFAULT_CHANNEL`` tokens are visible; off-channel tokens
+    (whitespace routed to hidden, per lexer commands) are filtered out up
+    front but kept accessible via :meth:`hidden_tokens`.  The visible
+    sequence is always terminated by an EOF token (one is synthesised if
+    the input lacks it).
+    """
+
+    def __init__(self, tokens: Iterable[Token], channel: int = DEFAULT_CHANNEL):
+        all_tokens = list(tokens)
+        self._hidden: List[Token] = [t for t in all_tokens if t.channel != channel]
+        visible = [t for t in all_tokens if t.channel == channel]
+        if not visible or visible[-1].type != EOF:
+            last = visible[-1] if visible else None
+            visible.append(Token.eof(
+                line=last.line if last else 1,
+                column=(last.column + len(last.text)) if last else 0,
+                start=(last.stop if last else 0),
+            ))
+        for i, t in enumerate(visible):
+            t.index = i
+        self._tokens = visible
+        self._index = 0
+
+    @classmethod
+    def from_lexer(cls, lexer) -> "ListTokenStream":
+        """Drain a lexer (anything iterable over Tokens) into a stream."""
+        return cls(iter(lexer))
+
+    # -- TokenStream interface -------------------------------------------
+
+    def la(self, offset: int = 1) -> int:
+        return self.lt(offset).type
+
+    def lt(self, offset: int = 1) -> Token:
+        if offset == 0:
+            raise ValueError("lt(0) is undefined; use lt(-1) for previous token")
+        if offset < 0:
+            i = self._index + offset
+        else:
+            i = self._index + offset - 1
+        if i < 0:
+            i = 0
+        if i >= len(self._tokens):
+            i = len(self._tokens) - 1  # sticky EOF
+        return self._tokens[i]
+
+    def consume(self) -> Token:
+        t = self._tokens[self._index]
+        if t.type != EOF:
+            self._index += 1
+        return t
+
+    def mark(self) -> int:
+        return self._index
+
+    def seek(self, index: int) -> None:
+        self._index = max(0, min(index, len(self._tokens) - 1))
+
+    @property
+    def index(self) -> int:
+        return self._index
+
+    @property
+    def size(self) -> int:
+        return len(self._tokens)
+
+    # -- extras ------------------------------------------------------------
+
+    def get(self, i: int) -> Token:
+        return self._tokens[i]
+
+    def tokens(self) -> List[Token]:
+        return list(self._tokens)
+
+    def hidden_tokens(self) -> List[Token]:
+        return list(self._hidden)
+
+    def text_between(self, start: int, stop: int) -> str:
+        """Source-order text of visible tokens in stream-index [start, stop)."""
+        return " ".join(t.text for t in self._tokens[start:stop] if t.type != EOF)
+
+    def __len__(self):
+        return len(self._tokens)
+
+    def __repr__(self):
+        return "ListTokenStream(%d tokens, at %d)" % (len(self._tokens), self._index)
+
+
+class LookaheadWatcher(TokenStream):
+    """Decorator stream that records the deepest lookahead offset touched.
+
+    The profiler wraps the real stream with one of these around each
+    prediction so it can report per-decision-event lookahead depth
+    (Table 3's ``avg k`` / ``max k`` columns) without instrumenting the
+    DFA simulator itself.
+    """
+
+    def __init__(self, inner: TokenStream):
+        self.inner = inner
+        self.origin = inner.index
+        self.max_offset = 0
+
+    def _note(self, offset: int) -> None:
+        # Depth is measured from the decision origin, in tokens.
+        depth = self.inner.index - self.origin + offset
+        if depth > self.max_offset:
+            self.max_offset = depth
+
+    def la(self, offset: int = 1) -> int:
+        self._note(offset)
+        return self.inner.la(offset)
+
+    def lt(self, offset: int = 1) -> Token:
+        if offset > 0:
+            self._note(offset)
+        return self.inner.lt(offset)
+
+    def consume(self) -> Token:
+        self._note(1)
+        return self.inner.consume()
+
+    def mark(self) -> int:
+        return self.inner.mark()
+
+    def seek(self, index: int) -> None:
+        self.inner.seek(index)
+
+    @property
+    def index(self) -> int:
+        return self.inner.index
+
+    @property
+    def size(self) -> int:
+        return self.inner.size

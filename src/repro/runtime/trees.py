@@ -1,0 +1,114 @@
+"""Parse trees and visitors.
+
+The interpreter builds a concrete parse tree: :class:`RuleNode` per rule
+invocation, :class:`TokenNode` per matched token.  Embedded actions can
+attach arbitrary values to nodes (``node.value``), which is how the
+example interpreters (calculator, JSON) compute results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+
+class ParseTree:
+    """Common tree interface."""
+
+    def to_sexpr(self) -> str:
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["ParseTree"]:
+        yield self
+
+    @property
+    def text(self) -> str:
+        """Concatenated source text of all tokens under this node."""
+        return " ".join(t.token.text for t in self.walk() if isinstance(t, TokenNode))
+
+
+class TokenNode(ParseTree):
+    """Leaf wrapping one matched token."""
+
+    __slots__ = ("token",)
+
+    def __init__(self, token):
+        self.token = token
+
+    def to_sexpr(self) -> str:
+        return self.token.text
+
+    def __repr__(self):
+        return "TokenNode(%r)" % self.token.text
+
+
+class RuleNode(ParseTree):
+    """Interior node for one rule invocation.
+
+    ``value`` is a free slot for embedded actions (``ctx.value = ...``).
+    """
+
+    __slots__ = ("rule_name", "children", "value", "alt")
+
+    def __init__(self, rule_name: str, alt: Optional[int] = None):
+        self.rule_name = rule_name
+        self.children: List[ParseTree] = []
+        self.value: Any = None
+        self.alt = alt  # which alternative was predicted (1-based)
+
+    def add(self, child: ParseTree) -> None:
+        self.children.append(child)
+
+    def walk(self) -> Iterator[ParseTree]:
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def child_rules(self, name: Optional[str] = None) -> List["RuleNode"]:
+        out = [c for c in self.children if isinstance(c, RuleNode)]
+        if name is not None:
+            out = [c for c in out if c.rule_name == name]
+        return out
+
+    def child_tokens(self) -> List[TokenNode]:
+        return [c for c in self.children if isinstance(c, TokenNode)]
+
+    def first_rule(self, name: str) -> Optional["RuleNode"]:
+        for node in self.walk():
+            if isinstance(node, RuleNode) and node.rule_name == name:
+                return node
+        return None
+
+    def to_sexpr(self) -> str:
+        if not self.children:
+            return "(%s)" % self.rule_name
+        inner = " ".join(c.to_sexpr() for c in self.children)
+        return "(%s %s)" % (self.rule_name, inner)
+
+    def __repr__(self):
+        return "RuleNode(%s, %d children)" % (self.rule_name, len(self.children))
+
+
+class TreeVisitor:
+    """Dispatch on rule name: ``visit_<rule>`` methods, generic fallback.
+
+    >>> class Eval(TreeVisitor):
+    ...     def visit_expr(self, node):
+    ...         ...
+    """
+
+    def visit(self, tree: ParseTree):
+        if isinstance(tree, TokenNode):
+            return self.visit_token(tree)
+        method = getattr(self, "visit_" + tree.rule_name, None)
+        if method is not None:
+            return method(tree)
+        return self.generic_visit(tree)
+
+    def visit_token(self, node: TokenNode):
+        return node.token.text
+
+    def generic_visit(self, node: RuleNode):
+        result = None
+        for child in node.children:
+            result = self.visit(child)
+        return result

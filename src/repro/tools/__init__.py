@@ -1,0 +1,1 @@
+"""Command-line tools (``llstar`` console script / ``python -m repro``)."""

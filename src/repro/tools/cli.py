@@ -1,0 +1,252 @@
+"""``llstar`` — analyze grammars, parse inputs, profile decisions.
+
+Subcommands::
+
+    llstar analyze  grammar.g [--max-k N] [--dot DIR]
+    llstar parse    grammar.g input.txt [--rule R] [--tree] [--trace]
+    llstar profile  grammar.g input.txt [--rule R]
+    llstar codegen  grammar.g [-o parser.py] [--class-name NAME]
+    llstar tokens   grammar.g input.txt
+
+``analyze`` prints a Table-1-style decision summary; ``profile`` prints
+the Table-3/4 runtime statistics for one input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.construction import AnalysisOptions
+from repro.analysis.decisions import BACKTRACK, CYCLIC, FIXED
+from repro.api import compile_grammar
+from repro.atn.dot import dfa_to_dot
+from repro.codegen import generate_python
+from repro.exceptions import LLStarError
+from repro.runtime.debug import TraceListener
+from repro.runtime.parser import ParserOptions
+from repro.runtime.profiler import DecisionProfiler
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="llstar",
+        description="LL(*) grammar analysis and parsing "
+                    "(reproduction of Parr & Fisher, PLDI 2011)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("grammar", help="path to a .g grammar file")
+        p.add_argument("--max-recursion", type=int, default=4, metavar="M",
+                       help="closure recursion bound m (default 4)")
+
+    p = sub.add_parser("analyze", help="static LL(*) analysis summary")
+    add_common(p)
+    p.add_argument("--dot", metavar="DIR",
+                   help="write one DFA .dot file per decision into DIR")
+
+    p = sub.add_parser("parse", help="parse an input file")
+    add_common(p)
+    p.add_argument("input", help="path to input text")
+    p.add_argument("--rule", help="start rule (default: first parser rule)")
+    p.add_argument("--tree", action="store_true", help="print the parse tree")
+    p.add_argument("--trace", action="store_true", help="print a rule trace")
+
+    p = sub.add_parser("profile", help="parse and report decision statistics")
+    add_common(p)
+    p.add_argument("input")
+    p.add_argument("--rule")
+    p.add_argument("--by-decision", action="store_true",
+                   help="per-decision event/lookahead breakdown")
+
+    p = sub.add_parser("sets", help="print FIRST/FOLLOW sets")
+    add_common(p)
+    p.add_argument("--rule", help="limit to one rule")
+
+    p = sub.add_parser("codegen", help="generate a Python parser module")
+    add_common(p)
+    p.add_argument("-o", "--output", help="output file (default stdout)")
+    p.add_argument("--class-name", help="generated class name")
+
+    p = sub.add_parser("tokens", help="dump the token stream for an input")
+    add_common(p)
+    p.add_argument("input")
+
+    p = sub.add_parser("explain",
+                       help="narrate a decision's lookahead-DFA walk on input")
+    add_common(p)
+    p.add_argument("input", help="input text file positioned at the decision")
+    p.add_argument("--decision", type=int,
+                   help="decision number (default: all decisions of --rule)")
+    p.add_argument("--rule", help="explain every decision of this rule")
+
+    p = sub.add_parser("report",
+                       help="regenerate the paper's Tables 1-4 on the "
+                            "built-in benchmark suite")
+    p.add_argument("--units", type=int, default=30,
+                   help="workload size per grammar (default 30)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--grammars", nargs="*", metavar="NAME",
+                   help="subset of suite grammars (default: all six)")
+    return parser
+
+
+def _load_host(args):
+    with open(args.grammar) as f:
+        text = f.read()
+    options = AnalysisOptions(max_recursion_depth=args.max_recursion)
+    return compile_grammar(text, options=options)
+
+
+def _read_input(path: str) -> str:
+    with open(path) as f:
+        return f.read()
+
+
+def cmd_analyze(args) -> int:
+    host = _load_host(args)
+    result = host.analysis
+    print(result.summary())
+    print()
+    print("%-6s %-20s %-10s %-12s %s" % ("dec", "rule", "kind", "category", "k"))
+    for r in result.records:
+        print("%-6d %-20s %-10s %-12s %s"
+              % (r.decision, r.rule_name, r.kind, r.category,
+                 r.fixed_k if r.fixed_k is not None else "-"))
+    if args.dot:
+        os.makedirs(args.dot, exist_ok=True)
+        for r in result.records:
+            path = os.path.join(args.dot, "decision_%d.dot" % r.decision)
+            with open(path, "w") as f:
+                f.write(dfa_to_dot(r.dfa, host.grammar.vocabulary))
+        print("\nwrote %d .dot files to %s" % (len(result.records), args.dot))
+    return 0
+
+
+def cmd_parse(args) -> int:
+    host = _load_host(args)
+    trace = TraceListener(echo=False) if args.trace else None
+    options = ParserOptions(trace=trace)
+    tree = host.parse(_read_input(args.input), rule_name=args.rule, options=options)
+    if args.trace and trace is not None:
+        print(trace.transcript())
+    if args.tree and tree is not None:
+        print(tree.to_sexpr())
+    else:
+        print("ok")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    host = _load_host(args)
+    profiler = DecisionProfiler()
+    host.parse(_read_input(args.input), rule_name=args.rule,
+               options=ParserOptions(profiler=profiler))
+    report = profiler.report(host.analysis)
+    print(report.summary())
+    print()
+    fixed = host.analysis.count(FIXED)
+    cyclic = host.analysis.count(CYCLIC)
+    back = host.analysis.count(BACKTRACK)
+    print("static decisions: %d fixed, %d cyclic, %d backtrack"
+          % (fixed, cyclic, back))
+    if args.by_decision:
+        print()
+        print("%-6s %-20s %8s %8s %8s %10s" % (
+            "dec", "rule", "events", "avg k", "max k", "backtracks"))
+        for decision in sorted(profiler.stats):
+            stats = profiler.stats[decision]
+            record = host.analysis.records[decision]
+            print("%-6d %-20s %8d %8.2f %8d %10d" % (
+                decision, record.rule_name, stats.events, stats.avg_depth,
+                max(stats.max_depth, stats.max_backtrack_depth),
+                stats.backtrack_events))
+    return 0
+
+
+def cmd_sets(args) -> int:
+    from repro.analysis.sets import GrammarSets
+
+    host = _load_host(args)
+    sets = GrammarSets(host.grammar)
+    rules = ([args.rule] if args.rule
+             else [r.name for r in host.grammar.parser_rules
+                   if not r.name.startswith("synpred")])
+    for name in rules:
+        print(sets.describe(name))
+        print()
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    host = _load_host(args)
+    source = generate_python(host.analysis, class_name=args.class_name)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(source)
+        print("wrote %s (%d lines)" % (args.output, len(source.splitlines())))
+    else:
+        sys.stdout.write(source)
+    return 0
+
+
+def cmd_tokens(args) -> int:
+    host = _load_host(args)
+    stream = host.tokenize(_read_input(args.input))
+    for token in stream.tokens():
+        print("%-4d %-16s %r" % (token.index,
+                                 host.grammar.vocabulary.name_of(token.type),
+                                 token.text))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.tools.report import build_report
+
+    print(build_report(units=args.units, seed=args.seed,
+                       names=args.grammars or None))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.tools.explain import explain_all_matching, explain_prediction
+
+    host = _load_host(args)
+    stream = host.tokenize(_read_input(args.input))
+    if args.decision is not None:
+        print(explain_prediction(host.analysis, args.decision, stream).render())
+        return 0
+    traces = explain_all_matching(host.analysis, stream, rule_name=args.rule)
+    for trace in traces:
+        print(trace.render())
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "report": cmd_report,
+    "explain": cmd_explain,
+    "analyze": cmd_analyze,
+    "parse": cmd_parse,
+    "profile": cmd_profile,
+    "sets": cmd_sets,
+    "codegen": cmd_codegen,
+    "tokens": cmd_tokens,
+}
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except LLStarError as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 1
+    except OSError as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

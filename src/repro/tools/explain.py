@@ -1,0 +1,102 @@
+"""Decision explanation: narrate a lookahead-DFA walk step by step.
+
+The paper's case for top-down parsing is that programmers can see what
+the parser will do (Section 1: one-to-one grammar/parser mapping,
+source-level debugging).  The lookahead DFA is the one opaque artifact,
+so ``llstar explain`` makes it transparent: given a decision and an
+input, print every edge the DFA takes, where it accepts, and which
+predicate or synpred edges it would consult.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.runtime.token import EOF
+from repro.runtime.token_stream import TokenStream
+
+
+class PredictionTrace:
+    """Step-by-step record of one DFA walk."""
+
+    def __init__(self, decision: int, rule_name: str, category: str):
+        self.decision = decision
+        self.rule_name = rule_name
+        self.category = category
+        self.steps: List[str] = []
+        self.predicted_alt: Optional[int] = None
+        self.lookahead_used = 0
+        self.stopped_at_predicates = False
+
+    def render(self) -> str:
+        lines = ["decision %d (rule %s, %s)" % (self.decision, self.rule_name,
+                                                self.category)]
+        lines.extend("  " + s for s in self.steps)
+        if self.predicted_alt is not None:
+            lines.append("=> predict alternative %d after %d token(s) of lookahead"
+                         % (self.predicted_alt, self.lookahead_used))
+        elif self.stopped_at_predicates:
+            lines.append("=> resolution requires runtime predicate/synpred "
+                         "evaluation (listed above)")
+        else:
+            lines.append("=> no viable alternative: the DFA has no edge for "
+                         "the next token")
+        return "\n".join(lines)
+
+
+def explain_prediction(analysis, decision: int, stream: TokenStream) -> PredictionTrace:
+    """Walk the decision's DFA against ``stream`` without consuming it.
+
+    Predicate edges are *described*, not evaluated (evaluation needs a
+    live parser frame); the trace shows exactly what the parser would
+    test and in which order.
+    """
+    record = analysis.records[decision]
+    vocabulary = analysis.grammar.vocabulary
+    trace = PredictionTrace(decision, record.rule_name, record.category)
+
+    state = record.dfa.start
+    offset = 0
+    while True:
+        if state.is_accept:
+            trace.predicted_alt = state.predicted_alt
+            trace.lookahead_used = offset
+            trace.steps.append("D%d is an accept state for alternative %d"
+                               % (state.id, state.predicted_alt))
+            return trace
+        token = stream.lt(offset + 1)
+        token_name = vocabulary.name_of(token.type)
+        nxt = state.edges.get(token.type)
+        if nxt is not None:
+            trace.steps.append("D%d --%s (%r)--> D%d"
+                               % (state.id, token_name, token.text, nxt.id))
+            state = nxt
+            offset += 1
+            continue
+        if state.predicate_edges:
+            trace.stopped_at_predicates = True
+            trace.lookahead_used = offset
+            for ctx, alt, _target in state.predicate_edges:
+                if ctx is None:
+                    trace.steps.append(
+                        "D%d: default edge -> alternative %d" % (state.id, alt))
+                else:
+                    trace.steps.append(
+                        "D%d: if %r -> alternative %d" % (state.id, ctx, alt))
+            return trace
+        trace.lookahead_used = offset
+        trace.steps.append("D%d has no edge on %s (%r)"
+                           % (state.id, token_name, token.text))
+        return trace
+
+
+def explain_all_matching(analysis, stream: TokenStream,
+                         rule_name: Optional[str] = None) -> List[PredictionTrace]:
+    """Explain every decision of ``rule_name`` (or all rules) against the
+    stream's current position."""
+    traces = []
+    for record in analysis.records:
+        if rule_name is not None and record.rule_name != rule_name:
+            continue
+        traces.append(explain_prediction(analysis, record.decision, stream))
+    return traces

@@ -1,0 +1,6 @@
+"""Small shared utilities (interval sets, ordered sets, DOT escaping)."""
+
+from repro.util.intervals import IntervalSet
+from repro.util.orderedset import OrderedSet
+
+__all__ = ["IntervalSet", "OrderedSet"]

@@ -1,0 +1,60 @@
+"""Insertion-ordered set.
+
+Python dicts preserve insertion order, so an ordered set is a thin
+wrapper; the analysis uses it for deterministic iteration over ATN
+configuration sets (determinism matters: DFA state numbering and
+therefore all goldens depend on it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TypeVar, Generic
+
+T = TypeVar("T")
+
+
+class OrderedSet(Generic[T]):
+    __slots__ = ("_d",)
+
+    def __init__(self, items: Iterable[T] = ()):
+        self._d = dict.fromkeys(items)
+
+    def add(self, item: T) -> bool:
+        """Add; return True if the item was new."""
+        if item in self._d:
+            return False
+        self._d[item] = None
+        return True
+
+    def update(self, items: Iterable[T]) -> None:
+        for it in items:
+            self._d.setdefault(it)
+
+    def discard(self, item: T) -> None:
+        self._d.pop(item, None)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._d
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._d)
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __bool__(self) -> bool:
+        return bool(self._d)
+
+    def __eq__(self, other):
+        if isinstance(other, OrderedSet):
+            return set(self._d) == set(other._d)
+        if isinstance(other, (set, frozenset)):
+            return set(self._d) == other
+        return NotImplemented
+
+    def __hash__(self):
+        # Order-insensitive hash so equal sets hash equal.
+        return hash(frozenset(self._d))
+
+    def __repr__(self):
+        return "OrderedSet(%r)" % list(self._d)

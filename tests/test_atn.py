@@ -1,0 +1,167 @@
+"""ATN construction: Figure 7 shapes, decisions, call sites."""
+
+import pytest
+
+from repro.atn.builder import build_atn
+from repro.atn.states import DecisionKind, RuleStartState, RuleStopState
+from repro.atn.transitions import (
+    ActionTransition,
+    AtomTransition,
+    EpsilonTransition,
+    PredicateTransition,
+    RuleTransition,
+    SetTransition,
+)
+from repro.exceptions import GrammarError
+from repro.grammar.meta_parser import parse_grammar
+from repro.grammar.transforms import erase_syntactic_predicates
+
+
+def atn_for(text):
+    g = parse_grammar(text)
+    erase_syntactic_predicates(g)
+    return g, build_atn(g)
+
+
+def walk_tokens(atn, grammar, rule):
+    """Token types reachable on a straight-line single-alt rule."""
+    state = atn.rule_start[rule]
+    out = []
+    stop = atn.rule_stop[rule]
+    while state is not stop:
+        t = state.transitions[0]
+        if isinstance(t, AtomTransition):
+            out.append(t.token_type)
+            state = t.target
+        elif isinstance(t, RuleTransition):
+            state = t.follow_state
+        else:
+            state = t.target
+    return out
+
+
+class TestShapes:
+    def test_rule_start_stop_created(self):
+        g, atn = atn_for("s : A ; A:'a';")
+        assert isinstance(atn.rule_start["s"], RuleStartState)
+        assert isinstance(atn.rule_stop["s"], RuleStopState)
+        assert atn.rule_start["s"].stop_state is atn.rule_stop["s"]
+
+    def test_sequence_tokens_in_order(self):
+        g, atn = atn_for("s : A B C ; A:'a'; B:'b'; C:'c';")
+        types = walk_tokens(atn, g, "s")
+        assert types == [g.vocabulary.type_of("A"), g.vocabulary.type_of("B"),
+                         g.vocabulary.type_of("C")]
+
+    def test_multi_alt_rule_is_decision(self):
+        g, atn = atn_for("s : A | B ; A:'a'; B:'b';")
+        start = atn.rule_start["s"]
+        assert start.is_decision
+        assert len(start.transitions) == 2
+        assert atn.decisions[start.decision].kind == DecisionKind.RULE
+
+    def test_single_alt_rule_not_decision(self):
+        g, atn = atn_for("s : A ; A:'a';")
+        assert not atn.rule_start["s"].is_decision
+
+    def test_decision_numbering_order(self):
+        g, atn = atn_for("s : (A|B) C* D+ E? ; A:'a';B:'b';C:'c';D:'d';E:'e';")
+        kinds = [d.kind for d in atn.decisions]
+        assert kinds == [DecisionKind.BLOCK, DecisionKind.STAR,
+                         DecisionKind.PLUS, DecisionKind.OPTIONAL]
+
+    def test_star_loop_cycles_back(self):
+        g, atn = atn_for("s : A* ; A:'a';")
+        decision = atn.decisions[0].state
+        # iterate branch: body eventually epsilons back to the decision
+        body = decision.transitions[0].target
+        seen = set()
+        cur = body
+        for _ in range(10):
+            if cur is decision:
+                break
+            t = cur.transitions[0]
+            cur = t.target
+        assert cur is decision
+
+    def test_plus_decision_after_body(self):
+        g, atn = atn_for("s : A+ ; A:'a';")
+        info = atn.decisions[0]
+        assert info.kind == DecisionKind.PLUS
+        # alt1 iterates (back to body), alt2 exits
+        assert len(info.state.transitions) == 2
+
+    def test_rule_transition_and_call_sites(self):
+        g, atn = atn_for("s : x x ; x : A ; A:'a';")
+        sites = atn.call_sites["x"]
+        assert len(sites) == 2
+        for t in sites:
+            assert isinstance(t, RuleTransition)
+            assert t.target is atn.rule_start["x"]
+
+    def test_predicate_transition(self):
+        g, atn = atn_for("s : {flag}? A ; A:'a';")
+        start = atn.rule_start["s"]
+        left = start.transitions[0].target
+        t = left.transitions[0]
+        assert isinstance(t, PredicateTransition)
+        assert t.predicate.code == "flag"
+
+    def test_action_transition(self):
+        g, atn = atn_for("s : A {n += 1} ; A:'a';")
+        # find an ActionTransition somewhere in rule s
+        found = any(isinstance(t, ActionTransition)
+                    for st in atn.states if st.rule_name == "s"
+                    for t in st.transitions)
+        assert found
+
+    def test_synpred_becomes_predicate_edge(self):
+        g, atn = atn_for("s : (A)=> A | B ; A:'a'; B:'b';")
+        start = atn.rule_start["s"]
+        left = start.transitions[0].target
+        t = left.transitions[0]
+        assert isinstance(t, PredicateTransition)
+        assert t.predicate.is_synpred
+
+    def test_unerased_synpred_rejected(self):
+        g = parse_grammar("s : (A)=> A | B ; A:'a'; B:'b';")
+        with pytest.raises(GrammarError):
+            build_atn(g)
+
+    def test_wildcard_is_set_transition(self):
+        g, atn = atn_for("s : . ; A:'a'; B:'b';")
+        start = atn.rule_start["s"]
+        left = start.transitions[0].target
+        t = left.transitions[0]
+        assert isinstance(t, SetTransition)
+        assert g.vocabulary.type_of("A") in t.token_set
+
+    def test_not_token_excludes(self):
+        g, atn = atn_for("s : ~A ; A:'a'; B:'b'; C:'c';")
+        left = atn.rule_start["s"].transitions[0].target
+        t = left.transitions[0]
+        assert isinstance(t, SetTransition)
+        assert g.vocabulary.type_of("A") not in t.token_set
+        assert g.vocabulary.type_of("B") in t.token_set
+
+    def test_eof_state_self_loops(self):
+        g, atn = atn_for("s : A ; A:'a';")
+        t = atn.eof_state.transitions[0]
+        assert isinstance(t, AtomTransition)
+        assert t.target is atn.eof_state
+
+    def test_decision_mapping_for_codegen(self):
+        g, atn = atn_for("s : A | B ; t : (C|D) E* ; A:'a';B:'b';C:'c';D:'d';E:'e';")
+        assert atn.decision_for_rule["s"] == 0
+        # block + star decisions of rule t mapped by element identity
+        assert len(atn.decision_for_element) == 2
+
+    def test_rule_args_preserved(self):
+        g, atn = atn_for("s : x[1+2] ; x[p] : A ; A:'a';")
+        t = atn.call_sites["x"][0]
+        assert t.args == ["1+2"]
+
+    def test_no_parser_rules_rejected(self):
+        g = parse_grammar("A : 'a' ;")
+        with pytest.raises(GrammarError):
+            build_atn(g)

@@ -1,0 +1,131 @@
+"""End-to-end CLI tests (``llstar`` console entry point)."""
+
+import os
+
+import pytest
+
+from repro.tools.cli import main
+
+GRAMMAR = r"""
+grammar Demo;
+s : ID '=' INT ';' | 'print' ID ';' ;
+ID : [a-z]+ ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;
+"""
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    grammar = tmp_path / "demo.g"
+    grammar.write_text(GRAMMAR)
+    source = tmp_path / "input.txt"
+    source.write_text("x = 42 ;")
+    return str(grammar), str(source), tmp_path
+
+
+class TestAnalyze:
+    def test_summary_printed(self, paths, capsys):
+        grammar, _source, _tmp = paths
+        assert main(["analyze", grammar]) == 0
+        out = capsys.readouterr().out
+        assert "decisions" in out
+        assert "fixed" in out
+
+    def test_dot_export(self, paths, capsys):
+        grammar, _source, tmp = paths
+        dot_dir = os.path.join(str(tmp), "dots")
+        assert main(["analyze", grammar, "--dot", dot_dir]) == 0
+        files = os.listdir(dot_dir)
+        assert files and all(f.endswith(".dot") for f in files)
+
+    def test_max_recursion_flag(self, paths):
+        grammar, _source, _tmp = paths
+        assert main(["analyze", grammar, "--max-recursion", "2"]) == 0
+
+
+class TestParse:
+    def test_ok(self, paths, capsys):
+        grammar, source, _tmp = paths
+        assert main(["parse", grammar, source]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_tree(self, paths, capsys):
+        grammar, source, _tmp = paths
+        assert main(["parse", grammar, source, "--tree"]) == 0
+        assert "(s x = 42 ;)" in capsys.readouterr().out
+
+    def test_trace(self, paths, capsys):
+        grammar, source, _tmp = paths
+        assert main(["parse", grammar, source, "--trace"]) == 0
+        assert "enter s" in capsys.readouterr().out
+
+    def test_syntax_error_reported(self, paths, tmp_path, capsys):
+        grammar, _source, _tmp = paths
+        bad = tmp_path / "bad.txt"
+        bad.write_text("x = = ;")
+        assert main(["parse", grammar, str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_reported(self, paths, capsys):
+        grammar, _source, _tmp = paths
+        assert main(["parse", grammar, "/nonexistent/input"]) == 1
+
+
+class TestProfile:
+    def test_profile_output(self, paths, capsys):
+        grammar, source, _tmp = paths
+        assert main(["profile", grammar, source]) == 0
+        out = capsys.readouterr().out
+        assert "avg k" in out
+        assert "static decisions" in out
+
+    def test_profile_by_decision(self, paths, capsys):
+        grammar, source, _tmp = paths
+        assert main(["profile", grammar, source, "--by-decision"]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out and "rule" in out
+
+
+class TestSets:
+    def test_all_rules(self, paths, capsys):
+        grammar, _source, _tmp = paths
+        assert main(["sets", grammar]) == 0
+        out = capsys.readouterr().out
+        assert "FIRST(s)" in out and "FOLLOW(s)" in out
+
+    def test_single_rule(self, paths, capsys):
+        grammar, _source, _tmp = paths
+        assert main(["sets", grammar, "--rule", "s"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("FIRST(") == 1
+
+
+class TestCodegen:
+    def test_stdout(self, paths, capsys):
+        grammar, _source, _tmp = paths
+        assert main(["codegen", grammar]) == 0
+        out = capsys.readouterr().out
+        assert "class DemoParser(GeneratedParser)" in out
+
+    def test_to_file_and_runnable(self, paths, tmp_path, capsys):
+        grammar, _source, _tmp = paths
+        out_py = tmp_path / "demo_parser.py"
+        assert main(["codegen", grammar, "-o", str(out_py)]) == 0
+        namespace = {}
+        exec(compile(out_py.read_text(), str(out_py), "exec"), namespace)
+        assert "DemoParser" in namespace
+
+
+class TestTokens:
+    def test_token_dump(self, paths, capsys):
+        grammar, source, _tmp = paths
+        assert main(["tokens", grammar, source]) == 0
+        out = capsys.readouterr().out
+        assert "ID" in out and "INT" in out and "EOF" in out
+
+    def test_bad_grammar_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.g"
+        bad.write_text("s : ;;;")
+        assert main(["analyze", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err

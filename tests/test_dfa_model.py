@@ -1,0 +1,91 @@
+"""Lookahead-DFA shape queries on hand-built automata."""
+
+from repro.analysis.dfa_model import DFA, DFAState
+from repro.analysis.semctx import PredLeaf
+from repro.atn.transitions import Predicate
+
+
+def build(edges, accepts, start=0, n_alts=2):
+    """edges: {(src, tok): dst}; accepts: {state: alt}."""
+    dfa = DFA(0, "r", n_alts)
+    n = 1 + max([s for s, _ in edges] + list(edges.values()) + list(accepts), default=0)
+    for _ in range(n):
+        dfa.new_state()
+    for (src, tok), dst in edges.items():
+        dfa.states[src].edges[tok] = dfa.states[dst]
+    for state, alt in accepts.items():
+        dfa.states[state].is_accept = True
+        dfa.states[state].predicted_alt = alt
+    dfa.start = dfa.states[start]
+    return dfa
+
+
+class TestShapeQueries:
+    def test_acyclic_fixed_k_linear_chain(self):
+        dfa = build({(0, 1): 1, (1, 2): 2}, {2: 1})
+        assert not dfa.is_cyclic()
+        assert dfa.fixed_k() == 2
+
+    def test_fixed_k_takes_longest_path(self):
+        # diamond: short path accepts at depth 1, long at depth 3
+        dfa = build({(0, 1): 1, (0, 2): 2, (2, 3): 3, (3, 4): 4},
+                    {1: 1, 4: 2})
+        assert dfa.fixed_k() == 3
+
+    def test_self_loop_is_cyclic(self):
+        dfa = build({(0, 1): 0, (0, 2): 1}, {1: 1})
+        assert dfa.is_cyclic()
+        assert dfa.fixed_k() is None
+
+    def test_long_cycle_detected(self):
+        dfa = build({(0, 1): 1, (1, 1): 2, (2, 1): 0, (0, 9): 3}, {3: 1})
+        assert dfa.is_cyclic()
+
+    def test_min_k_is_one_even_for_pred_only(self):
+        dfa = build({}, {})
+        d0 = dfa.new_state()
+        dfa.start = d0
+        assert dfa.fixed_k() == 1
+
+    def test_accept_states_grouping(self):
+        dfa = build({(0, 1): 1, (0, 2): 2, (0, 3): 3}, {1: 1, 2: 1, 3: 2})
+        groups = dfa.accept_states()
+        assert len(groups[1]) == 2
+        assert len(groups[2]) == 1
+
+    def test_unreachable_alts(self):
+        dfa = build({(0, 1): 1}, {1: 1}, n_alts=3)
+        assert dfa.unreachable_alts() == {2, 3}
+
+    def test_pred_edges_count_for_reachability(self):
+        dfa = build({(0, 1): 1}, {1: 1}, n_alts=2)
+        acc = dfa.new_state()
+        acc.is_accept = True
+        acc.predicted_alt = 2
+        dfa.states[0].predicate_edges.append(
+            (PredLeaf(Predicate(code="x")), 2, acc))
+        assert dfa.unreachable_alts() == set()
+
+    def test_backtracking_detection(self):
+        dfa = build({(0, 1): 1}, {1: 1})
+        acc = dfa.new_state()
+        acc.is_accept = True
+        acc.predicted_alt = 2
+        dfa.states[0].predicate_edges.append(
+            (PredLeaf(Predicate(synpred="synpred1")), 2, acc))
+        assert dfa.uses_backtracking()
+        assert dfa.has_predicate_edges()
+
+    def test_user_preds_not_backtracking(self):
+        dfa = build({(0, 1): 1}, {1: 1})
+        acc = dfa.new_state()
+        acc.is_accept = True
+        acc.predicted_alt = 2
+        dfa.states[0].predicate_edges.append(
+            (PredLeaf(Predicate(code="p")), 2, acc))
+        assert not dfa.uses_backtracking()
+        assert dfa.has_predicate_edges()
+
+    def test_state_repr(self):
+        dfa = build({}, {0: 1})
+        assert "=>1" in repr(dfa.states[0])

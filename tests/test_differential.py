@@ -1,0 +1,176 @@
+"""Differential testing: LL(*) vs Earley vs packrat on random grammars.
+
+Soundness: every sentence the LL(*) parser accepts must be derivable,
+i.e. Earley-accepted.  Completeness: when static analysis reported *no*
+ambiguity/fallback diagnostics, the LL(*) parser accepts exactly the
+context-free language, so Earley-accepted sentences must parse.
+Packrat is also checked for soundness (PEG ordered choice may reject
+CFG-valid sentences, never the reverse for these predicate-free
+grammars).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from repro.baselines.earley import EarleyParser
+from repro.baselines.packrat import PackratParser
+from repro.exceptions import GrammarError, LLStarError
+
+TOKENS = ["A", "B", "C"]
+
+
+def build_grammar_text(rng: random.Random, num_rules: int) -> str:
+    """Random non-left-recursive grammar: rule i only references j > i."""
+    lines = []
+    for i in range(num_rules):
+        alts = []
+        for _ in range(rng.randint(1, 3)):
+            elements = []
+            for _ in range(rng.randint(0, 3)):
+                kind = rng.random()
+                if kind < 0.55 or i == num_rules - 1:
+                    el = rng.choice(TOKENS)
+                else:
+                    el = "r%d" % rng.randint(i + 1, num_rules - 1)
+                suffix = rng.random()
+                if suffix < 0.15:
+                    el += "?"
+                elif suffix < 0.25:
+                    el += "*"
+                elif suffix < 0.3:
+                    el += "+"
+                elements.append(el)
+            alts.append(" ".join(elements))
+        lines.append("r%d : %s ;" % (i, " | ".join(alts)))
+    return "\n".join(lines)
+
+
+def random_sentence(rng: random.Random, max_len: int = 6):
+    return [rng.choice(TOKENS) for _ in range(rng.randint(0, max_len))]
+
+
+def derive_sentence(host, rng: random.Random, max_steps: int = 40):
+    """Random leftmost derivation from the compiled grammar (may give up)."""
+    from repro.grammar import ast
+
+    g = host.grammar
+    out = []
+    stack = [ast.RuleRef(g.start_rule)]
+    steps = 0
+    while stack and steps < max_steps:
+        steps += 1
+        el = stack.pop(0)
+        if isinstance(el, ast.TokenRef):
+            out.append(el.name)
+        elif isinstance(el, ast.RuleRef):
+            rule = g.rules[el.name]
+            alt = rng.choice(rule.alternatives)
+            stack = list(alt.elements) + stack
+        elif isinstance(el, ast.Sequence):
+            stack = list(el.elements) + stack
+        elif isinstance(el, ast.Block):
+            stack = list(rng.choice(el.alternatives).elements) + stack
+        elif isinstance(el, ast.Optional_):
+            if rng.random() < 0.5:
+                stack.insert(0, el.element)
+        elif isinstance(el, ast.Star):
+            for _ in range(rng.randint(0, 2)):
+                stack.insert(0, el.element)
+        elif isinstance(el, ast.Plus):
+            for _ in range(rng.randint(1, 2)):
+                stack.insert(0, el.element)
+        # Epsilon and friends vanish
+    return out if not stack else None
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10 ** 6))
+def test_three_way_agreement(seed):
+    rng = random.Random(seed)
+    text = build_grammar_text(rng, rng.randint(2, 4))
+    try:
+        host = repro.compile_grammar(text, rewrite_left_recursion=False)
+    except LLStarError:
+        return  # validator rejected (e.g. nullable loop): nothing to compare
+    for t in TOKENS:  # random bodies may not mention every token
+        host.grammar.vocabulary.define(t)
+    clean = not host.analysis.diagnostics
+
+    earley = EarleyParser(host.grammar)
+    packrat = PackratParser(host.grammar)
+
+    sentences = [random_sentence(rng) for _ in range(6)]
+    for _ in range(6):
+        derived = derive_sentence(host, rng)
+        if derived is not None:
+            sentences.append(derived)
+
+    for sentence in sentences:
+        stream = host.token_stream_from_types(sentence)
+        oracle = earley.recognize(stream)
+
+        stream.seek(0)
+        ll = host.recognize(stream)
+        # Soundness: LL(*) never accepts outside the CFG.
+        assert not (ll and not oracle), (text, sentence)
+        if clean:
+            # Completeness on unambiguous grammars.
+            assert ll == oracle, (text, sentence)
+
+        peg = packrat.recognize(host.token_stream_from_types(sentence))
+        assert not (peg and not oracle), (text, sentence)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10 ** 6))
+def test_derived_sentences_parse_when_clean(seed):
+    """Every sentence produced by a random derivation must parse when the
+    grammar analysed without diagnostics."""
+    rng = random.Random(seed)
+    text = build_grammar_text(rng, rng.randint(2, 4))
+    try:
+        host = repro.compile_grammar(text, rewrite_left_recursion=False)
+    except LLStarError:
+        return
+    for t in TOKENS:
+        host.grammar.vocabulary.define(t)
+    if host.analysis.diagnostics:
+        return
+    for _ in range(8):
+        derived = derive_sentence(rng=rng, host=host)
+        if derived is None:
+            continue
+        assert host.recognize(host.token_stream_from_types(derived)), \
+            (text, derived)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10 ** 6))
+def test_parse_tree_reproduces_input(seed):
+    """When a parse succeeds, the tree's token leaves spell the input."""
+    rng = random.Random(seed)
+    text = build_grammar_text(rng, rng.randint(2, 3))
+    try:
+        host = repro.compile_grammar(text, rewrite_left_recursion=False)
+    except LLStarError:
+        return
+    for t in TOKENS:
+        host.grammar.vocabulary.define(t)
+    for _ in range(6):
+        derived = derive_sentence(host, rng)
+        if derived is None:
+            continue
+        stream = host.token_stream_from_types(derived)
+        try:
+            tree = host.parse(stream)
+        except LLStarError:
+            continue  # ambiguity resolution may reject; soundness tested above
+        leaves = [n.token.text for n in tree.walk()
+                  if n.__class__.__name__ == "TokenNode"]
+        assert leaves == derived

@@ -1,0 +1,25 @@
+"""Every example script must run clean (they self-assert their results)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+SCRIPTS = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=180)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()  # every example narrates what it did
+
+
+def test_example_inventory():
+    # the deliverable floor: a quickstart plus domain scenarios
+    assert "quickstart.py" in SCRIPTS
+    assert len(SCRIPTS) >= 3

@@ -1,0 +1,80 @@
+"""Exception hierarchy: messages, attributes, catchability."""
+
+import pytest
+
+from repro.exceptions import (
+    ActionError,
+    AnalysisError,
+    FailedPredicateError,
+    GrammarError,
+    GrammarSyntaxError,
+    LLStarError,
+    LeftRecursionError,
+    LexerError,
+    LikelyNonLLRegularError,
+    MismatchedTokenError,
+    NoViableAltError,
+    RecognitionError,
+)
+from repro.runtime.token import Token
+
+
+class TestHierarchy:
+    def test_everything_is_llstar_error(self):
+        for exc in (GrammarSyntaxError("x"), LeftRecursionError(["a", "a"]),
+                    LikelyNonLLRegularError(1, {1, 2}),
+                    NoViableAltError(0, Token(1, "t"), 5),
+                    MismatchedTokenError("A", Token(1, "t"), 5),
+                    FailedPredicateError("p"),
+                    LexerError("?", 1, 0, 0),
+                    ActionError("code", ValueError("boom"))):
+            assert isinstance(exc, LLStarError), type(exc)
+
+    def test_recognition_vs_grammar_split(self):
+        assert issubclass(NoViableAltError, RecognitionError)
+        assert issubclass(MismatchedTokenError, RecognitionError)
+        assert issubclass(LexerError, RecognitionError)
+        assert not issubclass(GrammarSyntaxError, RecognitionError)
+        assert issubclass(LikelyNonLLRegularError, AnalysisError)
+
+
+class TestMessages:
+    def test_grammar_error_position(self):
+        e = GrammarError("bad thing", line=3, column=7)
+        assert "3:7" in str(e)
+        assert (e.line, e.column) == (3, 7)
+
+    def test_left_recursion_cycle(self):
+        e = LeftRecursionError(["a", "b", "a"])
+        assert "a -> b -> a" in str(e)
+        assert e.cycle == ["a", "b", "a"]
+
+    def test_non_ll_regular_alts_sorted(self):
+        e = LikelyNonLLRegularError(4, {2, 1})
+        assert e.alts == [1, 2]
+        assert "decision 4" in str(e)
+
+    def test_no_viable_mentions_token_and_rule(self):
+        e = NoViableAltError(2, Token(1, "oops"), 9, rule_name="stmt")
+        assert "'oops'" in str(e) and "stmt" in str(e) and "9" in str(e)
+        assert e.index == 9
+
+    def test_mismatched_token(self):
+        e = MismatchedTokenError("';'", Token(1, "x"), 3, rule_name="r")
+        assert "';'" in str(e) and "'x'" in str(e)
+        assert e.expecting == "';'"
+
+    def test_failed_predicate(self):
+        e = FailedPredicateError("n > 0", rule_name="r")
+        assert "n > 0" in str(e)
+
+    def test_lexer_error_position(self):
+        e = LexerError("@", 2, 5, 14)
+        assert "2:5" in str(e)
+        assert (e.line, e.column, e.index) == (2, 5, 14)
+
+    def test_action_error_wraps_cause(self):
+        cause = ZeroDivisionError("x")
+        e = ActionError("1/0", cause)
+        assert e.cause is cause
+        assert "1/0" in str(e)

@@ -1,0 +1,86 @@
+"""Decision explanation tool."""
+
+import pytest
+
+import repro
+from repro.analysis import AnalysisOptions
+from repro.tools.cli import main
+from repro.tools.explain import explain_all_matching, explain_prediction
+
+FIG1 = r"""
+grammar Fig1;
+s : ID | ID '=' expr | 'unsigned'* 'int' ID | 'unsigned'* ID ID ;
+expr : INT ;
+ID : [a-zA-Z_]+ ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;
+"""
+
+
+@pytest.fixture(scope="module")
+def host():
+    return repro.compile_grammar(FIG1)
+
+
+class TestExplain:
+    def test_k1_walk(self, host):
+        trace = explain_prediction(host.analysis, 0, host.tokenize("int x"))
+        assert trace.predicted_alt == 3
+        assert trace.lookahead_used == 1
+        assert "accept state for alternative 3" in trace.render()
+
+    def test_cyclic_walk_narrates_each_hop(self, host):
+        trace = explain_prediction(
+            host.analysis, 0, host.tokenize("unsigned unsigned unsigned int q"))
+        assert trace.predicted_alt == 3
+        assert trace.lookahead_used == 4
+        assert sum("'unsigned'" in s for s in trace.steps) == 3
+
+    def test_no_viable_walk(self, host):
+        trace = explain_prediction(host.analysis, 0, host.tokenize("= x"))
+        assert trace.predicted_alt is None
+        assert "no viable" in trace.render()
+
+    def test_predicate_edges_described_not_evaluated(self):
+        h = repro.compile_grammar(r"""
+            grammar B;
+            options { backtrack=true; }
+            t : '-'* ID | expr ;
+            expr : INT | '-' expr ;
+            ID : [a-z]+ ; INT : [0-9]+ ; WS : [ ]+ -> skip ;
+        """, options=AnalysisOptions(max_recursion_depth=1))
+        trace = explain_prediction(h.analysis, 0, h.tokenize("---5"))
+        assert trace.stopped_at_predicates
+        text = trace.render()
+        assert "synpred" in text and "default edge" in text
+
+    def test_explain_all_for_rule(self, host):
+        traces = explain_all_matching(host.analysis, host.tokenize("T x"),
+                                      rule_name="s")
+        # rule s owns three decisions: the rule decision + two star loops
+        assert len(traces) == 3
+        assert traces[0].predicted_alt == 4
+
+    def test_stream_not_consumed(self, host):
+        stream = host.tokenize("unsigned int x")
+        explain_prediction(host.analysis, 0, stream)
+        assert stream.index == 0
+
+
+class TestExplainCli:
+    def test_cli_explain(self, tmp_path, capsys):
+        grammar = tmp_path / "g.g"
+        grammar.write_text(FIG1)
+        source = tmp_path / "in.txt"
+        source.write_text("unsigned int flags")
+        assert main(["explain", str(grammar), str(source), "--decision", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "predict alternative 3" in out
+
+    def test_cli_explain_by_rule(self, tmp_path, capsys):
+        grammar = tmp_path / "g.g"
+        grammar.write_text(FIG1)
+        source = tmp_path / "in.txt"
+        source.write_text("x = 5")
+        assert main(["explain", str(grammar), str(source), "--rule", "s"]) == 0
+        assert "alternative 2" in capsys.readouterr().out

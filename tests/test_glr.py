@@ -1,0 +1,92 @@
+"""GLR baseline: correctness on LR and non-LR grammars, nondeterminism stats."""
+
+import pytest
+
+import repro
+from repro.baselines.glr import GLRParser, LR0Automaton
+from repro.baselines.earley import EarleyParser, desugar_to_cfg
+from repro.grammar.meta_parser import parse_grammar
+from repro.lexgen.builder import build_lexer
+from repro.runtime.token_stream import ListTokenStream
+
+
+def make(text):
+    g = parse_grammar(text)
+    spec = build_lexer(g)
+    return g, (lambda s: ListTokenStream(spec.tokenizer(s)))
+
+
+class TestLR0Automaton:
+    def test_simple_automaton_states(self):
+        g, _tok = make("grammar G; s : A B ; A:'a'; B:'b';")
+        auto = LR0Automaton(desugar_to_cfg(g), "s")
+        # S' -> .s, plus states after shifting a, b, s
+        assert len(auto.states) >= 4
+        assert auto.reductions(0) == []
+
+    def test_conflicts_detected_for_ambiguous_grammar(self):
+        g, _tok = make("grammar E; e : e P e | X ; P : '+' ; X : 'x' ;")
+        auto = LR0Automaton(desugar_to_cfg(g), "e")
+        assert auto.conflict_states()
+
+    def test_lr_grammar_may_still_have_lr0_conflicts(self):
+        # LALR(1)-but-not-LR(0) grammar: conflicts exist; GLR handles them.
+        g, tok = make("grammar G; s : A | A B ; A:'a'; B:'b';")
+        glr = GLRParser(g)
+        assert glr.recognize(tok("a"))
+        assert glr.recognize(tok("ab"))
+
+
+class TestRecognition:
+    CASES = [
+        ("grammar G; s : A s | B ; A:'a'; B:'b';",
+         ["b", "ab", "aaab"], ["", "a", "ba"]),
+        ("grammar G; s : '[' s ']' | X ; X : 'x' ;",
+         ["x", "[x]", "[[x]]"], ["[x", "x]", "[]"]),
+        ("grammar G; e : e P e | X ; P : '+' ; X : 'x' ;",
+         ["x", "x+x", "x+x+x+x"], ["+", "x+", "+x", ""]),
+        ("grammar G; s : A* B+ ; A:'a'; B:'b';",
+         ["b", "ab", "aabbb"], ["", "a", "ba"]),
+    ]
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_glr_matches_earley(self, case):
+        text, accepted, rejected = self.CASES[case]
+        g, tok = make(text)
+        glr = GLRParser(g)
+        earley = EarleyParser(g)
+        for s in accepted + rejected:
+            assert glr.recognize(tok(s)) == earley.recognize(tok(s)), s
+        for s in accepted:
+            assert glr.recognize(tok(s))
+        for s in rejected:
+            assert not glr.recognize(tok(s))
+
+    def test_ambiguous_accepted_silently(self):
+        # The paper's GLR criticism: ambiguity is accepted without warning.
+        g, tok = make("grammar G; s : A | A ; A:'a';")
+        assert GLRParser(g).recognize(tok("a"))
+
+    def test_stats_track_nondeterminism(self):
+        g, tok = make("grammar E; e : e P e | X ; P : '+' ; X : 'x' ;")
+        glr = GLRParser(g)
+        glr.recognize(tok("x+x+x+x"))
+        deep = glr.stats.total_reductions
+        glr.recognize(tok("x+x"))
+        shallow = glr.stats.total_reductions
+        assert deep > shallow  # ambiguity multiplies work with input length
+
+    def test_deterministic_grammar_keeps_narrow_frontier(self):
+        g, tok = make("grammar G; s : A s | B ; A:'a'; B:'b';")
+        glr = GLRParser(g)
+        glr.recognize(tok("a" * 20 + "b"))
+        assert glr.stats.max_frontier <= 3
+
+    def test_agrees_with_llstar_on_suite_sample(self):
+        from repro.grammars import load
+
+        bench = load("sql")
+        host = bench.compile()
+        glr = GLRParser(host.grammar)
+        stream = host.tokenize(bench.sample)
+        assert glr.recognize(stream)

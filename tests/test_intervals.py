@@ -1,0 +1,138 @@
+"""IntervalSet: construction, algebra, and property-based laws."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intervals import IntervalSet
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = IntervalSet()
+        assert not s
+        assert len(s) == 0
+        assert 5 not in s
+
+    def test_of_values(self):
+        s = IntervalSet.of(1, 5, 3)
+        assert sorted(s) == [1, 3, 5]
+
+    def test_of_chars(self):
+        s = IntervalSet.of_chars("abc")
+        assert s.contains_char("a")
+        assert s.contains_char("c")
+        assert not s.contains_char("d")
+
+    def test_char_range(self):
+        s = IntervalSet.char_range("a", "z")
+        assert s.contains_char("m")
+        assert not s.contains_char("A")
+        assert len(s) == 26
+
+    def test_adjacent_ranges_merge(self):
+        s = IntervalSet()
+        s.add_range(1, 3)
+        s.add_range(4, 6)
+        assert s.intervals() == [(1, 6)]
+
+    def test_overlapping_ranges_merge(self):
+        s = IntervalSet()
+        s.add_range(1, 5)
+        s.add_range(3, 9)
+        assert s.intervals() == [(1, 9)]
+
+    def test_disjoint_ranges_stay_separate(self):
+        s = IntervalSet([(1, 2), (10, 12)])
+        assert s.intervals() == [(1, 2), (10, 12)]
+        assert 5 not in s
+        assert 11 in s
+
+    def test_insert_between(self):
+        s = IntervalSet([(1, 2), (10, 12)])
+        s.add_range(5, 6)
+        assert s.intervals() == [(1, 2), (5, 6), (10, 12)]
+
+    def test_bridge_merge(self):
+        s = IntervalSet([(1, 3), (7, 9)])
+        s.add_range(4, 6)
+        assert s.intervals() == [(1, 9)]
+
+    def test_empty_interval_rejected(self):
+        s = IntervalSet()
+        with pytest.raises(ValueError):
+            s.add_range(5, 4)
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IntervalSet([(1, 3)])
+        b = IntervalSet([(5, 7)])
+        assert a.union(b).intervals() == [(1, 3), (5, 7)]
+
+    def test_intersection(self):
+        a = IntervalSet([(1, 10)])
+        b = IntervalSet([(5, 20)])
+        assert a.intersection(b).intervals() == [(5, 10)]
+
+    def test_intersection_empty(self):
+        a = IntervalSet([(1, 3)])
+        b = IntervalSet([(5, 7)])
+        assert not a.intersection(b)
+
+    def test_complement(self):
+        s = IntervalSet([(3, 5)])
+        c = s.complement(0, 9)
+        assert c.intervals() == [(0, 2), (6, 9)]
+
+    def test_complement_of_empty_is_universe(self):
+        assert IntervalSet().complement(1, 5).intervals() == [(1, 5)]
+
+    def test_complement_touching_edges(self):
+        s = IntervalSet([(0, 2), (8, 9)])
+        assert s.complement(0, 9).intervals() == [(3, 7)]
+
+    def test_overlaps(self):
+        assert IntervalSet([(1, 5)]).overlaps(IntervalSet([(5, 9)]))
+        assert not IntervalSet([(1, 4)]).overlaps(IntervalSet([(5, 9)]))
+
+
+ivals = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 50)).map(lambda t: (t[0], t[0] + t[1])),
+    max_size=8)
+
+
+class TestProperties:
+    @given(ivals, ivals)
+    def test_union_contains_both(self, xs, ys):
+        a, b = IntervalSet(xs), IntervalSet(ys)
+        u = a.union(b)
+        for v in list(a) + list(b):
+            assert v in u
+
+    @given(ivals, ivals)
+    def test_intersection_is_conjunction(self, xs, ys):
+        a, b = IntervalSet(xs), IntervalSet(ys)
+        both = a.intersection(b)
+        for v in range(0, 260):
+            assert (v in both) == ((v in a) and (v in b))
+
+    @given(ivals)
+    def test_complement_is_negation_within_universe(self, xs):
+        s = IntervalSet(xs)
+        c = s.complement(0, 300)
+        for v in range(0, 301):
+            assert (v in c) == (v not in s)
+
+    @given(ivals)
+    def test_membership_matches_iteration(self, xs):
+        s = IntervalSet(xs)
+        listed = set(s)
+        for v in range(0, 260):
+            assert (v in s) == (v in listed)
+
+    @given(ivals)
+    def test_intervals_sorted_and_disjoint(self, xs):
+        s = IntervalSet(xs)
+        pairs = s.intervals()
+        for (a1, b1), (a2, b2) in zip(pairs, pairs[1:]):
+            assert b1 + 1 < a2  # disjoint and non-adjacent after merging

@@ -1,0 +1,125 @@
+"""Left-recursion elimination: the Section 1.1 predicated-loop rewrite."""
+
+import pytest
+
+import repro
+from repro.exceptions import GrammarError
+from repro.grammar import ast
+from repro.grammar.leftrec import (
+    BINARY,
+    PREFIX,
+    PRIMARY,
+    SUFFIX,
+    classify_alternative,
+    eliminate_left_recursion,
+    is_immediately_left_recursive,
+)
+from repro.grammar.meta_parser import parse_grammar
+from repro.grammar.model import Alternative
+
+
+def alt(*elements):
+    return Alternative(list(elements))
+
+
+class TestClassification:
+    def test_binary(self):
+        a = alt(ast.RuleRef("e"), ast.Literal("+"), ast.RuleRef("e"))
+        assert classify_alternative(a, "e") == BINARY
+
+    def test_suffix(self):
+        a = alt(ast.RuleRef("e"), ast.Literal("++"))
+        assert classify_alternative(a, "e") == SUFFIX
+
+    def test_prefix(self):
+        a = alt(ast.Literal("-"), ast.RuleRef("e"))
+        assert classify_alternative(a, "e") == PREFIX
+
+    def test_primary(self):
+        a = alt(ast.TokenRef("INT"))
+        assert classify_alternative(a, "e") == PRIMARY
+
+    def test_ternary_is_binary(self):
+        a = alt(ast.RuleRef("e"), ast.Literal("?"), ast.RuleRef("e"),
+                ast.Literal(":"), ast.RuleRef("e"))
+        assert classify_alternative(a, "e") == BINARY
+
+    def test_detection(self):
+        g = parse_grammar("e : e '+' e | INT ; INT : [0-9]+ ;")
+        assert is_immediately_left_recursive(g.rules["e"])
+        g2 = parse_grammar("e : INT '+' e | INT ; INT : [0-9]+ ;")
+        assert not is_immediately_left_recursive(g2.rules["e"])
+
+
+class TestRewrite:
+    def test_paper_example_shape(self):
+        """e : e '*' e | e '+' e | INT rewrites to the paper's predicated loop."""
+        g = parse_grammar("e : e '*' e | e '+' e | INT ; INT : [0-9]+ ;")
+        rewritten = eliminate_left_recursion(g)
+        assert rewritten == ["e"]
+        assert "e_prec" in g.rules
+        # forwarder: e : e_prec[0]
+        fwd = g.rules["e"].alternatives[0].elements[0]
+        assert isinstance(fwd, ast.RuleRef) and fwd.args == ["0"]
+        # worker carries the precedence parameter
+        assert g.rules["e_prec"].params == ["_p"]
+        text = repr(g.rules["e_prec"])
+        # the paper writes {p <= 2}? for '*' and {p <= 1}? for '+'; with
+        # three alternatives our precedence numbering is 3/2, and each
+        # predicate is additionally tied to its operator token
+        assert "_p <= 3" in text and "_p <= 2" in text
+        assert "e_prec[4]" in text and "e_prec[3]" in text  # left associative
+
+    def test_no_primary_rejected(self):
+        g = parse_grammar("e : e '+' e | e '*' e ;")
+        with pytest.raises(GrammarError):
+            eliminate_left_recursion(g)
+
+    def test_untouched_when_not_recursive(self):
+        g = parse_grammar("e : INT ('+' INT)* ; INT : [0-9]+ ;")
+        assert eliminate_left_recursion(g) == []
+
+
+class TestSemantics:
+    @pytest.fixture(scope="class")
+    def host(self):
+        return repro.compile_grammar(r"""
+            grammar E;
+            e : e '^' e | e '*' e | e '+' e | '-' e | INT | '(' e ')' ;
+            INT : [0-9]+ ;
+            WS : [ ]+ -> skip ;
+        """)
+
+    def test_precedence_order(self, host):
+        # '*' listed above '+': 1+2*3 groups as 1+(2*3)
+        t = host.parse("1+2*3")
+        assert t.to_sexpr() == "(e (e_prec 1 + (e_prec 2 * (e_prec 3))))"
+
+    def test_left_associativity(self, host):
+        t = host.parse("1+2+3")
+        assert t.to_sexpr() == "(e (e_prec 1 + (e_prec 2) + (e_prec 3)))"
+
+    def test_parens_override(self, host):
+        t = host.parse("(1+2)*3")
+        assert "( (e_prec 1 + (e_prec 2)) )" in t.to_sexpr()
+
+    def test_three_levels(self, host):
+        t = host.parse("1+2*3^4")
+        # ^ binds tightest (listed first)
+        assert t.to_sexpr() == (
+            "(e (e_prec 1 + (e_prec 2 * (e_prec 3 ^ (e_prec 4)))))")
+
+    def test_recognizes_deep_expressions(self, host):
+        text = "+".join(str(i) for i in range(50))
+        assert host.recognize(text)
+
+    def test_suffix_operator(self):
+        host = repro.compile_grammar(r"""
+            grammar S;
+            e : e '!' | e '+' e | INT ;
+            INT : [0-9]+ ;
+            WS : [ ]+ -> skip ;
+        """)
+        assert host.recognize("1!")
+        assert host.recognize("1!+2!")
+        assert not host.recognize("!1")

@@ -1,0 +1,102 @@
+"""Differential test: the generated lexer vs Python's ``re`` module.
+
+Python ``re`` is leftmost-*first* (PCRE), not leftmost-longest, so we
+cannot compare ``re.match`` prefixes directly.  Instead ``re.fullmatch``
+serves as a *membership oracle* for the token language, and the property
+under test is exactly maximal munch:
+
+* the token our DFA emits is in the language, and
+* no longer prefix of the input is in the language, and
+* when the DFA reports a lexer error, no non-empty prefix is in the
+  language at all.
+"""
+
+import random
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import LexerError
+from repro.grammar.meta_parser import parse_grammar
+from repro.lexgen.builder import build_lexer
+
+ALPHABET = "abc"
+
+
+def random_regex(rng: random.Random, depth: int = 0):
+    """Return (meta_language_fragment, python_regex) pairs."""
+    if depth >= 3 or rng.random() < 0.4:
+        ch = rng.choice(ALPHABET)
+        return "'%s'" % ch, re.escape(ch)
+    kind = rng.random()
+    if kind < 0.35:  # sequence
+        parts = [random_regex(rng, depth + 1) for _ in range(rng.randint(2, 3))]
+        return (" ".join(p[0] for p in parts),
+                "".join("(?:%s)" % p[1] for p in parts))
+    if kind < 0.65:  # alternation
+        parts = [random_regex(rng, depth + 1) for _ in range(rng.randint(2, 3))]
+        return ("(" + " | ".join(p[0] for p in parts) + ")",
+                "(?:" + "|".join(p[1] for p in parts) + ")")
+    meta, pattern = random_regex(rng, depth + 1)
+    suffix = rng.choice(["*", "+", "?"])
+    return "(%s)%s" % (meta, suffix), "(?:%s)%s" % (pattern, suffix)
+
+
+def first_token_text(spec, text):
+    """Text of the first token, None on lexer error / empty input."""
+    try:
+        token = spec.tokenizer(text).next_token()
+    except LexerError:
+        return None
+    if token is None or token.type == -1:
+        return None
+    return token.text
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10 ** 6))
+def test_maximal_munch_against_re_oracle(seed):
+    rng = random.Random(seed)
+    meta, pattern = random_regex(rng)
+    try:
+        grammar = parse_grammar("s : T ; T : %s ;" % meta)
+        spec = build_lexer(grammar)
+    except Exception:
+        return  # nullable-loop style rejects are fine
+    member = re.compile(pattern).fullmatch
+
+    for _ in range(10):
+        text = "".join(rng.choice(ALPHABET)
+                       for _ in range(rng.randint(0, 10)))
+        actual = first_token_text(spec, text)
+        prefixes = [text[:i] for i in range(1, len(text) + 1)]
+        in_language = [p for p in prefixes if member(p)]
+        if actual is None:
+            assert not in_language, (meta, text, in_language)
+        else:
+            assert member(actual), (meta, text, actual)
+            longest = max(in_language, key=len)
+            assert actual == longest, (meta, text, actual, longest)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10 ** 6))
+def test_single_token_inputs_round_trip(seed):
+    """Any whole-input member of the language lexes as one token."""
+    rng = random.Random(seed)
+    meta, pattern = random_regex(rng)
+    try:
+        grammar = parse_grammar("s : T ; T : %s ;" % meta)
+        spec = build_lexer(grammar)
+    except Exception:
+        return
+    member = re.compile(pattern).fullmatch
+    for _ in range(10):
+        text = "".join(rng.choice(ALPHABET)
+                       for _ in range(rng.randint(1, 8)))
+        if not member(text):
+            continue
+        # text is in the language; the DFA's first token is some maximal
+        # prefix, which must be at least... exactly text when no longer
+        # prefix exists (it cannot: text is the whole input)
+        assert first_token_text(spec, text) == text, (meta, text)

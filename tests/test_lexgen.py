@@ -1,0 +1,124 @@
+"""Lexer generator: NFA->DFA tokenizer semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import GrammarError, LexerError
+from repro.grammar.meta_parser import parse_grammar
+from repro.lexgen.builder import build_lexer
+from repro.runtime.token import DEFAULT_CHANNEL, EOF, HIDDEN_CHANNEL
+
+
+def lexer_for(grammar_text):
+    g = parse_grammar(grammar_text)
+    return g, build_lexer(g)
+
+
+def texts(spec, source):
+    return [(t.text, spec.vocabulary.name_of(t.type))
+            for t in spec.tokenize(source) if t.type != EOF]
+
+
+class TestBasics:
+    def test_single_rule(self):
+        g, spec = lexer_for("s : ID ; ID : [a-z]+ ;")
+        assert texts(spec, "abc") == [("abc", "ID")]
+
+    def test_longest_match_wins(self):
+        g, spec = lexer_for("s : ID ; ID : [a-z]+ ; WS : [ ]+ -> skip ;")
+        assert texts(spec, "ab abc") == [("ab", "ID"), ("abc", "ID")]
+
+    def test_priority_breaks_ties(self):
+        # Two rules matching the same text: earlier rule wins.
+        g, spec = lexer_for("s : A B ; A : 'x' ; B : 'x' ;")
+        assert texts(spec, "x") == [("x", "A")]
+
+    def test_keyword_literal_beats_identifier(self):
+        g, spec = lexer_for("s : 'if' ID ; ID : [a-z]+ ; WS : ' ' -> skip ;")
+        assert texts(spec, "if iff") == [("if", "'if'"), ("iff", "ID")]
+
+    def test_skip_command(self):
+        g, spec = lexer_for("s : ID ; ID : [a-z]+ ; WS : [ \\t\\r\\n]+ -> skip ;")
+        assert texts(spec, "  a\n b ") == [("a", "ID"), ("b", "ID")]
+
+    def test_hidden_channel(self):
+        g, spec = lexer_for(
+            "s : ID ; ID : [a-z]+ ; C : '#' (~[\\n])* -> channel(HIDDEN) ;"
+            " WS : [ \\n]+ -> skip ;")
+        toks = spec.tokenize("a #note\nb", include_hidden=True)
+        channels = {t.text: t.channel for t in toks if t.type != EOF}
+        assert channels["a"] == DEFAULT_CHANNEL
+        assert channels["#note"] == HIDDEN_CHANNEL
+
+    def test_eof_token_emitted(self):
+        g, spec = lexer_for("s : ID ; ID : [a-z]+ ;")
+        toks = list(spec.tokenizer("ab"))
+        assert toks[-1].type == EOF
+
+    def test_no_match_raises_with_position(self):
+        g, spec = lexer_for("s : ID ; ID : [a-z]+ ; WS : [ \\n]+ -> skip ;")
+        with pytest.raises(LexerError) as info:
+            spec.tokenize("ab\n  !")
+        assert info.value.line == 2
+
+
+class TestOperatorsAndFragments:
+    def test_fragments_inline(self):
+        g, spec = lexer_for(
+            "s : NUM ; NUM : DIGIT+ ('.' DIGIT+)? ; fragment DIGIT : [0-9] ;")
+        assert texts(spec, "3.14") == [("3.14", "NUM")]
+
+    def test_fragment_never_emits(self):
+        g, spec = lexer_for(
+            "s : NUM ; NUM : DIGIT+ ; fragment DIGIT : [0-9] ;")
+        assert all(name != "DIGIT" for _t, name in texts(spec, "42"))
+
+    def test_recursive_lexer_rule_rejected(self):
+        g = parse_grammar("s : A ; A : 'x' A | 'y' ;")
+        with pytest.raises(GrammarError):
+            build_lexer(g)
+
+    def test_optional_star_plus(self):
+        g, spec = lexer_for("s : X ; X : 'a'? 'b'* 'c'+ ;")
+        for src in ("c", "ac", "bbcc", "abccc"):
+            assert texts(spec, src) == [(src, "X")]
+        with pytest.raises(LexerError):
+            spec.tokenize("a")  # dangling prefix never reaches accept
+
+    def test_char_range(self):
+        g, spec = lexer_for("s : H ; H : '0' 'x' ('a'..'f' | '0'..'9')+ ;")
+        assert texts(spec, "0xdead9") == [("0xdead9", "H")]
+
+    def test_negated_set(self):
+        g, spec = lexer_for(
+            "s : S ; S : '\"' (~[\"])* '\"' ; WS : ' ' -> skip ;")
+        assert texts(spec, '"hi there"') == [('"hi there"', "S")]
+
+    def test_wildcard(self):
+        g, spec = lexer_for("s : C ; C : '<' . '>' ;")
+        assert texts(spec, "<q>") == [("<q>", "C")]
+
+    def test_alternation_in_rule(self):
+        g, spec = lexer_for("s : OP ; OP : '+' | '-' | '*' ;")
+        assert [t for t, _ in texts(spec, "+-*")] == ["+", "-", "*"]
+
+    def test_line_columns_on_tokens(self):
+        g, spec = lexer_for("s : ID ; ID : [a-z]+ ; WS : [ \\n]+ -> skip ;")
+        toks = [t for t in spec.tokenize("a\n  bc") if t.type != EOF]
+        assert (toks[0].line, toks[0].column) == (1, 0)
+        assert (toks[1].line, toks[1].column) == (2, 2)
+
+
+class TestMaximalMunchProperties:
+    @given(st.text(alphabet="ab ", min_size=0, max_size=40))
+    def test_tokens_cover_input_exactly(self, source):
+        g, spec = lexer_for("s : A B ; A : 'a'+ ; B : 'b'+ ; WS : ' '+ -> skip ;")
+        toks = spec.tokenize(source, include_hidden=True)
+        rebuilt = "".join(t.text for t in toks if t.type != EOF)
+        assert rebuilt == source.replace(" ", "")
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=30))
+    def test_longest_match_is_greedy(self, source):
+        g, spec = lexer_for("s : W ; W : [a-c]+ ;")
+        toks = [t for t in spec.tokenize(source) if t.type != EOF]
+        assert len(toks) == 1 and toks[0].text == source

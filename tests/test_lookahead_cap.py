@@ -1,0 +1,53 @@
+"""The ``k=N`` lookahead cap (ANTLR's manual lookahead parameter)."""
+
+import pytest
+
+import repro
+from repro.analysis import AnalysisOptions
+from repro.analysis.diagnostics import AnalysisDiagnostic
+
+DEEP = ("grammar G; s : (A|B) (A|B) (A|B) (A|B) X "
+        "| (A|B) (A|B) (A|B) (A|B) Y ; A:'a'; B:'b'; X:'x'; Y:'y';")
+
+
+class TestLookaheadCap:
+    def test_uncapped_builds_deep_dfa(self):
+        host = repro.compile_grammar(DEEP)
+        assert host.analysis.records[0].fixed_k == 5
+
+    def test_option_caps_depth_with_warning(self):
+        host = repro.compile_grammar(DEEP.replace("grammar G;",
+                                                  "grammar G; options{k=2;}"))
+        record = host.analysis.records[0]
+        assert record.fixed_k == 2
+        assert any(d.kind == AnalysisDiagnostic.AMBIGUITY
+                   for d in host.analysis.diagnostics)
+        # order resolution: alt 1 still parses, alt 2 is sacrificed
+        assert host.recognize("abbax")
+        assert not host.recognize("abbay")
+
+    def test_cap_with_backtracking_keeps_both_alts(self):
+        text = DEEP.replace("grammar G;",
+                            "grammar G; options{k=2; backtrack=true;}")
+        host = repro.compile_grammar(text)
+        record = host.analysis.records[0]
+        assert record.category == "backtrack"
+        # speculation rescues what the capped DFA cannot see
+        assert host.recognize("abbax")
+        assert host.recognize("abbay")
+
+    def test_analysis_options_override(self):
+        host = repro.compile_grammar(
+            DEEP, options=AnalysisOptions(max_fixed_lookahead=3))
+        assert host.analysis.records[0].fixed_k == 3
+
+    def test_cap_leaves_shallow_decisions_alone(self):
+        host = repro.compile_grammar(
+            "grammar G; options{k=3;} s : A X | B Y ; A:'a'; B:'b'; X:'x'; Y:'y';")
+        record = host.analysis.records[0]
+        assert record.fixed_k == 1
+        assert not host.analysis.diagnostics
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisOptions(max_fixed_lookahead=0)

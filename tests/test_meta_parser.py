@@ -1,0 +1,202 @@
+"""Meta-language front end: lexing and parsing of .g grammar text."""
+
+import pytest
+
+from repro.exceptions import GrammarSyntaxError
+from repro.grammar import ast
+from repro.grammar.meta_lexer import MetaLexer
+from repro.grammar.meta_parser import parse_grammar
+
+
+class TestMetaLexer:
+    def kinds(self, text):
+        return [t.kind for t in MetaLexer(text).tokens()]
+
+    def test_basic_tokens(self):
+        assert self.kinds("a : B ;") == ["ID", "COLON", "ID", "SEMI", "EOF"]
+
+    def test_literal_with_escapes(self):
+        toks = MetaLexer(r"'\n\t\\' ").tokens()
+        assert toks[0].kind == "LITERAL"
+        assert toks[0].text == "\n\t\\"
+
+    def test_unicode_escape(self):
+        toks = MetaLexer(r"'A'").tokens()
+        assert toks[0].text == "A"
+
+    def test_empty_literal_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            MetaLexer("''").tokens()
+
+    def test_unterminated_literal(self):
+        with pytest.raises(GrammarSyntaxError):
+            MetaLexer("'abc").tokens()
+
+    def test_action_balanced_braces(self):
+        toks = MetaLexer("{ if x: {y}  }").tokens()
+        assert toks[0].kind == "ACTION"
+        assert toks[0].text == "if x: {y}"
+
+    def test_action_string_with_brace(self):
+        toks = MetaLexer("{ s = '}' }").tokens()
+        assert toks[0].kind == "ACTION"
+        assert "'}'" in toks[0].text
+
+    def test_predicate(self):
+        toks = MetaLexer("{p <= 2}?").tokens()
+        assert toks[0].kind == "PREDICATE"
+        assert toks[0].text == "p <= 2"
+
+    def test_double_brace_action(self):
+        toks = MetaLexer("{{push_scope()}}").tokens()
+        assert toks[0].kind == "ACTION"
+        assert toks[0].text == "@@push_scope()"
+
+    def test_comments_skipped(self):
+        assert self.kinds("a // comment\n: /* block */ b ;") == [
+            "ID", "COLON", "ID", "SEMI", "EOF"]
+
+    def test_operators(self):
+        assert self.kinds("( ) * + ? ~ . .. -> =>") == [
+            "LPAREN", "RPAREN", "STAR", "PLUS", "QUES", "TILDE", "DOT",
+            "RANGE", "ARROW", "IMPLIES", "EOF"]
+
+    def test_bracket_raw(self):
+        toks = MetaLexer(r"[a-z\]]").tokens()
+        assert toks[0].kind == "BRACKET"
+        assert toks[0].text == r"a-z\]"
+
+    def test_line_column_tracking(self):
+        toks = MetaLexer("a\n  b").tokens()
+        assert (toks[0].line, toks[0].column) == (1, 0)
+        assert (toks[1].line, toks[1].column) == (2, 2)
+
+    def test_unexpected_character(self):
+        with pytest.raises(GrammarSyntaxError):
+            MetaLexer("a : ^ ;").tokens()
+
+
+class TestMetaParser:
+    def test_minimal_grammar(self):
+        g = parse_grammar("s : A ;")
+        assert "s" in g.rules
+        assert g.start_rule == "s"
+        alt = g.rules["s"].alternatives[0]
+        assert alt.elements == [ast.TokenRef("A")]
+
+    def test_grammar_header_and_options(self):
+        g = parse_grammar("grammar Foo; options {backtrack=true; k=2;} s : A ;")
+        assert g.name == "Foo"
+        assert g.options["backtrack"] is True
+        assert g.options["k"] == 2
+
+    def test_alternatives_and_ebnf(self):
+        g = parse_grammar("s : A B* C+ D? | ;")
+        alts = g.rules["s"].alternatives
+        assert len(alts) == 2
+        els = alts[0].elements
+        assert isinstance(els[1], ast.Star)
+        assert isinstance(els[2], ast.Plus)
+        assert isinstance(els[3], ast.Optional_)
+        assert alts[1].elements == [ast.Epsilon()]
+
+    def test_literals_registered(self):
+        g = parse_grammar("s : 'if' A ;")
+        assert g.vocabulary.type_of_literal("if") is not None
+
+    def test_block_and_nesting(self):
+        g = parse_grammar("s : (A | B C)+ ;")
+        plus = g.rules["s"].alternatives[0].elements[0]
+        assert isinstance(plus, ast.Plus)
+        assert isinstance(plus.element, ast.Block)
+        assert len(plus.element.alternatives) == 2
+
+    def test_syntactic_predicate(self):
+        g = parse_grammar("s : (A B)=> A B | A ;")
+        first = g.rules["s"].alternatives[0].elements[0]
+        assert isinstance(first, ast.SyntacticPredicate)
+        assert first.name is None  # not yet erased
+
+    def test_semantic_predicate_and_actions(self):
+        g = parse_grammar("s : {ok}? A {count += 1} {{log()}} ;")
+        els = g.rules["s"].alternatives[0].elements
+        assert isinstance(els[0], ast.SemanticPredicate)
+        assert els[0].code == "ok"
+        assert isinstance(els[2], ast.Action) and not els[2].always_exec
+        assert isinstance(els[3], ast.Action) and els[3].always_exec
+
+    def test_rule_params_and_args(self):
+        g = parse_grammar("e : e2[0] ; e2[int p] : A ;")
+        assert g.rules["e2"].params == ["p"]
+        ref = g.rules["e"].alternatives[0].elements[0]
+        assert isinstance(ref, ast.RuleRef)
+        assert ref.args == ["0"]
+
+    def test_args_with_commas_in_calls(self):
+        g = parse_grammar("e : f[g(1, 2), 3] ; f[a, b] : A ;")
+        ref = g.rules["e"].alternatives[0].elements[0]
+        assert ref.args == ["g(1, 2)", "3"]
+
+    def test_lexer_rule_charset(self):
+        g = parse_grammar("s : ID ; ID : [a-z_] [a-z0-9_]* ;")
+        rule = g.rules["ID"]
+        first = rule.alternatives[0].elements[0]
+        assert isinstance(first, ast.CharSet)
+        assert first.intervals.contains_char("q")
+        assert first.intervals.contains_char("_")
+
+    def test_charset_in_parser_rule_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("s : [a-z] ;")
+
+    def test_char_range(self):
+        g = parse_grammar("s : X ; X : 'a'..'f' ;")
+        el = g.rules["X"].alternatives[0].elements[0]
+        assert isinstance(el, ast.CharRange)
+        assert (el.lo, el.hi) == ("a", "f")
+
+    def test_negated_charset(self):
+        g = parse_grammar('s : S ; S : \'"\' (~["])* \'"\' ;')
+        star = g.rules["S"].alternatives[0].elements[1]
+        inner = star.element
+        assert isinstance(inner, ast.CharSet)
+        assert inner.negated
+
+    def test_negated_token_in_parser_rule(self):
+        g = parse_grammar("s : ~A ; A : 'a' ; B : 'b' ;")
+        el = g.rules["s"].alternatives[0].elements[0]
+        assert isinstance(el, ast.NotToken)
+        assert el.token_names == ["A"]
+
+    def test_lexer_commands(self):
+        g = parse_grammar("s : A ; A : 'a' ; WS : ' ' -> skip ;")
+        assert g.rules["WS"].commands == ["skip"]
+
+    def test_channel_command(self):
+        g = parse_grammar("s : A ; A : 'a' ; C : '#' -> channel(HIDDEN) ;")
+        assert g.rules["C"].commands == ["channel(HIDDEN)"]
+
+    def test_fragment_rule(self):
+        g = parse_grammar("s : N ; N : D+ ; fragment D : [0-9] ;")
+        assert g.rules["D"].is_fragment
+        assert not g.rules["N"].is_fragment
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(Exception):
+            parse_grammar("s : A ; s : B ;")
+
+    def test_missing_semi_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("s : A")
+
+    def test_empty_grammar_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("   ")
+
+    def test_wildcard(self):
+        g = parse_grammar("s : . A ;")
+        assert isinstance(g.rules["s"].alternatives[0].elements[0], ast.Wildcard)
+
+    def test_source_lines_recorded(self):
+        g = parse_grammar("s : A ;\n\n\n")
+        assert g.options["__source_lines__"] == 4

@@ -1,0 +1,76 @@
+"""Pretty-printer round trip: parse(print(g)) is semantically g."""
+
+import pytest
+
+import repro
+from repro.grammar.meta_parser import parse_grammar
+from repro.grammar.printer import print_grammar, print_rule
+
+SAMPLES = [
+    "grammar A; s : A B* (C | D)+ E? ; A:'a'; B:'b'; C:'c'; D:'d'; E:'e';",
+    "grammar B; s : ID '=' expr ';' | 'print' expr ';' ; expr : ID | INT ;"
+    " ID : [a-z]+ ; INT : [0-9]+ ; WS : [ \\t\\r\\n]+ -> skip ;",
+    "grammar C; options {backtrack=true;} s : (A B)=> A B | A ; A:'a'; B:'b';",
+    "grammar D; s : {go}? A {n += 1} {{probe()}} | ~A ; A:'a'; B:'b';",
+    "grammar E; e : f[0] ; f[p] : {p <= 2}? A | B ; A:'a'; B:'b';",
+    "grammar F; s : X ; X : 'a'..'f' (~[\\n])* ; fragment Y : [0-9] ;",
+]
+
+
+@pytest.mark.parametrize("idx", range(len(SAMPLES)))
+def test_round_trip_preserves_structure(idx):
+    g1 = parse_grammar(SAMPLES[idx])
+    text = print_grammar(g1)
+    g2 = parse_grammar(text)
+    assert set(g1.rules) == set(g2.rules)
+    for name in g1.rules:
+        r1, r2 = g1.rules[name], g2.rules[name]
+        assert r1.num_alternatives == r2.num_alternatives, name
+        assert r1.params == r2.params
+        assert r1.commands == r2.commands
+        assert r1.is_fragment == r2.is_fragment
+        for a1, a2 in zip(r1.alternatives, r2.alternatives):
+            assert [e for e in a1.elements] == [e for e in a2.elements], name
+
+
+@pytest.mark.parametrize("idx", [0, 1, 3])
+def test_round_trip_preserves_language(idx):
+    g1 = parse_grammar(SAMPLES[idx])
+    host1 = repro.compile_grammar(SAMPLES[idx])
+    host2 = repro.compile_grammar(print_grammar(parse_grammar(SAMPLES[idx])))
+    probes = {
+        0: ["a", "ac", "abbcde", "abcd"],
+        1: ["x = y ;", "print q ;", "x = 12 ;"],
+        3: ["b"],
+    }[idx]
+    for text in probes:
+        try:
+            r1 = host1.recognize(text)
+        except Exception:
+            continue
+        assert host2.recognize(text) == r1, text
+
+
+def test_print_rule_readable():
+    g = parse_grammar("grammar G; s : A ('x' | B)* ; A:'a'; B:'b';")
+    text = print_rule(g.rules["s"])
+    assert text == "s : A ('x' | B)* ;"
+
+
+def test_print_after_leftrec_rewrite_reparses():
+    host = repro.compile_grammar(
+        "grammar L; e : e '+' e | INT ; INT : [0-9]+ ; WS : [ ]+ -> skip ;")
+    text = print_grammar(host.grammar)
+    # the rewritten grammar (predicated loop + params) must be parseable
+    g2 = parse_grammar(text)
+    assert "e_prec" in g2.rules
+    assert g2.rules["e_prec"].params == ["_p"]
+
+
+def test_print_after_peg_mode_reparses():
+    from repro.grammars import load
+
+    host = load("rats_c").compile()
+    text = print_grammar(host.grammar)
+    g2 = parse_grammar(text)
+    assert set(g2.rules) == set(host.grammar.rules)

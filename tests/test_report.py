@@ -1,0 +1,52 @@
+"""The report tool and its CLI command."""
+
+import pytest
+
+from repro.tools.cli import main
+from repro.tools.report import SuiteReport, build_report, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table("T", ("a", "bb"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in lines[-1]
+        # separator row under the header, aligned from column 0
+        assert lines[3].startswith("-")
+
+    def test_empty_rows(self):
+        text = format_table("T", ("x",), [])
+        assert "x" in text
+
+
+class TestSuiteReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return SuiteReport(units=6, names=["vb", "sql"]).collect()
+
+    def test_tables_render(self, report):
+        assert "Table 1" in report.table1()
+        assert "Table 2" in report.table2()
+        assert "Table 3" in report.table3()
+        assert "Table 4" in report.table4()
+
+    def test_headlines_hold(self, report):
+        text = report.render()
+        assert "VIOLATED" not in text
+        assert text.count("holds") == 3
+
+    def test_subset_of_grammars(self, report):
+        assert "VB.NET*" in report.table1()
+        assert "Java1.5*" not in report.table1()
+
+    def test_build_report_smoke(self):
+        text = build_report(units=4, names=["vb"])
+        assert "Table 4" in text
+
+
+class TestCliReport:
+    def test_report_command(self, capsys):
+        assert main(["report", "--units", "4", "--grammars", "vb"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Headline claims" in out

@@ -1,0 +1,150 @@
+"""Streaming one-pass parsing: bounded buffering on unbounded input.
+
+The paper's Section 4 claim: LL(*) is a one-pass left-to-right strategy
+that, unlike the earlier two-pass LL-regular parsers, can parse infinite
+streams.  We feed the parser from a generator and assert the token
+window stays O(lookahead) — not O(input) — on deterministic grammars.
+"""
+
+import itertools
+
+import pytest
+
+import repro
+from repro.analysis import AnalysisOptions
+from repro.runtime.parser import LLStarParser, ParserOptions
+from repro.runtime.streaming import StreamingTokenStream
+from repro.runtime.token import EOF, Token
+
+
+def token_source(host, text):
+    """A genuinely lazy token iterator (lexes via the host's lexer)."""
+    return iter(host.lexer_spec.tokenizer(text))
+
+
+class TestStreamBasics:
+    @pytest.fixture()
+    def host(self):
+        return repro.compile_grammar(
+            "grammar S; s : (A | B)+ ; A : 'a' ; B : 'b' ; WS : ' ' -> skip ;")
+
+    def test_la_lt_consume(self, host):
+        s = StreamingTokenStream(token_source(host, "a b a"))
+        assert s.lt(1).text == "a"
+        assert s.lt(2).text == "b"
+        s.consume()
+        assert s.lt(1).text == "b"
+        assert s.la(3) == EOF
+
+    def test_trim_discards_consumed(self, host):
+        s = StreamingTokenStream(token_source(host, "a b a b a b"))
+        for _ in range(4):
+            s.consume()
+        assert s.buffered <= 3
+
+    def test_mark_pins_window(self, host):
+        s = StreamingTokenStream(token_source(host, "a b a b a b"))
+        m = s.mark()
+        for _ in range(4):
+            s.consume()
+        assert s.buffered >= 4  # everything since the mark retained
+        s.seek(m)
+        assert s.lt(1).text == "a"
+        s.release(m)
+        for _ in range(4):  # move past the previously-pinned region
+            s.consume()
+        assert s.buffered <= 3
+
+    def test_seek_before_window_rejected(self, host):
+        s = StreamingTokenStream(token_source(host, "a b a b"))
+        s.consume()
+        s.consume()
+        with pytest.raises(ValueError):
+            s.seek(0)
+
+    def test_lt_minus_one_survives_trim(self, host):
+        s = StreamingTokenStream(token_source(host, "a b a"))
+        s.consume()
+        assert s.lt(-1).text == "a"
+
+    def test_sticky_eof(self, host):
+        s = StreamingTokenStream(token_source(host, "a"))
+        s.consume()
+        assert s.la(1) == EOF
+        s.consume()
+        assert s.la(5) == EOF
+
+
+class TestStreamingParse:
+    def test_bounded_window_on_long_ll1_input(self):
+        host = repro.compile_grammar(r"""
+            grammar Cmds;
+            session : command* ;
+            command : 'set' ID INT | 'get' ID | 'ping' ;
+            ID : [a-z]+ ;
+            INT : [0-9]+ ;
+            WS : [ \t\r\n]+ -> skip ;
+        """)
+        # an arbitrarily long command stream, produced lazily
+        n = 3000
+        text = " ".join(itertools.islice(
+            itertools.cycle(["set alpha 1", "get alpha", "ping"]), n))
+        stream = StreamingTokenStream(token_source(host, text))
+        parser = LLStarParser(host.analysis, stream,
+                              ParserOptions(build_tree=False))
+        parser.parse()
+        assert stream.size > n  # the input really was long
+        assert stream.peak_buffered <= 8  # ...but the window stayed tiny
+
+    def test_window_grows_only_during_speculation(self):
+        host = repro.compile_grammar(r"""
+            grammar B;
+            options { backtrack=true; }
+            s : pre* tail ;
+            tail : x '!' | x '?' ;
+            pre : 'p' ;
+            x : '(' x ')' | ID ;
+            ID : [a-z]+ ;
+            WS : [ ]+ -> skip ;
+        """, options=AnalysisOptions(max_recursion_depth=1))
+        deep = "p " * 50 + "(" * 30 + "z" + ")" * 30 + " ?"
+        stream = StreamingTokenStream(token_source(host, deep))
+        parser = LLStarParser(host.analysis, stream,
+                              ParserOptions(build_tree=False))
+        parser.parse()
+        # speculation pinned the nested prefix, so the peak covers it...
+        assert stream.peak_buffered >= 30
+        # ...but the 50 'p' tokens before the decision were streamed away
+        assert stream.peak_buffered < stream.size - 40
+
+    def test_streaming_and_buffered_agree(self):
+        host = repro.compile_grammar(r"""
+            grammar E;
+            e : e '+' e | INT ;
+            INT : [0-9]+ ;
+            WS : [ ]+ -> skip ;
+        """)
+        text = "+".join(str(i % 10) for i in range(200))
+        buffered_tree = host.parse(text)
+        stream = StreamingTokenStream(token_source(host, text))
+        streaming_tree = LLStarParser(host.analysis, stream).parse()
+        assert streaming_tree.to_sexpr() == buffered_tree.to_sexpr()
+
+    def test_socket_style_generator_source(self):
+        """Token objects can come from anywhere — e.g. a protocol frame
+        decoder; no text/lexer involved at all."""
+        host = repro.compile_grammar("grammar P; s : (PING | DATA)* QUIT ;")
+        vocab = host.grammar.vocabulary
+        ping, data, quit_ = (vocab.type_of(n) for n in ("PING", "DATA", "QUIT"))
+
+        def frames():
+            for _ in range(1000):
+                yield Token(ping, "PING")
+                yield Token(data, "DATA")
+            yield Token(quit_, "QUIT")
+
+        stream = StreamingTokenStream(frames())
+        parser = LLStarParser(host.analysis, stream,
+                              ParserOptions(build_tree=False))
+        parser.parse()
+        assert stream.peak_buffered <= 4

@@ -1,0 +1,75 @@
+"""PEG mode and syntactic-predicate erasure transforms."""
+
+from repro.grammar import ast
+from repro.grammar.meta_parser import parse_grammar
+from repro.grammar.transforms import apply_peg_mode, erase_syntactic_predicates
+
+
+class TestPegMode:
+    def test_guards_all_but_last(self):
+        g = parse_grammar("s : A B | A C | A ; A:'a'; B:'b'; C:'c';")
+        apply_peg_mode(g)
+        alts = g.rules["s"].alternatives
+        assert isinstance(alts[0].elements[0], ast.SyntacticPredicate)
+        assert isinstance(alts[1].elements[0], ast.SyntacticPredicate)
+        assert not isinstance(alts[2].elements[0], ast.SyntacticPredicate)
+
+    def test_single_alt_rule_untouched(self):
+        g = parse_grammar("s : A B ; A:'a'; B:'b';")
+        apply_peg_mode(g)
+        assert not any(isinstance(e, ast.SyntacticPredicate)
+                       for e in g.rules["s"].alternatives[0].elements)
+
+    def test_existing_predicate_respected(self):
+        g = parse_grammar("s : (A)=> A | B ; A:'a'; B:'b';")
+        apply_peg_mode(g)
+        first = g.rules["s"].alternatives[0].elements
+        assert isinstance(first[0], ast.SyntacticPredicate)
+        assert not isinstance(first[1] if len(first) > 1 else None,
+                              ast.SyntacticPredicate)
+
+    def test_guard_strips_actions_and_predicates(self):
+        g = parse_grammar("s : {go}? {a += 1} A B | C ; A:'a'; B:'b'; C:'c';")
+        apply_peg_mode(g)
+        guard = g.rules["s"].alternatives[0].elements[0]
+        assert isinstance(guard, ast.SyntacticPredicate)
+        inner = list(guard.block.walk())
+        assert not any(isinstance(e, (ast.Action, ast.SemanticPredicate))
+                       for e in inner)
+
+    def test_epsilon_alternative_not_guarded(self):
+        g = parse_grammar("s : A | ; A:'a';")
+        apply_peg_mode(g)
+        assert g.rules["s"].alternatives[1].elements == [ast.Epsilon()]
+
+
+class TestErasure:
+    def test_creates_synpred_rules(self):
+        g = parse_grammar("s : (A B)=> A B | A ; A:'a'; B:'b';")
+        erase_syntactic_predicates(g)
+        synpreds = [r for r in g.parser_rules if r.name.startswith("synpred")]
+        assert len(synpreds) == 1
+        node = g.rules["s"].alternatives[0].elements[0]
+        assert node.name == synpreds[0].name
+
+    def test_idempotent(self):
+        g = parse_grammar("s : (A)=> A | B ; A:'a'; B:'b';")
+        erase_syntactic_predicates(g)
+        count = len([r for r in g.parser_rules if r.name.startswith("synpred")])
+        erase_syntactic_predicates(g)
+        after = len([r for r in g.parser_rules if r.name.startswith("synpred")])
+        assert count == after == 1
+
+    def test_multi_alternative_fragment(self):
+        g = parse_grammar("s : (A | B)=> (A | B) C | C ; A:'a'; B:'b'; C:'c';")
+        erase_syntactic_predicates(g)
+        synpred = next(r for r in g.parser_rules if r.name.startswith("synpred"))
+        assert synpred.num_alternatives == 2
+
+    def test_peg_then_erase_roundtrip(self):
+        g = parse_grammar(
+            "options {backtrack=true;} s : A B | A C | D ; A:'a'; B:'b'; C:'c'; D:'d';")
+        apply_peg_mode(g)
+        erase_syntactic_predicates(g)
+        synpreds = [r for r in g.parser_rules if r.name.startswith("synpred")]
+        assert len(synpreds) == 2

@@ -1,0 +1,102 @@
+"""Grammar validation: left recursion, reachability, PEG hazards."""
+
+import pytest
+
+from repro.exceptions import LeftRecursionError
+from repro.grammar.meta_parser import parse_grammar
+from repro.grammar.validation import (
+    GrammarIssue,
+    compute_nullable_rules,
+    find_dead_alternatives,
+    find_left_recursion,
+    validate_grammar,
+)
+
+
+def issues_by_code(grammar_text, code):
+    g = parse_grammar(grammar_text)
+    return [i for i in validate_grammar(g) if i.code == code]
+
+
+class TestNullability:
+    def test_direct_epsilon(self):
+        g = parse_grammar("s : a A ; a : ; A : 'a' ;")
+        assert compute_nullable_rules(g) == {"a"}
+
+    def test_transitive(self):
+        g = parse_grammar("s : a ; a : b ; b : ; ")
+        assert compute_nullable_rules(g) == {"s", "a", "b"}
+
+    def test_star_is_nullable(self):
+        g = parse_grammar("s : A* ; A : 'a' ;")
+        assert compute_nullable_rules(g) == {"s"}
+
+    def test_plus_not_nullable(self):
+        g = parse_grammar("s : A+ ; A : 'a' ;")
+        assert compute_nullable_rules(g) == set()
+
+
+class TestLeftRecursion:
+    def test_direct(self):
+        g = parse_grammar("e : e '+' A | A ; A : 'a' ;")
+        cycles = find_left_recursion(g)
+        assert any(c[0] == "e" for c in cycles)
+
+    def test_indirect(self):
+        g = parse_grammar("a : b X | X ; b : a Y | Y ; X : 'x' ; Y : 'y' ;")
+        cycles = find_left_recursion(g)
+        names = {n for c in cycles for n in c}
+        assert {"a", "b"} <= names
+
+    def test_hidden_by_nullable_prefix(self):
+        g = parse_grammar("s : empty s A | A ; empty : ; A : 'a' ;")
+        assert find_left_recursion(g)
+
+    def test_right_recursion_ok(self):
+        g = parse_grammar("e : A e | A ; A : 'a' ;")
+        assert find_left_recursion(g) == []
+
+    def test_raise_mode(self):
+        g = parse_grammar("e : e A | A ; A : 'a' ;")
+        with pytest.raises(LeftRecursionError):
+            validate_grammar(g, raise_on_left_recursion=True)
+
+
+class TestReferences:
+    def test_undefined_rule(self):
+        found = issues_by_code("s : missing ;", "undefined-rule")
+        assert found and found[0].is_error
+
+    def test_unreachable_rule(self):
+        found = issues_by_code("s : A ; orphan : B ; A : 'a' ; B : 'b' ;",
+                               "unreachable-rule")
+        assert found and not found[0].is_error
+
+    def test_nullable_loop(self):
+        found = issues_by_code("s : a* ; a : ; ", "nullable-loop")
+        assert found and found[0].is_error
+
+    def test_clean_grammar_no_errors(self):
+        g = parse_grammar("s : A (B | C)* ; A:'a'; B:'b'; C:'c';")
+        assert not [i for i in validate_grammar(g) if i.is_error]
+
+
+class TestDeadAlternatives:
+    def test_prefix_shadowing(self):
+        # The paper's opening PEG hazard: A -> a | a b.
+        g = parse_grammar("s : A | A B ; A : 'a' ; B : 'b' ;")
+        found = find_dead_alternatives(g)
+        assert found
+        assert "prefix" in found[0].message
+
+    def test_no_false_positive_longer_first(self):
+        g = parse_grammar("s : A B | A ; A : 'a' ; B : 'b' ;")
+        assert not find_dead_alternatives(g)
+
+    def test_non_flat_alternatives_skipped(self):
+        g = parse_grammar("s : A x | A ; x : B ; A:'a'; B:'b';")
+        assert not find_dead_alternatives(g)
+
+    def test_repr_smoke(self):
+        issue = GrammarIssue(GrammarIssue.WARNING, "x", "msg", rule="r")
+        assert "x" in repr(issue) and "r" in repr(issue)

@@ -1,0 +1,76 @@
+"""Token vocabulary: allocation, literals, display names."""
+
+import pytest
+
+from repro.runtime.token import EOF, INVALID_TYPE, Token, Vocabulary
+
+
+class TestVocabulary:
+    def test_define_allocates_densely(self):
+        v = Vocabulary()
+        a = v.define("A")
+        b = v.define("B")
+        assert (a, b) == (1, 2)
+        assert v.max_type == 2
+
+    def test_define_is_idempotent(self):
+        v = Vocabulary()
+        assert v.define("A") == v.define("A")
+        assert len(v) == 1
+
+    def test_eof_reserved(self):
+        v = Vocabulary()
+        assert v.define("EOF") == EOF
+        assert v.type_of("EOF") == EOF
+        assert v.name_of(EOF) == "EOF"
+
+    def test_literal_display(self):
+        v = Vocabulary()
+        t = v.define_literal("int")
+        assert v.name_of(t) == "'int'"
+        assert v.type_of_literal("int") == t
+
+    def test_literal_and_name_spaces_disjoint(self):
+        v = Vocabulary()
+        named = v.define("int")
+        literal = v.define_literal("int")
+        assert named != literal
+
+    def test_unknown_lookups(self):
+        v = Vocabulary()
+        assert v.type_of("NOPE") is None
+        assert v.type_of_literal("nope") is None
+        assert v.name_of(99) == "<99>"
+        assert v.name_of(INVALID_TYPE) == "<INVALID>"
+
+    def test_contains_and_names(self):
+        v = Vocabulary()
+        v.define("A")
+        assert "A" in v
+        assert list(v.names()) == ["A"]
+
+    def test_literals_table_copy(self):
+        v = Vocabulary()
+        v.define_literal("x")
+        table = v.literals()
+        table["y"] = 99
+        assert "y" not in v.literals()
+
+
+class TestToken:
+    def test_equality_and_hash(self):
+        a = Token(1, "x", line=2, column=3)
+        b = Token(1, "x", line=2, column=3)
+        c = Token(1, "x", line=2, column=4)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_eof_factory(self):
+        t = Token.eof(line=7, column=2, start=40)
+        assert t.type == EOF
+        assert t.text == "<EOF>"
+        assert (t.line, t.column, t.start) == (7, 2, 40)
+
+    def test_repr_contains_position(self):
+        t = Token(3, "abc", line=4, column=5)
+        assert "4:5" in repr(t)
