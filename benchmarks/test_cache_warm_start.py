@@ -1,0 +1,62 @@
+"""Warm-start compile: the artifact cache vs Table 1's analysis cost.
+
+The paper's Table 1 reports seconds of static analysis per real grammar;
+that cost recurs on every ``compile_grammar`` call unless the compiled
+artifact is persisted.  This benchmark measures, per suite grammar, a
+cold compile (analysis + artifact save) against a warm compile (load
+DFAs from disk), asserts the warm path never constructs a
+DecisionAnalyzer, and spot-checks behavioral identity on the sample
+input.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.construction import DecisionAnalyzer
+from repro.api import compile_grammar
+from repro.grammars import PAPER_ORDER, load
+
+from conftest import emit_table
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("artifact-cache"))
+
+
+def test_cache_warm_start(cache_dir, paper_names):
+    rows = []
+    for name in PAPER_ORDER:
+        bench = load(name)
+        text = bench.grammar_text
+
+        started = time.perf_counter()
+        cold = compile_grammar(text, cache_dir=cache_dir)
+        cold_s = time.perf_counter() - started
+        assert not cold.from_cache
+
+        before = DecisionAnalyzer.invocations
+        started = time.perf_counter()
+        warm = compile_grammar(text, cache_dir=cache_dir)
+        warm_s = time.perf_counter() - started
+        assert warm.from_cache
+        assert DecisionAnalyzer.invocations == before, \
+            "warm start must skip decision analysis"
+        assert warm_s < cold_s
+        assert cold.parse(bench.sample).to_sexpr() \
+            == warm.parse(bench.sample).to_sexpr()
+
+        rows.append((
+            paper_names[name],
+            cold.analysis.num_decisions,
+            "%.3fs" % cold_s,
+            "%.3fs" % warm_s,
+            "%.1fx" % (cold_s / warm_s if warm_s else float("inf")),
+        ))
+
+    emit_table(
+        "cache_warm_start",
+        "Artifact cache: cold vs warm compile per Table-1 grammar",
+        ("Grammar", "n", "Cold compile", "Warm compile", "Speedup"),
+        rows)

@@ -29,6 +29,12 @@ Convenience:
     :func:`compile_grammar` wires the whole pipeline together and
     returns a ready-to-use :class:`ParserHost`.
 
+Artifact cache (:mod:`repro.cache`):
+    ``compile_grammar(text, cache_dir=...)`` persists the analysis
+    output (lookahead DFAs, classifications, diagnostics, lexer tables)
+    to a versioned on-disk store; later compiles of the same grammar
+    warm-start from disk and skip static analysis entirely.
+
 >>> import repro
 >>> host = repro.compile_grammar(r'''
 ...     grammar Demo;
@@ -66,6 +72,7 @@ from repro.grammar import (
 )
 from repro.api import compile_grammar, ParserHost
 from repro.analysis import analyze, AnalysisOptions, AnalysisResult
+from repro import cache
 
 __version__ = "1.0.0"
 
@@ -88,6 +95,7 @@ __all__ = [
     "apply_peg_mode",
     "erase_syntactic_predicates",
     "eliminate_left_recursion",
+    "cache",
     "compile_grammar",
     "ParserHost",
     "analyze",

@@ -71,6 +71,15 @@ class AnalysisOptions:
         merged.update(kwargs)
         return AnalysisOptions(**merged)
 
+    def fingerprint(self) -> str:
+        """Canonical string over every field that affects analysis output;
+        part of the compiled-artifact cache key (:mod:`repro.cache.store`),
+        so two option sets with equal fingerprints must produce identical
+        DFAs."""
+        return "m=%d;states=%d;abort=%s;maxk=%s" % (
+            self.max_recursion_depth, self.max_dfa_states,
+            self.abort_on_multi_alt_recursion, self.max_fixed_lookahead)
+
     def __repr__(self):
         return ("AnalysisOptions(m=%d, max_states=%d, abort=%s)"
                 % (self.max_recursion_depth, self.max_dfa_states,
@@ -80,8 +89,14 @@ class AnalysisOptions:
 class DecisionAnalyzer:
     """Builds the lookahead DFA for one decision state of the ATN."""
 
+    #: Process-wide count of analyzer constructions.  The compiled-artifact
+    #: cache promises that a warm start never re-analyzes; tests and the
+    #: warm-start benchmark assert this counter stays put across a cache hit.
+    invocations = 0
+
     def __init__(self, atn: ATN, decision: int, start_rule: Optional[str] = None,
                  options: Optional[AnalysisOptions] = None):
+        DecisionAnalyzer.invocations += 1
         self.atn = atn
         self.info = atn.decisions[decision]
         self.decision = decision

@@ -15,7 +15,7 @@ diagnostics.  Classification buckets follow Table 1 of the paper:
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.construction import AnalysisOptions, DecisionAnalyzer
 from repro.analysis.dfa_model import DFA
@@ -51,6 +51,22 @@ class DecisionRecord:
     @property
     def can_backtrack(self) -> bool:
         return self.category == BACKTRACK
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; category/fixed_k are derived, not stored."""
+        return {
+            "decision": self.decision,
+            "rule_name": self.rule_name,
+            "kind": self.kind,
+            "dfa": self.dfa.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionRecord":
+        # The constructor re-classifies from DFA shape, so a cached record
+        # can never disagree with the DFA it carries.
+        return cls(data["decision"], data["rule_name"], data["kind"],
+                   DFA.from_dict(data["dfa"]))
 
     def __repr__(self):
         extra = " k=%s" % self.fixed_k if self.fixed_k else ""
@@ -121,6 +137,36 @@ class AnalysisResult:
             lines.append("  %r" % d)
         return "\n".join(lines)
 
+    # -- artifact serialization (repro.cache) ------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe form of everything analysis computed.
+
+        The grammar and ATN are *not* stored: a warm start re-derives
+        them from the grammar text (cheap, and they carry live Python
+        objects like compiled actions), then grafts these records back on
+        via :meth:`from_dict`.
+        """
+        return {
+            "grammar_name": self.grammar.name,
+            "elapsed_seconds": self.elapsed_seconds,
+            "records": [r.to_dict() for r in self.records],
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, grammar: Grammar, atn: ATN, data: dict) -> "AnalysisResult":
+        """Rebuild a result against a freshly prepared ``grammar``/``atn``
+        (see :meth:`GrammarAnalyzer.prepare_atn`)."""
+        records = [DecisionRecord.from_dict(rd) for rd in data["records"]]
+        if len(records) != len(atn.decisions):
+            raise ValueError(
+                "cache entry has %d decisions, grammar has %d"
+                % (len(records), len(atn.decisions)))
+        diagnostics = [AnalysisDiagnostic.from_dict(dd)
+                       for dd in data["diagnostics"]]
+        return cls(grammar, atn, records, diagnostics, data["elapsed_seconds"])
+
     def __repr__(self):
         return "AnalysisResult(%s: %d decisions, %d diagnostics)" % (
             self.grammar.name, self.num_decisions, len(self.diagnostics))
@@ -140,32 +186,82 @@ class GrammarAnalyzer:
         self.grammar = grammar
         self.options = options or AnalysisOptions()
 
-    def analyze(self) -> AnalysisResult:
-        started = time.perf_counter()
+    def prepare_atn(self) -> ATN:
+        """Steps (1)-(3): mutate the grammar and build the ATN.
+
+        Split out from :meth:`analyze` so a cache warm start
+        (:mod:`repro.cache`) can run the identical grammar preparation and
+        then attach deserialized decision records instead of re-running
+        :class:`DecisionAnalyzer`.
+        """
         k = self.grammar.option("k")
         if isinstance(k, int) and self.options.max_fixed_lookahead is None:
             self.options = self.options.replace(max_fixed_lookahead=k)
         if self.grammar.option("backtrack", False):
             apply_peg_mode(self.grammar)
         erase_syntactic_predicates(self.grammar)
-        atn = build_atn(self.grammar)
+        return build_atn(self.grammar)
 
+    def analyze(self, parallel: Optional[int] = None) -> AnalysisResult:
+        started = time.perf_counter()
+        atn = self.prepare_atn()
+        start_rule = self.grammar.start_rule
+        if parallel is not None and parallel > 1 and len(atn.decisions) > 1:
+            outcomes = self._analyze_parallel(atn, start_rule, parallel)
+        else:
+            outcomes = [self._analyze_decision(atn, info.decision, start_rule)
+                        for info in atn.decisions]
         records: List[DecisionRecord] = []
         diagnostics: List[AnalysisDiagnostic] = []
-        start_rule = self.grammar.start_rule
-        for info in atn.decisions:
-            analyzer = DecisionAnalyzer(atn, info.decision, start_rule=start_rule,
-                                        options=self.options)
-            dfa = analyzer.create_dfa()
-            diagnostics.extend(analyzer.diagnostics)
-            dead = dfa.unreachable_alts()
-            if dead and not dfa.fell_back_to_ll1:
-                diagnostics.append(AnalysisDiagnostic.dead_alternative(info.decision, dead))
-            records.append(DecisionRecord(info.decision, info.rule_name, info.kind, dfa))
+        for record, decision_diags in outcomes:
+            records.append(record)
+            diagnostics.extend(decision_diags)
         elapsed = time.perf_counter() - started
         return AnalysisResult(self.grammar, atn, records, diagnostics, elapsed)
 
+    def _analyze_decision(
+            self, atn: ATN, decision: int, start_rule: Optional[str],
+    ) -> Tuple[DecisionRecord, List[AnalysisDiagnostic]]:
+        """One decision's full analysis: DFA plus its diagnostics, in the
+        order the serial loop would have emitted them."""
+        info = atn.decisions[decision]
+        analyzer = DecisionAnalyzer(atn, decision, start_rule=start_rule,
+                                    options=self.options)
+        dfa = analyzer.create_dfa()
+        diagnostics = list(analyzer.diagnostics)
+        dead = dfa.unreachable_alts()
+        if dead and not dfa.fell_back_to_ll1:
+            diagnostics.append(AnalysisDiagnostic.dead_alternative(decision, dead))
+        record = DecisionRecord(decision, info.rule_name, info.kind, dfa)
+        return record, diagnostics
 
-def analyze(grammar: Grammar, options: Optional[AnalysisOptions] = None) -> AnalysisResult:
-    """Convenience wrapper: ``GrammarAnalyzer(grammar, options).analyze()``."""
-    return GrammarAnalyzer(grammar, options).analyze()
+    def _analyze_parallel(self, atn: ATN, start_rule: Optional[str],
+                          parallel: int) -> List[Tuple[DecisionRecord,
+                                                       List[AnalysisDiagnostic]]]:
+        """Analyze independent decisions concurrently.
+
+        Each :class:`DecisionAnalyzer` owns all the state it mutates and
+        only reads the shared ATN/grammar, so threads need no locking;
+        results are collected in decision order, making records and
+        diagnostics bit-for-bit identical to the serial loop regardless
+        of scheduling.  On GIL builds the speedup for this pure-Python
+        workload is modest; free-threaded interpreters scale with N.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = min(parallel, len(atn.decisions))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(self._analyze_decision, atn, info.decision,
+                                   start_rule)
+                       for info in atn.decisions]
+            return [f.result() for f in futures]
+
+
+def analyze(grammar: Grammar, options: Optional[AnalysisOptions] = None,
+            parallel: Optional[int] = None) -> AnalysisResult:
+    """Convenience wrapper: ``GrammarAnalyzer(grammar, options).analyze()``.
+
+    ``parallel=N`` analyzes decisions on N threads; the result is
+    identical to a serial run (see :meth:`GrammarAnalyzer._analyze_parallel`).
+    """
+    return GrammarAnalyzer(grammar, options).analyze(parallel=parallel)

@@ -7,6 +7,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.semctx import context_from_dict
 from repro.atn.transitions import Predicate
 
 
@@ -48,6 +49,27 @@ class DFAState:
     def has_synpred_edge(self) -> bool:
         return any(ctx is not None and ctx.contains_synpred
                    for ctx, _, _ in self.predicate_edges)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; targets are state ids, resolved by :meth:`DFA.from_dict`.
+
+        Construction-time bookkeeping (``configs``, ``busy``) is not
+        serialized: it references live ATN state objects and nothing
+        after analysis reads it — prediction, classification, and the
+        shape queries above only need edges, predicate edges, and the
+        accept/alt markers.
+        """
+        return {
+            "id": self.id,
+            "is_accept": self.is_accept,
+            "predicted_alt": self.predicted_alt,
+            "edges": sorted([t, target.id] for t, target in self.edges.items()),
+            "predicate_edges": [
+                [ctx.to_dict() if ctx is not None else None, alt, target.id]
+                for ctx, alt, target in self.predicate_edges],
+            "recursive_alts": sorted(self.recursive_alts),
+            "overflowed": self.overflowed,
+        }
 
     def __repr__(self):
         if self.is_accept:
@@ -158,6 +180,49 @@ class DFA:
         """Dead productions: defined but never predicted (Section 1.1's
         static detection of dead productions)."""
         return set(range(1, self.num_alternatives + 1)) - self.reachable_alts()
+
+    # -- artifact serialization (repro.cache) ------------------------------------
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-safe form: states in id order, sorted edges."""
+        return {
+            "decision": self.decision,
+            "rule_name": self.rule_name,
+            "num_alternatives": self.num_alternatives,
+            "start": self.start.id if self.start is not None else None,
+            "statically_resolved_alts": sorted(self.statically_resolved_alts),
+            "had_overflow": self.had_overflow,
+            "fell_back_to_ll1": self.fell_back_to_ll1,
+            "gave_up_reason": self.gave_up_reason,
+            "states": [s.to_dict() for s in self.states],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DFA":
+        dfa = cls(data["decision"], data["rule_name"], data["num_alternatives"])
+        for i, _ in enumerate(data["states"]):
+            state = dfa.new_state()
+            if state.id != data["states"][i]["id"]:
+                raise ValueError("non-contiguous DFA state ids in cache entry")
+        for sd in data["states"]:
+            state = dfa.states[sd["id"]]
+            state.is_accept = sd["is_accept"]
+            state.predicted_alt = sd["predicted_alt"]
+            state.overflowed = sd["overflowed"]
+            state.recursive_alts = set(sd["recursive_alts"])
+            for token_type, target in sd["edges"]:
+                state.edges[token_type] = dfa.states[target]
+            state.predicate_edges = [
+                (context_from_dict(ctx) if ctx is not None else None,
+                 alt, dfa.states[target])
+                for ctx, alt, target in sd["predicate_edges"]]
+        if data["start"] is not None:
+            dfa.start = dfa.states[data["start"]]
+        dfa.statically_resolved_alts = set(data["statically_resolved_alts"])
+        dfa.had_overflow = data["had_overflow"]
+        dfa.fell_back_to_ll1 = data["fell_back_to_ll1"]
+        dfa.gave_up_reason = data["gave_up_reason"]
+        return dfa
 
     def __repr__(self):
         return "DFA(decision %d in %s: %d states%s)" % (

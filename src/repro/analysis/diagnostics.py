@@ -57,5 +57,20 @@ class AnalysisDiagnostic:
                    "decision %d: alternative(s) %s can never be predicted "
                    "(dead production)" % (decision, sorted(alts)), alts=sorted(alts))
 
+    def to_dict(self) -> dict:
+        """JSON-safe form for the compiled-artifact cache."""
+        return {
+            "kind": self.kind,
+            "decision": self.decision,
+            "message": self.message,
+            "alts": list(self.alts),
+            "chosen": self.chosen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisDiagnostic":
+        return cls(data["kind"], data["decision"], data["message"],
+                   alts=data["alts"], chosen=data["chosen"])
+
     def __repr__(self):
         return "[%s] %s" % (self.kind, self.message)

@@ -30,6 +30,10 @@ class SemanticContext:
     def predicates(self) -> Iterable[Predicate]:
         raise NotImplementedError
 
+    def to_dict(self) -> dict:
+        """JSON-safe tagged tree for the compiled-artifact cache."""
+        raise NotImplementedError
+
     @property
     def contains_synpred(self) -> bool:
         return any(p.is_synpred for p in self.predicates())
@@ -46,6 +50,9 @@ class PredLeaf(SemanticContext):
 
     def predicates(self):
         yield self.predicate
+
+    def to_dict(self) -> dict:
+        return {"op": "pred", "pred": self.predicate.to_dict()}
 
     def __eq__(self, other):
         return isinstance(other, PredLeaf) and self.predicate == other.predicate
@@ -70,6 +77,9 @@ class PredAnd(SemanticContext):
         for t in self.terms:
             yield from t.predicates()
 
+    def to_dict(self) -> dict:
+        return {"op": "and", "terms": [t.to_dict() for t in self.terms]}
+
     def __eq__(self, other):
         return isinstance(other, PredAnd) and self.terms == other.terms
 
@@ -93,6 +103,9 @@ class PredOr(SemanticContext):
         for t in self.terms:
             yield from t.predicates()
 
+    def to_dict(self) -> dict:
+        return {"op": "or", "terms": [t.to_dict() for t in self.terms]}
+
     def __eq__(self, other):
         return isinstance(other, PredOr) and self.terms == other.terms
 
@@ -101,6 +114,19 @@ class PredOr(SemanticContext):
 
     def __repr__(self):
         return "(%s)" % " || ".join(repr(t) for t in self.terms)
+
+
+def context_from_dict(data: dict) -> SemanticContext:
+    """Rebuild a context tree from its :meth:`SemanticContext.to_dict` form."""
+    op = data["op"]
+    if op == "pred":
+        return PredLeaf(Predicate.from_dict(data["pred"]))
+    terms = [context_from_dict(t) for t in data["terms"]]
+    if op == "and":
+        return PredAnd(terms)
+    if op == "or":
+        return PredOr(terms)
+    raise ValueError("unknown semantic-context op %r" % op)
 
 
 def conjunction(preds: Tuple[Predicate, ...]) -> SemanticContext:

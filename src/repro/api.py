@@ -4,6 +4,12 @@
 left-recursion rewrite, LL(*) analysis, lexer build — and returns a
 :class:`ParserHost` that parses strings (through the generated lexer) or
 pre-made token streams.
+
+``cache_dir`` enables the compiled-artifact cache (:mod:`repro.cache`):
+the first compile of a grammar serializes its DFAs and lexer tables, and
+subsequent compiles warm-start from disk, skipping static analysis
+entirely.  ``parallel`` spreads a cold compile's per-decision analysis
+over N threads.
 """
 
 from __future__ import annotations
@@ -31,6 +37,10 @@ class ParserHost:
     call creates a fresh :class:`LLStarParser`.
     """
 
+    #: True when this host was warm-started from the compiled-artifact
+    #: cache instead of running static analysis (see :mod:`repro.cache`).
+    from_cache = False
+
     def __init__(self, grammar: Grammar, analysis: AnalysisResult, lexer_spec=None):
         self.grammar = grammar
         self.analysis = analysis
@@ -49,16 +59,23 @@ class ParserHost:
         """Build a stream from token-name strings (testing convenience).
 
         Quoted names (``"'int'"``) resolve as literals, bare names as
-        token types.
+        token types.  Any name the grammar's vocabulary does not define —
+        including malformed literals like ``"'int"`` or non-string
+        entries — raises :class:`GrammarError` naming the offender.
         """
         tokens: List[Token] = []
         for name in names:
-            if name.startswith("'"):
+            if not isinstance(name, str):
+                raise GrammarError(
+                    "token names must be strings, got %r (grammar %s)"
+                    % (name, self.grammar.name))
+            if name.startswith("'") and name.endswith("'") and len(name) >= 2:
                 t = self.grammar.vocabulary.type_of_literal(name[1:-1])
             else:
                 t = self.grammar.vocabulary.type_of(name)
             if t is None:
-                raise GrammarError("unknown token %s" % name)
+                raise GrammarError("unknown token %s in grammar %s"
+                                   % (name, self.grammar.name))
             tokens.append(Token(t, name.strip("'")))
         return ListTokenStream(tokens)
 
@@ -86,16 +103,10 @@ class ParserHost:
         return "ParserHost(%s)" % self.grammar.name
 
 
-def compile_grammar(source, name: Optional[str] = None,
-                    options: Optional[AnalysisOptions] = None,
-                    rewrite_left_recursion: bool = True,
-                    strict: bool = True) -> ParserHost:
-    """Full pipeline: text or Grammar -> ready-to-parse :class:`ParserHost`.
-
-    ``strict`` raises on validation *errors* (left recursion that the
-    rewrite could not remove, undefined rules, nullable loops); warnings
-    are kept on ``host.analysis`` regardless.
-    """
+def _prepare_grammar(source, name: Optional[str],
+                     rewrite_left_recursion: bool, strict: bool):
+    """Shared front half of cold and warm compiles: parse, rewrite,
+    validate.  Returns ``(grammar, issues)``."""
     if isinstance(source, Grammar):
         grammar = source
     else:
@@ -106,11 +117,86 @@ def compile_grammar(source, name: Optional[str] = None,
     errors = [i for i in issues if i.is_error]
     if strict and errors:
         raise GrammarError("; ".join(str(e) for e in errors))
-    analysis = analyze(grammar, options)
-    lexer_spec = None
-    if any(not r.is_fragment for r in grammar.lexer_rules) or grammar.vocabulary.literals():
-        if grammar.lexer_rules:
-            lexer_spec = build_lexer(grammar)
+    return grammar, issues
+
+
+def _wants_lexer(grammar: Grammar) -> bool:
+    return bool(grammar.lexer_rules
+                and (any(not r.is_fragment for r in grammar.lexer_rules)
+                     or grammar.vocabulary.literals()))
+
+
+def _host_from_payload(payload: dict, source: str, name: Optional[str],
+                       options: Optional[AnalysisOptions],
+                       rewrite_left_recursion: bool,
+                       strict: bool) -> ParserHost:
+    """Warm start: rebuild grammar + ATN, attach cached DFAs and lexer.
+
+    Raises on any payload/grammar inconsistency; the caller evicts the
+    entry and falls back to a cold compile.
+    """
+    from repro.cache import analysis_from_artifact, grammar_fingerprint
+    from repro.cache import lexer_from_artifact
+
+    if payload.get("grammar_hash") != grammar_fingerprint(source, name):
+        raise ValueError("cache entry was built from different grammar text")
+    grammar, issues = _prepare_grammar(source, name, rewrite_left_recursion, strict)
+    if _wants_lexer(grammar) != (payload.get("lexer") is not None):
+        raise ValueError("cache entry lexer presence does not match grammar")
+    analysis = analysis_from_artifact(grammar, payload, options)
+    lexer_spec = lexer_from_artifact(grammar, payload)
     host = ParserHost(grammar, analysis, lexer_spec)
     host.validation_issues = issues
+    host.from_cache = True
+    return host
+
+
+def compile_grammar(source, name: Optional[str] = None,
+                    options: Optional[AnalysisOptions] = None,
+                    rewrite_left_recursion: bool = True,
+                    strict: bool = True,
+                    cache_dir: Optional[str] = None,
+                    parallel: Optional[int] = None) -> ParserHost:
+    """Full pipeline: text or Grammar -> ready-to-parse :class:`ParserHost`.
+
+    ``strict`` raises on validation *errors* (left recursion that the
+    rewrite could not remove, undefined rules, nullable loops); warnings
+    are kept on ``host.analysis`` regardless.
+
+    ``cache_dir`` names a compiled-artifact cache directory
+    (:mod:`repro.cache`): a warm hit skips static analysis entirely and
+    the returned host has ``from_cache = True``.  Only grammar *text* is
+    cacheable — a pre-built :class:`Grammar` object has no stable content
+    hash, so ``cache_dir`` is ignored for it.  ``parallel=N`` runs a cold
+    compile's per-decision analysis on N threads.
+    """
+    if cache_dir is not None and not isinstance(source, Grammar):
+        from repro.cache import ArtifactStore, artifact_key, artifact_to_dict
+        from repro.cache import grammar_fingerprint
+
+        store = ArtifactStore(cache_dir)
+        key = artifact_key(source, name, options, rewrite_left_recursion)
+        payload = store.load(key)
+        if payload is not None:
+            try:
+                return _host_from_payload(payload, source, name, options,
+                                          rewrite_left_recursion, strict)
+            except GrammarError:
+                raise  # the grammar itself is bad; not a cache problem
+            except Exception:
+                store.evict(key)  # stale/corrupt entry: recompile below
+        host = compile_grammar(source, name=name, options=options,
+                               rewrite_left_recursion=rewrite_left_recursion,
+                               strict=strict, parallel=parallel)
+        store.save(key, artifact_to_dict(host.grammar, host.analysis,
+                                         host.lexer_spec,
+                                         grammar_fingerprint(source, name)))
+        return host
+
+    grammar, issues = _prepare_grammar(source, name, rewrite_left_recursion, strict)
+    analysis = analyze(grammar, options, parallel=parallel)
+    lexer_spec = build_lexer(grammar) if _wants_lexer(grammar) else None
+    host = ParserHost(grammar, analysis, lexer_spec)
+    host.validation_issues = issues
+    host.from_cache = False
     return host

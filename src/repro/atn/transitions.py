@@ -33,6 +33,16 @@ class Predicate:
     def is_synpred(self) -> bool:
         return self.synpred is not None
 
+    def to_dict(self) -> dict:
+        """JSON-safe form for the compiled-artifact cache."""
+        if self.is_synpred:
+            return {"synpred": self.synpred}
+        return {"code": self.code}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Predicate":
+        return cls(code=data.get("code"), synpred=data.get("synpred"))
+
     def __eq__(self, other):
         return (isinstance(other, Predicate)
                 and self.code == other.code and self.synpred == other.synpred)

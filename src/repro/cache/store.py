@@ -1,0 +1,115 @@
+"""On-disk store for compiled-grammar artifacts.
+
+Entries are keyed by ``(grammar content hash, AnalysisOptions
+fingerprint, compile flags, schema version)``: editing the grammar text,
+changing any analysis tunable, or bumping :data:`SCHEMA_VERSION` all
+land on a different file name, so stale entries are simply never looked
+at (and a sweeper may delete them at will — the directory is a pure
+cache, safe to ``rm -rf`` between runs).
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or
+concurrent writer can never publish a half-written entry.  Reads are
+corruption-tolerant: any unreadable, unparsable, or schema-mismatched
+entry is evicted and reported as a miss — a bad cache file must never
+make :func:`repro.api.compile_grammar` fail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.analysis.construction import AnalysisOptions
+from repro.cache.serialize import (
+    SCHEMA_VERSION,
+    artifact_to_json,
+    grammar_fingerprint,
+)
+
+
+def artifact_key(source: str, name: Optional[str],
+                 options: Optional[AnalysisOptions],
+                 rewrite_left_recursion: bool = True) -> str:
+    """Cache key for one ``compile_grammar`` configuration.
+
+    Covers everything that changes the compiled artifact: grammar text
+    (content hash), the analysis tunables, the left-recursion-rewrite
+    flag, and the serialization schema version.  ``strict`` and
+    ``parallel`` are deliberately excluded — neither changes the result,
+    only whether errors raise / how fast analysis runs.
+    """
+    opts = options or AnalysisOptions()
+    material = json.dumps({
+        "schema": SCHEMA_VERSION,
+        "grammar": grammar_fingerprint(source, name),
+        "options": opts.fingerprint(),
+        "rewrite_left_recursion": rewrite_left_recursion,
+    }, sort_keys=True)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """A directory of ``<key>.json`` compiled-artifact entries."""
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key + ".json")
+
+    def load(self, key: str) -> Optional[dict]:
+        """The payload for ``key``, or None on miss *or* any corruption.
+
+        A truncated, unparsable, or wrong-schema file is evicted so the
+        next compile rewrites it; no exception escapes.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                payload = json.load(f)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            self.evict(key)
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            self.evict(key)
+            return None
+        return payload
+
+    def save(self, key: str, payload: dict) -> str:
+        """Atomically publish ``payload`` under ``key``; returns the path.
+
+        Best-effort: an unwritable cache directory downgrades to a no-op
+        (the compile already succeeded; caching must not break it).
+        """
+        path = self.path_for(key)
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=".%s." % key[:16], suffix=".tmp", dir=self.cache_dir)
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as f:
+                    f.write(artifact_to_json(payload))
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+        return path
+
+    def evict(self, key: str) -> None:
+        try:
+            os.unlink(self.path_for(key))
+        except OSError:
+            pass
+
+    def __repr__(self):
+        return "ArtifactStore(%r)" % self.cache_dir

@@ -35,6 +35,25 @@ class LexerDFAState:
                 return self.targets[i]
         return -1
 
+    def to_dict(self) -> dict:
+        """JSON-safe form for the compiled-artifact cache."""
+        return {
+            "ivals": [list(iv) for iv in self.ivals],
+            "targets": list(self.targets),
+            "accept": ([self.accept[0], self.accept[1], list(self.accept[2])]
+                       if self.accept is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, state_id: int, data: dict) -> "LexerDFAState":
+        s = cls(state_id)
+        s.ivals = [(lo, hi) for lo, hi in data["ivals"]]
+        s.targets = list(data["targets"])
+        if data["accept"] is not None:
+            priority, name, commands = data["accept"]
+            s.accept = (priority, name, tuple(commands))
+        return s
+
     def __repr__(self):
         acc = "!" + self.accept[1] if self.accept else ""
         return "L%d%s" % (self.id, acc)
@@ -47,6 +66,21 @@ class LexerDFA:
 
     def state(self, i: int) -> LexerDFAState:
         return self.states[i]
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-safe form (states in id order)."""
+        return {
+            "start_id": self.start_id,
+            "states": [s.to_dict() for s in self.states],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LexerDFA":
+        dfa = cls()
+        dfa.start_id = data["start_id"]
+        dfa.states = [LexerDFAState.from_dict(i, sd)
+                      for i, sd in enumerate(data["states"])]
+        return dfa
 
     def __repr__(self):
         return "LexerDFA(%d states)" % len(self.states)

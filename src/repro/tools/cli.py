@@ -40,6 +40,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         p.add_argument("grammar", help="path to a .g grammar file")
         p.add_argument("--max-recursion", type=int, default=4, metavar="M",
                        help="closure recursion bound m (default 4)")
+        p.add_argument("--cache", metavar="DIR",
+                       help="compiled-artifact cache directory: warm starts "
+                            "skip static analysis (safe to delete anytime)")
+        p.add_argument("--parallel", type=int, metavar="N",
+                       help="analyze decisions on N threads (cold compiles)")
 
     p = sub.add_parser("analyze", help="static LL(*) analysis summary")
     add_common(p)
@@ -96,7 +101,9 @@ def _load_host(args):
     with open(args.grammar) as f:
         text = f.read()
     options = AnalysisOptions(max_recursion_depth=args.max_recursion)
-    return compile_grammar(text, options=options)
+    return compile_grammar(text, options=options,
+                           cache_dir=getattr(args, "cache", None),
+                           parallel=getattr(args, "parallel", None))
 
 
 def _read_input(path: str) -> str:

@@ -64,6 +64,28 @@ class TestParserHost:
         with pytest.raises(GrammarError):
             host.token_stream_from_types(["NOPE"])
 
+    def test_unknown_token_error_names_the_token(self, host):
+        """Regression: the error must be a GrammarError that names the
+        unknown token (and the grammar), not a bare/None-typed failure."""
+        with pytest.raises(GrammarError, match=r"NOPE.*H"):
+            host.token_stream_from_types(["NOPE"])
+        with pytest.raises(GrammarError, match=r"'zzz'"):
+            host.token_stream_from_types(["'zzz'"])
+
+    def test_malformed_literal_name_raises_grammar_error(self, host):
+        # "'go" (unterminated quote) must not silently resolve to a
+        # mangled literal lookup; it is reported as unknown by name.
+        with pytest.raises(GrammarError, match=r"'go"):
+            host.token_stream_from_types(["'go"])
+        with pytest.raises(GrammarError, match=r"unknown token '"):
+            host.token_stream_from_types(["'"])
+
+    def test_non_string_token_name_raises_grammar_error(self, host):
+        with pytest.raises(GrammarError, match=r"must be strings"):
+            host.token_stream_from_types([None])
+        with pytest.raises(GrammarError, match=r"must be strings"):
+            host.token_stream_from_types([3])
+
     def test_tokenless_grammar_needs_tokens(self):
         host = repro.compile_grammar("s : A B ;")
         assert host.lexer_spec is None

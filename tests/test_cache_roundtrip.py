@@ -1,0 +1,163 @@
+"""Round-trip suite for the compiled-artifact cache (repro.cache).
+
+For every bundled benchmark grammar: serialize the cold-compiled
+artifact, rebuild a host from the JSON form against a freshly parsed
+grammar, and prove the warm host is behaviorally identical — same DFA
+state/edge sets, same decision classifications, same diagnostics, same
+parse trees, same profiler events — without ever constructing a
+DecisionAnalyzer.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.analysis.construction import DecisionAnalyzer
+from repro.api import ParserHost
+from repro.cache import (
+    analysis_from_artifact,
+    artifact_to_dict,
+    artifact_to_json,
+    grammar_fingerprint,
+    lexer_from_artifact,
+)
+from repro.grammar.leftrec import eliminate_left_recursion
+from repro.grammar.meta_parser import parse_grammar
+from repro.grammars import PAPER_ORDER, load
+from repro.runtime.parser import ParserOptions
+from repro.runtime.profiler import DecisionProfiler
+
+
+def _profile_stats(profiler):
+    """Comparable view of every recorded decision event aggregate."""
+    return {
+        d: (s.events, s.sum_depth, s.max_depth, s.backtrack_events,
+            s.sum_backtrack_depth, s.max_backtrack_depth)
+        for d, s in profiler.stats.items()
+    }
+
+
+@pytest.fixture(scope="module", params=PAPER_ORDER)
+def pair(request):
+    """(bench, cold host, warm host) with the warm host rebuilt from JSON."""
+    bench = load(request.param)
+    cold = bench.compile()
+    payload = json.loads(artifact_to_json(artifact_to_dict(
+        cold.grammar, cold.analysis, cold.lexer_spec,
+        grammar_fingerprint(bench.grammar_text))))
+    grammar = parse_grammar(bench.grammar_text)
+    eliminate_left_recursion(grammar)
+    before = DecisionAnalyzer.invocations
+    analysis = analysis_from_artifact(grammar, payload)
+    assert DecisionAnalyzer.invocations == before, \
+        "warm start must not construct a DecisionAnalyzer"
+    warm = ParserHost(grammar, analysis, lexer_from_artifact(grammar, payload))
+    return bench, cold, warm
+
+
+class TestRoundTrip:
+    def test_dfa_states_and_edges_identical(self, pair):
+        _, cold, warm = pair
+        for rc, rw in zip(cold.analysis.records, warm.analysis.records):
+            assert rc.dfa.to_dict() == rw.dfa.to_dict(), \
+                "decision %d DFA shape changed across round trip" % rc.decision
+
+    def test_classifications_identical(self, pair):
+        _, cold, warm = pair
+        assert [(r.decision, r.rule_name, r.kind, r.category, r.fixed_k)
+                for r in cold.analysis.records] \
+            == [(r.decision, r.rule_name, r.kind, r.category, r.fixed_k)
+                for r in warm.analysis.records]
+
+    def test_diagnostics_identical(self, pair):
+        _, cold, warm = pair
+        assert [d.to_dict() for d in cold.analysis.diagnostics] \
+            == [d.to_dict() for d in warm.analysis.diagnostics]
+
+    def test_lexer_tables_identical(self, pair):
+        _, cold, warm = pair
+        assert cold.lexer_spec.dfa.to_dict() == warm.lexer_spec.dfa.to_dict()
+
+    def test_sample_parse_tree_and_profile_identical(self, pair):
+        bench, cold, warm = pair
+        pc, pw = DecisionProfiler(), DecisionProfiler()
+        tc = cold.parse(bench.sample, options=ParserOptions(profiler=pc))
+        tw = warm.parse(bench.sample, options=ParserOptions(profiler=pw))
+        assert tc.to_sexpr() == tw.to_sexpr()
+        assert _profile_stats(pc) == _profile_stats(pw)
+
+    def test_generated_workload_identical(self, pair):
+        bench, cold, warm = pair
+        program = bench.generate_program(6, seed=3)
+        pc, pw = DecisionProfiler(), DecisionProfiler()
+        tc = cold.parse(program, options=ParserOptions(profiler=pc))
+        tw = warm.parse(program, options=ParserOptions(profiler=pw))
+        assert tc.to_sexpr() == tw.to_sexpr()
+        assert _profile_stats(pc) == _profile_stats(pw)
+
+    def test_serialization_is_deterministic(self, pair):
+        bench, cold, _ = pair
+        one = artifact_to_json(artifact_to_dict(
+            cold.grammar, cold.analysis, cold.lexer_spec,
+            grammar_fingerprint(bench.grammar_text)))
+        two = artifact_to_json(artifact_to_dict(
+            cold.grammar, cold.analysis, cold.lexer_spec,
+            grammar_fingerprint(bench.grammar_text)))
+        assert one == two
+
+
+class TestSuiteCoverage:
+    def test_suite_exercises_backtrack_serialization(self):
+        """The PEG-mode grammars must push synpred contexts (backtrack
+        edges) through serialization, per the paper's Table 1 mix."""
+        payloads = [artifact_to_dict(h.grammar, h.analysis, h.lexer_spec, "x")
+                    for h in (load("java").compile(), load("rats_c").compile())]
+        synpred_edges = [
+            edge
+            for p in payloads
+            for record in p["analysis"]["records"]
+            for state in record["dfa"]["states"]
+            for edge in state["predicate_edges"]
+            if edge[0] is not None and "synpred" in json.dumps(edge[0])
+        ]
+        assert synpred_edges, "no synpred predicate edges serialized"
+
+
+class TestPredicatedRoundTrip:
+    """User-predicate (semantic-context) serialization, including the
+    hoisted OR-of-ANDs trees and the default (None) edge."""
+
+    GRAMMAR = """
+        grammar Pred;
+        s : {state['one']}? A | {state['two']}? A | A ;
+        A : 'a' ;
+    """
+
+    def _hosts(self):
+        cold = repro.compile_grammar(self.GRAMMAR)
+        payload = json.loads(artifact_to_json(artifact_to_dict(
+            cold.grammar, cold.analysis, cold.lexer_spec,
+            grammar_fingerprint(self.GRAMMAR))))
+        grammar = parse_grammar(self.GRAMMAR)
+        eliminate_left_recursion(grammar)
+        analysis = analysis_from_artifact(grammar, payload)
+        warm = ParserHost(grammar, analysis, lexer_from_artifact(grammar, payload))
+        return cold, warm
+
+    def test_predicate_edges_round_trip(self):
+        cold, warm = self._hosts()
+        for rc, rw in zip(cold.analysis.records, warm.analysis.records):
+            assert rc.dfa.to_dict() == rw.dfa.to_dict()
+        assert any(r.dfa.has_predicate_edges() for r in warm.analysis.records)
+
+    def test_predicates_still_evaluate(self):
+        cold, warm = self._hosts()
+        for flags, expected_alt in (({"one": True, "two": False}, 1),
+                                    ({"one": False, "two": True}, 2),
+                                    ({"one": False, "two": False}, 3)):
+            opts_c = ParserOptions(user_state=dict(flags))
+            opts_w = ParserOptions(user_state=dict(flags))
+            tc = cold.parse("a", options=opts_c)
+            tw = warm.parse("a", options=opts_w)
+            assert tc.alt == tw.alt == expected_alt

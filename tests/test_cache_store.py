@@ -1,0 +1,207 @@
+"""Artifact-store behavior: keying, invalidation, corruption tolerance.
+
+A cache entry must be invisible after any input that affects the
+compiled artifact changes (grammar text, analysis options, schema
+version), and a damaged entry must be evicted and recompiled — never
+allowed to crash or poison a compile.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+import repro
+from repro.analysis.construction import AnalysisOptions, DecisionAnalyzer
+from repro.cache import (
+    SCHEMA_VERSION,
+    ArtifactStore,
+    artifact_key,
+    artifact_to_dict,
+    grammar_fingerprint,
+)
+from repro.grammars import load
+
+GRAMMAR = """
+    grammar Small;
+    s : A B | A C ;
+    A : 'a' ;
+    B : 'b' ;
+    C : 'c' ;
+    WS : ' ' -> skip ;
+"""
+
+EDITED = GRAMMAR.replace("A C", "A A C")
+
+
+def _entry_paths(cache_dir):
+    return sorted(glob.glob(os.path.join(str(cache_dir), "*.json")))
+
+
+class TestKeying:
+    def test_same_inputs_same_key(self):
+        assert artifact_key(GRAMMAR, None, None) == artifact_key(GRAMMAR, None, None)
+
+    def test_grammar_edit_changes_key(self):
+        assert artifact_key(GRAMMAR, None, None) != artifact_key(EDITED, None, None)
+
+    def test_options_change_key(self):
+        assert artifact_key(GRAMMAR, None, AnalysisOptions(max_recursion_depth=2)) \
+            != artifact_key(GRAMMAR, None, AnalysisOptions(max_recursion_depth=3))
+
+    def test_name_override_changes_key(self):
+        assert artifact_key(GRAMMAR, "Other", None) != artifact_key(GRAMMAR, None, None)
+
+    def test_rewrite_flag_changes_key(self):
+        assert artifact_key(GRAMMAR, None, None, rewrite_left_recursion=False) \
+            != artifact_key(GRAMMAR, None, None, rewrite_left_recursion=True)
+
+
+class TestWarmStart:
+    def test_second_compile_hits_cache(self, tmp_path):
+        d = str(tmp_path)
+        cold = repro.compile_grammar(GRAMMAR, cache_dir=d)
+        assert not cold.from_cache
+        before = DecisionAnalyzer.invocations
+        warm = repro.compile_grammar(GRAMMAR, cache_dir=d)
+        assert warm.from_cache
+        assert DecisionAnalyzer.invocations == before
+        assert cold.parse("a b").to_sexpr() == warm.parse("a b").to_sexpr()
+
+    def test_grammar_edit_forces_reanalysis(self, tmp_path):
+        d = str(tmp_path)
+        repro.compile_grammar(GRAMMAR, cache_dir=d)
+        host = repro.compile_grammar(EDITED, cache_dir=d)
+        assert not host.from_cache
+        assert len(_entry_paths(tmp_path)) == 2
+
+    def test_options_change_forces_reanalysis(self, tmp_path):
+        d = str(tmp_path)
+        repro.compile_grammar(GRAMMAR, cache_dir=d)
+        host = repro.compile_grammar(
+            GRAMMAR, cache_dir=d, options=AnalysisOptions(max_recursion_depth=2))
+        assert not host.from_cache
+        assert len(_entry_paths(tmp_path)) == 2
+
+    def test_schema_bump_forces_reanalysis(self, tmp_path):
+        d = str(tmp_path)
+        repro.compile_grammar(GRAMMAR, cache_dir=d)
+        (path,) = _entry_paths(tmp_path)
+        payload = json.loads(open(path).read())
+        payload["schema"] = SCHEMA_VERSION - 1  # simulate an old artifact
+        with open(path, "w") as f:
+            f.write(json.dumps(payload))
+        host = repro.compile_grammar(GRAMMAR, cache_dir=d)
+        assert not host.from_cache
+        # The stale entry was replaced by a current-schema one.
+        (path,) = _entry_paths(tmp_path)
+        assert json.loads(open(path).read())["schema"] == SCHEMA_VERSION
+
+    def test_java_subset_store_level_warm_start(self, tmp_path):
+        """Acceptance criterion: a warm java_subset compile through the
+        public cache path skips DecisionAnalyzer and matches the cold
+        host's parse trees and profiler events.
+
+        The store is pre-seeded from the registry's cold host so this
+        test pays for analysis at most once per session.
+        """
+        from repro.runtime.parser import ParserOptions
+        from repro.runtime.profiler import DecisionProfiler
+
+        bench = load("java")
+        cold = bench.compile()
+        store = ArtifactStore(str(tmp_path))
+        key = artifact_key(bench.grammar_text, None, None)
+        store.save(key, artifact_to_dict(
+            cold.grammar, cold.analysis, cold.lexer_spec,
+            grammar_fingerprint(bench.grammar_text)))
+
+        before = DecisionAnalyzer.invocations
+        warm = repro.compile_grammar(bench.grammar_text, cache_dir=str(tmp_path))
+        assert warm.from_cache
+        assert DecisionAnalyzer.invocations == before
+        pc, pw = DecisionProfiler(), DecisionProfiler()
+        tc = cold.parse(bench.sample, options=ParserOptions(profiler=pc))
+        tw = warm.parse(bench.sample, options=ParserOptions(profiler=pw))
+        assert tc.to_sexpr() == tw.to_sexpr()
+        assert {d: s.events for d, s in pc.stats.items()} \
+            == {d: s.events for d, s in pw.stats.items()}
+
+
+class TestCorruptionTolerance:
+    def _seed(self, tmp_path):
+        repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        (path,) = _entry_paths(tmp_path)
+        return path
+
+    def test_truncated_entry_recompiles(self, tmp_path):
+        path = self._seed(tmp_path)
+        with open(path) as f:
+            text = f.read()
+        with open(path, "w") as f:
+            f.write(text[:len(text) // 2])
+        host = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert not host.from_cache
+        assert host.recognize("a b")
+        # The broken entry was evicted and rewritten whole.
+        (path,) = _entry_paths(tmp_path)
+        json.loads(open(path).read())
+
+    def test_garbage_entry_recompiles(self, tmp_path):
+        path = self._seed(tmp_path)
+        with open(path, "wb") as f:
+            f.write(b"\x00\xff not json \xfe")
+        host = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert not host.from_cache
+        assert host.recognize("a c")
+
+    def test_wrong_structure_entry_recompiles(self, tmp_path):
+        path = self._seed(tmp_path)
+        with open(path, "w") as f:
+            f.write(json.dumps({"schema": SCHEMA_VERSION, "analysis": {}}))
+        host = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert not host.from_cache
+        assert host.recognize("a b")
+
+    def test_entry_for_different_grammar_recompiles(self, tmp_path):
+        """A payload whose content does not match the grammar (e.g. a
+        key collision or hand-edited file) is rejected by the integrity
+        checks, not trusted."""
+        repro.compile_grammar(EDITED, cache_dir=str(tmp_path))
+        (edited_path,) = _entry_paths(tmp_path)
+        store = ArtifactStore(str(tmp_path))
+        key = artifact_key(GRAMMAR, None, None)
+        os.replace(edited_path, store.path_for(key))
+        host = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert not host.from_cache
+        assert host.recognize("a b")
+
+    def test_store_load_evicts_bad_entry(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        path = store.path_for("deadbeef")
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write("{truncated")
+        assert store.load("deadbeef") is None
+        assert not os.path.exists(path)
+
+    def test_unwritable_cache_dir_is_nonfatal(self, tmp_path):
+        blocker = tmp_path / "cache"
+        blocker.write_text("not a directory")
+        host = repro.compile_grammar(GRAMMAR, cache_dir=str(blocker))
+        assert host.recognize("a b")
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        leftovers = [p for p in os.listdir(str(tmp_path))
+                     if not p.endswith(".json")]
+        assert leftovers == []
+
+    def test_save_then_load_round_trips(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        payload = {"schema": SCHEMA_VERSION, "x": [1, 2, 3]}
+        store.save("k" * 64, payload)
+        assert store.load("k" * 64) == payload
