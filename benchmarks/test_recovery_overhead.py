@@ -1,0 +1,75 @@
+"""Recovery-mode overhead on clean input.
+
+Error recovery (``ParserOptions(recover=True)``) threads a follow stack
+through every rule invocation and, with a budget attached, checks
+counters on the prediction/speculation hot paths.  The fault-tolerance
+contract is only free if a *clean* parse pays ~nothing for it: the
+follow stack is push/pop, the continuation sets are built lazily on the
+first error, and budget checks are integer compares.
+
+This benchmark parses each suite grammar's workload three ways — plain,
+recover=True, and recover=True plus the defensive budget — asserts the
+trees are identical and no errors were reported, and bounds the
+slowdown.
+"""
+
+import time
+
+from repro.grammars import PAPER_ORDER, load
+from repro.runtime.budget import ParserBudget
+from repro.runtime.parser import LLStarParser, ParserOptions
+from repro.runtime.token_stream import ListTokenStream
+
+from conftest import emit_table
+
+REPS = 5
+
+
+def _best_of(host, tokens, options):
+    best = None
+    tree = None
+    for _ in range(REPS):
+        stream = ListTokenStream(list(tokens))
+        parser = LLStarParser(host.analysis, stream, options)
+        started = time.perf_counter()
+        tree = parser.parse()
+        elapsed = time.perf_counter() - started
+        assert not parser.errors, "clean input must not report errors"
+        best = elapsed if best is None else min(best, elapsed)
+    return best, tree
+
+
+def test_recovery_overhead_on_clean_input(paper_names):
+    rows = []
+    for name in PAPER_ORDER:
+        bench = load(name)
+        host = bench.compile()
+        tokens = host.tokenize(bench.generate_program(5, seed=42)).tokens()
+
+        plain_s, plain_tree = _best_of(host, tokens, ParserOptions())
+        recover_s, recover_tree = _best_of(
+            host, tokens, ParserOptions(recover=True))
+        budget_s, budget_tree = _best_of(host, tokens, ParserOptions(
+            recover=True, budget=ParserBudget.defensive()))
+
+        # Recovery mode must not change what a clean parse produces.
+        assert recover_tree.to_sexpr() == plain_tree.to_sexpr()
+        assert budget_tree.to_sexpr() == plain_tree.to_sexpr()
+        # ...and must not meaningfully slow it down (generous bound:
+        # the real margin is a few percent, the slack absorbs timer noise).
+        assert budget_s < plain_s * 1.5 + 0.01
+
+        rows.append((
+            paper_names[name],
+            len(tokens),
+            "%.3fs" % plain_s,
+            "%.3fs" % recover_s,
+            "%.3fs" % budget_s,
+            "%+.1f%%" % ((budget_s / plain_s - 1.0) * 100.0),
+        ))
+
+    emit_table(
+        "recovery_overhead",
+        "Recovery + budget overhead on clean input (best of %d)" % REPS,
+        ("Grammar", "tokens", "plain", "recover", "recover+budget", "overhead"),
+        rows)

@@ -23,7 +23,12 @@ Runtime (:mod:`repro.runtime`):
     stream, predicting with the lookahead DFA and failing over to
     memoized speculation on synpred edges.  ``DecisionProfiler``
     collects the per-decision-event statistics behind the paper's
-    Tables 2-4.
+    Tables 2-4.  With ``ParserOptions(recover=True)`` the parser
+    repairs errors ANTLR-style (single-token insertion/deletion,
+    FOLLOW-set resync) and marks every repair with an ``ErrorNode``;
+    ``ParserBudget`` bounds time and speculation with typed
+    :class:`BudgetExceededError`; :mod:`repro.runtime.chaos` provides
+    seeded fault injection for robustness testing.
 
 Convenience:
     :func:`compile_grammar` wires the whole pipeline together and
@@ -60,7 +65,9 @@ from repro.exceptions import (
     MismatchedTokenError,
     FailedPredicateError,
     LexerError,
+    BudgetExceededError,
 )
+from repro.runtime.budget import ParserBudget
 from repro.grammar import (
     Grammar,
     GrammarBuilder,
@@ -88,6 +95,8 @@ __all__ = [
     "MismatchedTokenError",
     "FailedPredicateError",
     "LexerError",
+    "BudgetExceededError",
+    "ParserBudget",
     "Grammar",
     "GrammarBuilder",
     "parse_grammar",

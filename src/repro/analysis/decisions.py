@@ -40,6 +40,10 @@ class DecisionRecord:
         self.dfa = dfa
         self.category = self._classify()
         self.fixed_k = dfa.fixed_k() if self.category == FIXED else None
+        #: True when this record carries a placeholder DFA (its cached
+        #: form was unusable); the parser rebuilds the real DFA on first
+        #: use via DecisionAnalyzer and calls :meth:`replace_dfa`.
+        self.degraded = False
 
     def _classify(self) -> str:
         if self.dfa.uses_backtracking():
@@ -51,6 +55,24 @@ class DecisionRecord:
     @property
     def can_backtrack(self) -> bool:
         return self.category == BACKTRACK
+
+    def replace_dfa(self, dfa: DFA) -> None:
+        """Swap in a freshly built DFA (degraded-mode rebuild at parse
+        time) and re-derive the classification from its shape."""
+        self.dfa = dfa
+        self.category = self._classify()
+        self.fixed_k = dfa.fixed_k() if self.category == FIXED else None
+        self.degraded = False
+
+    @classmethod
+    def degraded_placeholder(cls, decision: int, rule_name: str, kind: str,
+                             num_alternatives: int) -> "DecisionRecord":
+        """A record whose DFA is an empty shell (``start`` is None); the
+        parser detects it and rebuilds the DFA on first use."""
+        record = cls(decision, rule_name, kind,
+                     DFA(decision, rule_name, num_alternatives))
+        record.degraded = True
+        return record
 
     def to_dict(self) -> dict:
         """JSON-safe form; category/fixed_k are derived, not stored."""
@@ -157,14 +179,36 @@ class AnalysisResult:
     @classmethod
     def from_dict(cls, grammar: Grammar, atn: ATN, data: dict) -> "AnalysisResult":
         """Rebuild a result against a freshly prepared ``grammar``/``atn``
-        (see :meth:`GrammarAnalyzer.prepare_atn`)."""
-        records = [DecisionRecord.from_dict(rd) for rd in data["records"]]
-        if len(records) != len(atn.decisions):
+        (see :meth:`GrammarAnalyzer.prepare_atn`).
+
+        Deserialization is salvaged per decision: a record whose stored
+        form is unusable (bit rot that survived JSON parsing) becomes a
+        degraded placeholder plus a ``degraded`` diagnostic, instead of
+        sinking the whole warm start; the parser rebuilds such DFAs on
+        first use.  Payload-level inconsistencies (wrong decision count,
+        missing keys) still raise — those mean the entry belongs to a
+        different grammar, not a damaged copy of this one.
+        """
+        if len(data["records"]) != len(atn.decisions):
             raise ValueError(
                 "cache entry has %d decisions, grammar has %d"
-                % (len(records), len(atn.decisions)))
+                % (len(data["records"]), len(atn.decisions)))
+        records: List[DecisionRecord] = []
         diagnostics = [AnalysisDiagnostic.from_dict(dd)
                        for dd in data["diagnostics"]]
+        for info, rd in zip(atn.decisions, data["records"]):
+            try:
+                record = DecisionRecord.from_dict(rd)
+                if (record.decision != info.decision
+                        or record.rule_name != info.rule_name):
+                    raise ValueError("record does not match its decision")
+            except Exception as e:
+                record = DecisionRecord.degraded_placeholder(
+                    info.decision, info.rule_name, info.kind,
+                    info.num_alternatives)
+                diagnostics.append(AnalysisDiagnostic.degraded(
+                    info.decision, "cached record unusable (%s)" % e))
+            records.append(record)
         return cls(grammar, atn, records, diagnostics, data["elapsed_seconds"])
 
     def __repr__(self):

@@ -17,6 +17,7 @@ class AnalysisDiagnostic:
     NON_LL_REGULAR = "non-ll-regular"
     STATE_BUDGET = "state-budget"
     DEAD_ALTERNATIVE = "dead-alternative"
+    DEGRADED = "degraded"
 
     def __init__(self, kind: str, decision: int, message: str,
                  alts: Optional[List[int]] = None, chosen: Optional[int] = None):
@@ -50,6 +51,15 @@ class AnalysisDiagnostic:
     @classmethod
     def state_budget(cls, decision: int, detail: str) -> "AnalysisDiagnostic":
         return cls(cls.STATE_BUDGET, decision, detail)
+
+    @classmethod
+    def degraded(cls, decision: int, detail: str) -> "AnalysisDiagnostic":
+        """A compiled artifact for ``decision`` could not be used (e.g. a
+        corrupt cache record); the runtime will rebuild its DFA on first
+        use instead of failing the compile."""
+        return cls(cls.DEGRADED, decision,
+                   "decision %d: %s; lookahead DFA will be rebuilt on "
+                   "first use" % (decision, detail))
 
     @classmethod
     def dead_alternative(cls, decision: int, alts) -> "AnalysisDiagnostic":

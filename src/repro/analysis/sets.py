@@ -1,11 +1,16 @@
-"""FIRST and FOLLOW sets over the grammar model.
+"""FIRST and FOLLOW sets over the grammar model, plus per-ATN-state
+continuation sets.
 
 Classic fixpoint computation, done structurally on the EBNF AST (no
-desugaring needed).  Two consumers:
+desugaring needed).  Three consumers:
 
 * panic-mode error recovery: after an error in rule A, resynchronise by
   consuming tokens until one in FOLLOW(A) appears (the deterministic-LL
   error-handling advantage the paper claims over speculating parsers);
+* inline recovery (:class:`~repro.runtime.errors.DefaultErrorStrategy`)
+  and ANTLR-style sync-and-return, which need the set of tokens viable
+  *at a specific ATN state* — :class:`AtnContinuationSets` computes
+  those on demand from the same tables;
 * diagnostics/tooling: the CLI can show FIRST sets per rule.
 
 ``FIRST`` maps rule -> set of token types (plus ``EPSILON_TYPE`` when
@@ -15,7 +20,7 @@ the rule is nullable); ``FOLLOW`` maps rule -> set of token types (plus
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, FrozenSet, Set, Tuple
 
 from repro.grammar import ast
 from repro.grammar.model import Grammar
@@ -161,3 +166,66 @@ class GrammarSets:
             rule_name, ", ".join(firsts),
             " (nullable)" if self.nullable(rule_name) else "",
             rule_name, ", ".join(follows))
+
+
+class AtnContinuationSets:
+    """Token sets viable *from a specific ATN state*, for error recovery.
+
+    Rule-level FOLLOW is too coarse for ANTLR-style recovery: after a
+    mismatch the parser wants to know what can come next *here* — at
+    this exact point inside this rule's submachine — not merely what may
+    ever follow the rule.  ``continuation(state, rule)`` answers that:
+    the FIRST set of every token sequence matchable from ``state`` to
+    the rule's stop state, plus whether the stop state is reachable
+    without consuming anything (in which case the caller's own
+    continuation applies on top).
+
+    Results are memoized per ATN state id; the whole structure is built
+    lazily by the parser on the first error, so clean parses never pay
+    for it.
+    """
+
+    def __init__(self, atn, sets: GrammarSets):
+        self.atn = atn
+        self.sets = sets
+        self._cache: Dict[int, Tuple[FrozenSet[int], bool]] = {}
+
+    def continuation(self, state, rule_name: str) -> Tuple[FrozenSet[int], bool]:
+        """``(tokens, reaches_end)`` matchable from ``state`` within
+        ``rule_name``'s submachine."""
+        cached = self._cache.get(state.id)
+        if cached is not None:
+            return cached
+        from repro.atn.transitions import (
+            AtomTransition, RuleTransition, SetTransition,
+        )
+
+        stop = self.atn.rule_stop[rule_name]
+        tokens: Set[int] = set()
+        reaches_end = False
+        seen: Set[int] = set()
+        work = [state]
+        while work:
+            s = work.pop()
+            if s is stop:
+                reaches_end = True
+                continue
+            if s.id in seen:
+                continue
+            seen.add(s.id)
+            for t in s.transitions:
+                if isinstance(t, AtomTransition):
+                    tokens.add(t.token_type)
+                elif isinstance(t, SetTransition):
+                    tokens.update(t.token_set)
+                elif isinstance(t, RuleTransition):
+                    first = self.sets.first.get(t.rule_name, set())
+                    tokens.update(first - {EPSILON_TYPE})
+                    if EPSILON_TYPE in first:
+                        work.append(t.follow_state)
+                else:  # epsilon, predicate, action: free moves
+                    work.append(t.target)
+        result = (frozenset(tokens), reaches_end)
+        self._cache[state.id] = result
+        return result
+

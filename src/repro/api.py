@@ -40,11 +40,21 @@ class ParserHost:
     #: True when this host was warm-started from the compiled-artifact
     #: cache instead of running static analysis (see :mod:`repro.cache`).
     from_cache = False
+    #: Cache-health events from the store that served this compile
+    #: (:class:`~repro.cache.CacheDiagnostic`); empty for uncached compiles.
+    cache_diagnostics = ()
 
     def __init__(self, grammar: Grammar, analysis: AnalysisResult, lexer_spec=None):
         self.grammar = grammar
         self.analysis = analysis
         self.lexer_spec = lexer_spec
+
+    @property
+    def degraded_decisions(self) -> List[int]:
+        """Decisions whose cached DFA was unusable; each will be rebuilt
+        on first use by the parser (graceful degradation, not failure)."""
+        return [r.decision for r in self.analysis.records
+                if getattr(r, "degraded", False)]
 
     # -- input preparation -------------------------------------------------------
 
@@ -171,26 +181,40 @@ def compile_grammar(source, name: Optional[str] = None,
     compile's per-decision analysis on N threads.
     """
     if cache_dir is not None and not isinstance(source, Grammar):
-        from repro.cache import ArtifactStore, artifact_key, artifact_to_dict
-        from repro.cache import grammar_fingerprint
+        from repro.cache import ArtifactStore, CacheDiagnostic, artifact_key
+        from repro.cache import artifact_to_dict, grammar_fingerprint
 
         store = ArtifactStore(cache_dir)
         key = artifact_key(source, name, options, rewrite_left_recursion)
         payload = store.load(key)
         if payload is not None:
             try:
-                return _host_from_payload(payload, source, name, options,
+                host = _host_from_payload(payload, source, name, options,
                                           rewrite_left_recursion, strict)
             except GrammarError:
                 raise  # the grammar itself is bad; not a cache problem
-            except Exception:
+            except Exception as e:
+                store.note(CacheDiagnostic.STALE, key,
+                           "entry rejected (%s); evicted" % e)
                 store.evict(key)  # stale/corrupt entry: recompile below
+            else:
+                host.cache_diagnostics = store.diagnostics
+                degraded = host.degraded_decisions
+                if degraded:
+                    import warnings
+
+                    warnings.warn(
+                        "cache entry for grammar %s partially corrupt: "
+                        "decision(s) %s will be re-analyzed on first use"
+                        % (host.grammar.name, degraded))
+                return host
         host = compile_grammar(source, name=name, options=options,
                                rewrite_left_recursion=rewrite_left_recursion,
                                strict=strict, parallel=parallel)
         store.save(key, artifact_to_dict(host.grammar, host.analysis,
                                          host.lexer_spec,
                                          grammar_fingerprint(source, name)))
+        host.cache_diagnostics = store.diagnostics
         return host
 
     grammar, issues = _prepare_grammar(source, name, rewrite_left_recursion, strict)

@@ -26,11 +26,12 @@ from repro.cache.serialize import (
     grammar_fingerprint,
     lexer_from_artifact,
 )
-from repro.cache.store import ArtifactStore, artifact_key
+from repro.cache.store import ArtifactStore, CacheDiagnostic, artifact_key
 
 __all__ = [
     "SCHEMA_VERSION",
     "ArtifactStore",
+    "CacheDiagnostic",
     "analysis_from_artifact",
     "artifact_key",
     "artifact_to_dict",

@@ -20,7 +20,7 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Optional
+from typing import List, Optional
 
 from repro.analysis.construction import AnalysisOptions
 from repro.cache.serialize import (
@@ -28,6 +28,32 @@ from repro.cache.serialize import (
     artifact_to_json,
     grammar_fingerprint,
 )
+
+
+class CacheDiagnostic:
+    """One cache-health event: why a stored entry could not be used.
+
+    ``corrupt``: the file existed but did not read/parse; ``schema``:
+    it parsed but was written by a different schema version; ``stale``:
+    it deserialized but did not match the grammar it claimed to be for.
+    All three evict the entry and fall back to a cold compile — the
+    diagnostic is how tooling distinguishes "first compile" from
+    "something damaged the cache".
+    """
+
+    CORRUPT = "corrupt"
+    SCHEMA = "schema-mismatch"
+    STALE = "stale"
+
+    __slots__ = ("kind", "key", "detail")
+
+    def __init__(self, kind: str, key: str, detail: str):
+        self.kind = kind
+        self.key = key
+        self.detail = detail
+
+    def __repr__(self):
+        return "[cache %s] %s: %s" % (self.kind, self.key[:16], self.detail)
 
 
 def artifact_key(source: str, name: Optional[str],
@@ -56,15 +82,24 @@ class ArtifactStore:
 
     def __init__(self, cache_dir: str):
         self.cache_dir = cache_dir
+        #: Health events from this store instance's loads (see
+        #: :class:`CacheDiagnostic`); purely informational.
+        self.diagnostics: List[CacheDiagnostic] = []
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.cache_dir, key + ".json")
+
+    def note(self, kind: str, key: str, detail: str) -> CacheDiagnostic:
+        d = CacheDiagnostic(kind, key, detail)
+        self.diagnostics.append(d)
+        return d
 
     def load(self, key: str) -> Optional[dict]:
         """The payload for ``key``, or None on miss *or* any corruption.
 
         A truncated, unparsable, or wrong-schema file is evicted so the
-        next compile rewrites it; no exception escapes.
+        next compile rewrites it; no exception escapes.  Every eviction
+        is recorded in :attr:`diagnostics`.
         """
         path = self.path_for(key)
         try:
@@ -72,10 +107,16 @@ class ArtifactStore:
                 payload = json.load(f)
         except FileNotFoundError:
             return None
-        except (OSError, ValueError, UnicodeDecodeError):
+        except (OSError, ValueError, UnicodeDecodeError) as e:
+            self.note(CacheDiagnostic.CORRUPT, key,
+                      "unreadable entry (%s); evicted" % e.__class__.__name__)
             self.evict(key)
             return None
         if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            self.note(CacheDiagnostic.SCHEMA, key,
+                      "schema %r != %d; evicted"
+                      % (payload.get("schema") if isinstance(payload, dict)
+                         else type(payload).__name__, SCHEMA_VERSION))
             self.evict(key)
             return None
         return payload

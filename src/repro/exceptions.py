@@ -77,13 +77,53 @@ class AnalysisTimeoutError(AnalysisError):
     """
 
 
+def _position_of(token):
+    """``(line, column)`` of a token, or ``(None, None)`` when unknown."""
+    if token is None:
+        return None, None
+    return getattr(token, "line", None), getattr(token, "column", None)
+
+
+def _where(token, rule_name=None):
+    """Uniform error-location prefix: ``line L:C`` plus the rule name."""
+    line, column = _position_of(token)
+    parts = []
+    if line is not None:
+        parts.append("line %d:%d" % (line, column if column is not None else 0))
+    if rule_name:
+        parts.append("rule %s" % rule_name)
+    return " ".join(parts) + " " if parts else ""
+
+
 class RecognitionError(LLStarError):
-    """Base class for parse-time errors (bad input, not a bad grammar)."""
+    """Base class for parse-time errors (bad input, not a bad grammar).
+
+    Every recognition error uniformly carries the offending ``token``,
+    its stream ``index``, and the source position (``line``/``column``,
+    taken from the token when available) so reporters never have to
+    special-case subclasses.
+    """
 
     def __init__(self, message, token=None, index=None):
         self.token = token
         self.index = index
+        line, column = _position_of(token)
+        # Subclasses (LexerError) may have set an explicit position
+        # before delegating; only fill from the token when they did not.
+        if line is not None or not hasattr(self, "line"):
+            self.line = line
+        if column is not None or not hasattr(self, "column"):
+            self.column = column
         super().__init__(message)
+
+    @property
+    def position(self) -> str:
+        """Human-readable ``line:col`` (or token index) of the error."""
+        if self.line is not None:
+            return "%d:%d" % (self.line, self.column if self.column is not None else 0)
+        if self.index is not None:
+            return "@%d" % self.index
+        return "?"
 
 
 class NoViableAltError(RecognitionError):
@@ -97,10 +137,9 @@ class NoViableAltError(RecognitionError):
     def __init__(self, decision, token, index, rule_name=None):
         self.decision = decision
         self.rule_name = rule_name
-        where = "rule %s " % rule_name if rule_name else ""
         super().__init__(
             "%sdecision %s: no viable alternative at input %r (token index %d)"
-            % (where, decision, getattr(token, "text", token), index),
+            % (_where(token, rule_name), decision, getattr(token, "text", token), index),
             token=token,
             index=index,
         )
@@ -112,10 +151,9 @@ class MismatchedTokenError(RecognitionError):
     def __init__(self, expecting, token, index, rule_name=None):
         self.expecting = expecting
         self.rule_name = rule_name
-        where = "rule %s " % rule_name if rule_name else ""
         super().__init__(
             "%sexpecting %s, found %r (token index %d)"
-            % (where, expecting, getattr(token, "text", token), index),
+            % (_where(token, rule_name), expecting, getattr(token, "text", token), index),
             token=token,
             index=index,
         )
@@ -127,9 +165,8 @@ class FailedPredicateError(RecognitionError):
     def __init__(self, predicate, token=None, index=None, rule_name=None):
         self.predicate = predicate
         self.rule_name = rule_name
-        where = "rule %s " % rule_name if rule_name else ""
         super().__init__(
-            "%ssemantic predicate failed: {%s}?" % (where, predicate),
+            "%ssemantic predicate failed: {%s}?" % (_where(token, rule_name), predicate),
             token=token,
             index=index,
         )
@@ -146,6 +183,27 @@ class LexerError(RecognitionError):
             "line %d:%d no token matches input starting at %r" % (line, column, char),
             index=index,
         )
+
+
+class BudgetExceededError(LLStarError):
+    """A parse ran into a :class:`~repro.runtime.budget.ParserBudget` bound.
+
+    Deliberately *not* a :class:`RecognitionError`: budget exhaustion is a
+    resource event, not a property of the input, so error recovery never
+    swallows it — it aborts the parse and propagates to the caller.
+    Mirrors the paper's Section 5.3 stance of bounding analysis effort
+    (the recursion bound *m*), applied at parse time.
+    """
+
+    def __init__(self, resource, limit, spent=None, token=None, index=None):
+        self.resource = resource
+        self.limit = limit
+        self.spent = spent
+        self.token = token
+        self.index = index
+        detail = "" if spent is None else " (spent %s)" % (spent,)
+        super().__init__("parser budget exceeded: %s limit %s%s"
+                         % (resource, limit, detail))
 
 
 class ActionError(LLStarError):

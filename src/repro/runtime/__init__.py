@@ -9,8 +9,22 @@ lookahead DFA tables that analysis produced.
 from repro.runtime.token import Token, EOF, EPSILON_TYPE, INVALID_TYPE, TokenType, Vocabulary
 from repro.runtime.char_stream import CharStream
 from repro.runtime.token_stream import TokenStream, ListTokenStream
-from repro.runtime.trees import ParseTree, RuleNode, TokenNode, TreeVisitor
-from repro.runtime.profiler import DecisionProfiler, DecisionStats, ProfileReport
+from repro.runtime.trees import ErrorNode, ParseTree, RuleNode, TokenNode, TreeVisitor
+from repro.runtime.budget import ParserBudget
+from repro.runtime.chaos import ChaosCharStream, ChaosTokenStream, CorruptionEvent
+from repro.runtime.errors import (
+    BailErrorStrategy,
+    DefaultErrorStrategy,
+    ErrorStrategy,
+    SingleTokenDeletionStrategy,
+)
+from repro.runtime.profiler import (
+    DecisionProfiler,
+    DecisionStats,
+    DegradationEvent,
+    ProfileReport,
+)
+from repro.runtime.streaming import StreamingTokenStream
 
 
 def __getattr__(name):
@@ -33,13 +47,24 @@ __all__ = [
     "CharStream",
     "TokenStream",
     "ListTokenStream",
+    "StreamingTokenStream",
     "ParseTree",
     "RuleNode",
     "TokenNode",
     "TreeVisitor",
+    "ErrorNode",
     "LLStarParser",
     "ParserOptions",
+    "ParserBudget",
+    "ErrorStrategy",
+    "BailErrorStrategy",
+    "SingleTokenDeletionStrategy",
+    "DefaultErrorStrategy",
+    "ChaosTokenStream",
+    "ChaosCharStream",
+    "CorruptionEvent",
     "DecisionProfiler",
     "DecisionStats",
+    "DegradationEvent",
     "ProfileReport",
 ]

@@ -1,0 +1,179 @@
+"""Fault injection for parser robustness testing.
+
+The recovery, budget, and degradation machinery in this runtime exists
+for inputs no clean test corpus contains: editors hand parsers half-typed
+files, pipelines hand them truncated downloads.  This module manufactures
+such inputs *deterministically* — every corruption is driven by a seeded
+RNG and recorded as a :class:`CorruptionEvent` — so the robustness test
+driver (``tests/test_chaos.py``) can assert, over hundreds of corrupted
+variants per grammar, that a recovering parse always terminates, raises
+only typed errors, and marks every repair with an
+:class:`~repro.runtime.trees.ErrorNode`.
+
+Two injection points:
+
+* :class:`ChaosTokenStream` — corrupts a lexed token sequence (drop,
+  duplicate, substitute, truncate), modelling damage *between* lexer and
+  parser;
+* :class:`ChaosCharStream` — corrupts raw text before lexing, modelling
+  damage on disk or in transit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.runtime.token import DEFAULT_CHANNEL, EOF, Token
+from repro.runtime.token_stream import ListTokenStream
+
+DROP = "drop"
+DUPLICATE = "duplicate"
+SUBSTITUTE = "substitute"
+TRUNCATE = "truncate"
+
+
+class CorruptionEvent:
+    """One injected fault: what happened, where, and to what."""
+
+    __slots__ = ("kind", "index", "original", "replacement")
+
+    def __init__(self, kind: str, index: int, original=None, replacement=None):
+        self.kind = kind
+        self.index = index  # position in the *original* sequence
+        self.original = original
+        self.replacement = replacement
+
+    def __repr__(self):
+        detail = ""
+        if self.original is not None:
+            detail = " %r" % (self.original,)
+        if self.replacement is not None:
+            detail += " -> %r" % (self.replacement,)
+        return "CorruptionEvent(%s @%d%s)" % (self.kind, self.index, detail)
+
+
+def _clone(token: Token, like: Token) -> Token:
+    """A copy of ``token`` positioned where ``like`` sat (corruptions
+    keep plausible coordinates so error messages stay meaningful)."""
+    return Token(token.type, token.text, line=like.line, column=like.column,
+                 channel=like.channel)
+
+
+class ChaosTokenStream(ListTokenStream):
+    """A token stream whose contents were deterministically damaged.
+
+    Each input token (EOF excluded) independently suffers at most one
+    fault: dropped with probability ``drop_rate``, duplicated with
+    ``duplicate_rate``, or replaced by a clone of a *different* randomly
+    chosen input token with ``substitute_rate``.  Afterwards, with
+    probability ``truncate_rate`` the sequence is cut at a random point
+    (simulating a half-written file).  All randomness comes from
+    ``random.Random(seed)``; the same seed always yields the same damage,
+    recorded in :attr:`events`.
+    """
+
+    def __init__(self, tokens: Iterable[Token],
+                 drop_rate: float = 0.0,
+                 duplicate_rate: float = 0.0,
+                 substitute_rate: float = 0.0,
+                 truncate_rate: float = 0.0,
+                 seed: int = 0,
+                 channel: int = DEFAULT_CHANNEL):
+        rng = random.Random(seed)
+        source = [t for t in tokens if t.type != EOF]
+        out: List[Token] = []
+        events: List[CorruptionEvent] = []
+        for i, token in enumerate(source):
+            roll = rng.random()
+            if roll < drop_rate:
+                events.append(CorruptionEvent(DROP, i, original=token.text))
+                continue
+            roll -= drop_rate
+            if roll < duplicate_rate:
+                out.append(token)
+                out.append(_clone(token, token))
+                events.append(CorruptionEvent(DUPLICATE, i, original=token.text))
+                continue
+            roll -= duplicate_rate
+            if roll < substitute_rate and len(source) > 1:
+                other = source[rng.randrange(len(source))]
+                replacement = _clone(other, token)
+                out.append(replacement)
+                events.append(CorruptionEvent(
+                    SUBSTITUTE, i, original=token.text,
+                    replacement=replacement.text))
+                continue
+            out.append(token)
+        if truncate_rate and out and rng.random() < truncate_rate:
+            cut = rng.randrange(len(out))
+            events.append(CorruptionEvent(
+                TRUNCATE, cut, original="%d tokens" % (len(out) - cut)))
+            del out[cut:]
+        self.events = events
+        super().__init__(out, channel=channel)
+
+    @property
+    def corrupted(self) -> bool:
+        return bool(self.events)
+
+
+class ChaosCharStream:
+    """Deterministically damaged source text, for lexer-level injection.
+
+    Same fault model as :class:`ChaosTokenStream`, applied per character;
+    substitutions draw from ``alphabet`` (default: the distinct characters
+    of the input itself, which keeps the text lexable more often and so
+    exercises the *parser's* recovery rather than only the lexer's).
+    Use ``str(stream)`` (or :attr:`text`) to feed the result to a lexer.
+    """
+
+    def __init__(self, text: str,
+                 drop_rate: float = 0.0,
+                 duplicate_rate: float = 0.0,
+                 substitute_rate: float = 0.0,
+                 truncate_rate: float = 0.0,
+                 seed: int = 0,
+                 alphabet: Optional[str] = None):
+        rng = random.Random(seed)
+        if alphabet is None:
+            alphabet = "".join(sorted(set(text))) or " "
+        out: List[str] = []
+        events: List[CorruptionEvent] = []
+        for i, ch in enumerate(text):
+            roll = rng.random()
+            if roll < drop_rate:
+                events.append(CorruptionEvent(DROP, i, original=ch))
+                continue
+            roll -= drop_rate
+            if roll < duplicate_rate:
+                out.append(ch)
+                out.append(ch)
+                events.append(CorruptionEvent(DUPLICATE, i, original=ch))
+                continue
+            roll -= duplicate_rate
+            if roll < substitute_rate:
+                replacement = alphabet[rng.randrange(len(alphabet))]
+                out.append(replacement)
+                events.append(CorruptionEvent(
+                    SUBSTITUTE, i, original=ch, replacement=replacement))
+                continue
+            out.append(ch)
+        if truncate_rate and out and rng.random() < truncate_rate:
+            cut = rng.randrange(len(out))
+            events.append(CorruptionEvent(
+                TRUNCATE, cut, original="%d chars" % (len(out) - cut)))
+            del out[cut:]
+        self.text = "".join(out)
+        self.events = events
+
+    @property
+    def corrupted(self) -> bool:
+        return bool(self.events)
+
+    def __str__(self):
+        return self.text
+
+    def __repr__(self):
+        return "ChaosCharStream(%d chars, %d faults)" % (
+            len(self.text), len(self.events))

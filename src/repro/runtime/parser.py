@@ -22,7 +22,8 @@ Speculation machinery (Section 4):
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+import time
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.atn.transitions import (
     ActionTransition,
@@ -34,15 +35,21 @@ from repro.atn.transitions import (
 )
 from repro.exceptions import (
     ActionError,
+    BudgetExceededError,
     FailedPredicateError,
     MismatchedTokenError,
     NoViableAltError,
     RecognitionError,
 )
-from repro.runtime.errors import BailErrorStrategy, ErrorStrategy
+from repro.runtime.budget import ParserBudget
+from repro.runtime.errors import (
+    BailErrorStrategy,
+    DefaultErrorStrategy,
+    ErrorStrategy,
+)
 from repro.runtime.token import EOF
 from repro.runtime.token_stream import TokenStream
-from repro.runtime.trees import RuleNode, TokenNode
+from repro.runtime.trees import ErrorNode, RuleNode, TokenNode
 
 _MEMO_FAILED = -2  # sentinel stop index for memoized failures
 
@@ -58,25 +65,34 @@ class ParserOptions:
     ``action_globals``: extra names visible to embedded Python code.
     ``error_strategy``: inline-mismatch handling outside speculation.
     ``trace``: optional :class:`~repro.runtime.debug.TraceListener`.
+    ``budget``: a :class:`~repro.runtime.budget.ParserBudget` of resource
+    limits; crossing one raises
+    :class:`~repro.exceptions.BudgetExceededError`.
     """
 
     def __init__(self, memoize: bool = True, build_tree: bool = True,
                  profiler=None, user_state: Any = None,
                  action_globals: Optional[Dict[str, Any]] = None,
                  error_strategy: Optional[ErrorStrategy] = None,
-                 trace=None, recover: bool = False):
+                 trace=None, recover: bool = False,
+                 budget: Optional[ParserBudget] = None):
         self.memoize = memoize
         self.build_tree = build_tree
         self.profiler = profiler
         self.user_state = user_state
         self.action_globals = dict(action_globals) if action_globals else {}
-        self.error_strategy = error_strategy or BailErrorStrategy()
+        # A recovering parse defaults to full inline repair
+        # (deletion + insertion); a bailing parse fails fast.
+        self.error_strategy = error_strategy or (
+            DefaultErrorStrategy() if recover else BailErrorStrategy())
         self.trace = trace
         # Panic-mode recovery: on an error inside rule A (outside
-        # speculation), report it, consume tokens until FOLLOW(A), and
+        # speculation), report it, consume tokens until a token some
+        # rule on the invocation stack can use (sync-and-return), and
         # continue — so one parse surfaces *all* the input's errors,
         # the deterministic-LL error-handling advantage of Section 1.
         self.recover = recover
+        self.budget = budget
 
 
 class LLStarParser:
@@ -101,11 +117,25 @@ class LLStarParser:
         self._memo: Dict[Tuple[str, int], int] = {}
         self._deepest_spec_index = -1
         self._deepest_spec_error: Optional[RecognitionError] = None
-        self._sets = None  # lazy FIRST/FOLLOW tables for recovery
         self._last_recovery_index = -1
         # While True, subsequent errors are cascades of one mistake and
         # are resynced silently; cleared when a token matches for real.
         self._error_recovery_mode = False
+        # Invocation stack of (follow_state, caller_rule) pairs, one per
+        # active rule call; error recovery derives per-ATN-state resync
+        # sets from it (ANTLR's combined-follow computation).
+        self._follow_stack: List[Tuple[Any, str]] = []
+        # Tree node of the rule currently being parsed: where inline and
+        # panic-mode repairs attach their ErrorNodes.
+        self._ctx_node: Optional[RuleNode] = None
+        # Budget accounting (limits live in options.budget).
+        self._dfa_steps = 0
+        self._synpred_calls = 0
+        self._rule_depth = 0
+        self._recovery_attempts: Dict[int, int] = {}
+        self._deadline: Optional[float] = None
+        # Structured degradation events (missing DFAs rebuilt on the fly).
+        self.degradations: List[Any] = []
 
     # -- public entry points --------------------------------------------------------
 
@@ -117,13 +147,22 @@ class LLStarParser:
         """
         if rule_name is None:
             rule_name = self.grammar.start_rule
+        budget = self.options.budget
+        if budget is not None:
+            self._deadline = budget.deadline_from_now()
         node = self._run_rule(rule_name, [])
         if require_eof and self.stream.la(1) != EOF:
             token = self.stream.lt(1)
             error = MismatchedTokenError("EOF", token, self.stream.index,
                                          rule_name=rule_name)
             if self.options.recover:
-                self.errors.append(error)
+                reported = self.options.error_strategy.report(self, error)
+                skipped = []
+                while self.stream.la(1) != EOF:
+                    skipped.append(self.stream.consume())
+                if node is not None and (reported or skipped):
+                    node.add(ErrorNode(error=error if reported else None,
+                                       tokens=skipped))
             else:
                 raise error
         return node
@@ -166,17 +205,35 @@ class LLStarParser:
         frame["ctx"] = node
         if self.options.trace is not None:
             self.options.trace.enter_rule(rule_name, self.stream.index, self.speculating)
+        prev_ctx = self._ctx_node
+        if node is not None:
+            self._ctx_node = node
+        self._rule_depth += 1
         try:
-            self._walk(self.atn.rule_start[rule_name], rule_name, frame, node)
-        except RecognitionError as error:
-            if memo_key is not None:
-                self._memo[memo_key] = _MEMO_FAILED
-            if self.options.trace is not None:
-                self.options.trace.exit_rule(rule_name, self.stream.index, failed=True)
-            if self.options.recover and not self.speculating:
-                self._recover(rule_name, error)
-                return node
-            raise
+            budget = self.options.budget
+            if budget is not None:
+                if (budget.max_rule_depth is not None
+                        and self._rule_depth > budget.max_rule_depth):
+                    raise BudgetExceededError(
+                        "rule depth", budget.max_rule_depth,
+                        spent=self._rule_depth, token=self.stream.lt(1),
+                        index=self.stream.index)
+                self._check_deadline()
+            try:
+                self._walk(self.atn.rule_start[rule_name], rule_name, frame, node)
+            except RecognitionError as error:
+                if memo_key is not None:
+                    self._memo[memo_key] = _MEMO_FAILED
+                if self.options.trace is not None:
+                    self.options.trace.exit_rule(rule_name, self.stream.index,
+                                                 failed=True)
+                if self.options.recover and not self.speculating:
+                    self._recover(rule_name, error)
+                    return node
+                raise
+        finally:
+            self._rule_depth -= 1
+            self._ctx_node = prev_ctx
         if memo_key is not None:
             self._memo[memo_key] = self.stream.index
         if self.options.trace is not None:
@@ -202,7 +259,11 @@ class LLStarParser:
                 state = transition.target
             elif isinstance(transition, RuleTransition):
                 args = [self._eval_expr(a, frame) for a in transition.args]
-                child = self._run_rule(transition.rule_name, args)
+                self._follow_stack.append((transition.follow_state, rule_name))
+                try:
+                    child = self._run_rule(transition.rule_name, args)
+                finally:
+                    self._follow_stack.pop()
                 if node is not None and child is not None:
                     node.add(child)
                 state = transition.follow_state
@@ -244,33 +305,100 @@ class LLStarParser:
         expected_type = (transition.token_type
                          if isinstance(transition, AtomTransition) else None)
         if expected_type is not None:
+            following = self._viable_after(transition.target, rule_name)
             return self.options.error_strategy.recover_inline(
-                self, expected_type, rule_name)
+                self, expected_type, rule_name, following)
         raise MismatchedTokenError(repr(transition), token, self.stream.index,
                                    rule_name=rule_name)
 
     def _recover(self, rule_name: str, error: RecognitionError) -> None:
-        """Panic-mode resynchronisation: report, then consume tokens until
-        one that may follow ``rule_name`` (or EOF) comes up.  If the error
-        token itself is already in FOLLOW, delete nothing extra — but
-        always make progress so cascading errors cannot loop forever."""
-        if not self._error_recovery_mode:
-            self.errors.append(error)
-            self._error_recovery_mode = True
-        if self._sets is None:
-            from repro.analysis.sets import GrammarSets
-
-            self._sets = GrammarSets(self.grammar)
-        resync = self._sets.resync_set(rule_name)
+        """Panic-mode sync-and-return (ANTLR's ``recover``): report, then
+        consume tokens until one that some rule on the invocation stack
+        can use right after its pending call returns.  The resync set is
+        the union of per-ATN-state continuation sets over the whole
+        follow stack (ANTLR's combined-follow computation) plus EOF —
+        finer than rule-level FOLLOW because it reflects this exact call
+        chain, not every call site in the grammar."""
+        budget = self.options.budget
+        if budget is not None and budget.max_recovery_attempts is not None:
+            at = self.stream.index
+            attempts = self._recovery_attempts.get(at, 0) + 1
+            self._recovery_attempts[at] = attempts
+            if attempts > budget.max_recovery_attempts:
+                raise BudgetExceededError(
+                    "recovery attempts", budget.max_recovery_attempts,
+                    spent=attempts, token=self.stream.lt(1), index=at)
+        reported = self.options.error_strategy.report(self, error)
+        resync = self._recovery_set()
+        skipped = []
         while self.stream.la(1) not in resync and self.stream.la(1) != EOF:
-            self.stream.consume()
+            skipped.append(self.stream.consume())
         if (self.stream.index == self._last_recovery_index
                 and self.stream.la(1) != EOF):
             # No progress since the previous recovery at this position:
             # drop one token so cascading errors cannot loop forever
             # (ANTLR's single-token failsafe).
-            self.stream.consume()
+            skipped.append(self.stream.consume())
         self._last_recovery_index = self.stream.index
+        if reported or skipped:
+            self._attach_error_node(ErrorNode(
+                error=error if reported else None, tokens=skipped))
+
+    # -- recovery support -------------------------------------------------------
+
+    def _continuations(self):
+        """Per-ATN-state continuation sets, built lazily on the first
+        error and shared by every parser over the same analysis (clean
+        parses never pay for them)."""
+        cont = getattr(self.analysis, "_continuations", None)
+        if cont is None:
+            from repro.analysis.sets import AtnContinuationSets, GrammarSets
+
+            cont = AtnContinuationSets(self.atn, GrammarSets(self.grammar))
+            self.analysis._continuations = cont
+        return cont
+
+    def _viable_after(self, state, rule_name: str) -> FrozenSet[int]:
+        """Token types legal immediately after the expected token at
+        ``state``, given the live invocation stack; drives single-token
+        insertion (is the offending token usable once the missing one is
+        synthesized?)."""
+        cont = self._continuations()
+        tokens, reaches_end = cont.continuation(state, rule_name)
+        viable = set(tokens)
+        if reaches_end:
+            for follow_state, caller in reversed(self._follow_stack):
+                more, reaches_end = cont.continuation(follow_state, caller)
+                viable |= more
+                if not reaches_end:
+                    break
+            else:
+                viable.add(EOF)
+        return frozenset(viable)
+
+    def _recovery_set(self) -> FrozenSet[int]:
+        """ANTLR's combined follow set: union, over every invocation on
+        the stack, of what that caller can match once its pending rule
+        call returns — plus EOF so recovery can always park at end of
+        input."""
+        cont = self._continuations()
+        resync = {EOF}
+        for follow_state, caller in self._follow_stack:
+            tokens, _ = cont.continuation(follow_state, caller)
+            resync |= tokens
+        return frozenset(resync)
+
+    def _attach_error_node(self, node: ErrorNode) -> None:
+        """Record a repair in the current rule's tree node (no-op when
+        tree building is off)."""
+        if self._ctx_node is not None:
+            self._ctx_node.add(node)
+
+    def _check_deadline(self) -> None:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise BudgetExceededError(
+                "deadline", self.options.budget.deadline_seconds,
+                token=self.stream.lt(1), index=self.stream.index)
 
     # -- prediction ------------------------------------------------------------------------
 
@@ -282,12 +410,24 @@ class LLStarParser:
         """
         record = self.analysis.records[decision]
         dfa = record.dfa
+        if dfa is None or dfa.start is None:
+            dfa = self._materialize_dfa(decision, record)
         state = dfa.start
+        budget = self.options.budget
+        max_steps = budget.max_dfa_steps if budget is not None else None
         offset = 0  # tokens of lookahead consumed along DFA edges
         backtracked = False
         backtrack_depth = 0
         try:
             while True:
+                self._dfa_steps += 1
+                if max_steps is not None and self._dfa_steps > max_steps:
+                    raise BudgetExceededError(
+                        "dfa steps", max_steps, spent=self._dfa_steps,
+                        token=self.stream.lt(offset + 1),
+                        index=self.stream.index + offset)
+                if self._deadline is not None and self._dfa_steps % 64 == 0:
+                    self._check_deadline()
                 if state.is_accept:
                     return state.predicted_alt
                 token_type = self.stream.la(offset + 1)
@@ -312,6 +452,27 @@ class LLStarParser:
                                              backtrack_depth)
             if self.options.trace is not None:
                 self.options.trace.predict(decision, depth, backtracked)
+
+    def _materialize_dfa(self, decision: int, record):
+        """Degraded mode: this decision has no usable lookahead DFA (a
+        corrupted cache entry was salvaged around it) — run the static
+        analysis for just this decision now, graft the result onto the
+        shared record so later parses hit the fast path, and record a
+        structured degradation event instead of failing the parse."""
+        from repro.analysis.construction import AnalysisOptions, DecisionAnalyzer
+        from repro.runtime.profiler import DegradationEvent
+
+        analyzer = DecisionAnalyzer(self.atn, decision,
+                                    start_rule=self.grammar.start_rule,
+                                    options=AnalysisOptions())
+        dfa = analyzer.create_dfa()
+        record.replace_dfa(dfa)
+        event = DegradationEvent(decision, record.rule_name,
+                                 "decision DFA rebuilt at parse time")
+        self.degradations.append(event)
+        if self.options.profiler is not None:
+            self.options.profiler.record_degradation(event)
+        return dfa
 
     def _evaluate_predicates(self, state, decision: int, frame: Dict[str, Any]):
         """Try predicate edges in alternative order; first success wins.
@@ -342,6 +503,22 @@ class LLStarParser:
         Returns (matched, speculation depth in tokens).  The stream is
         always rewound; actions stay off; failures are memoized.
         """
+        budget = self.options.budget
+        if budget is not None:
+            self._synpred_calls += 1
+            if (budget.max_synpred_invocations is not None
+                    and self._synpred_calls > budget.max_synpred_invocations):
+                raise BudgetExceededError(
+                    "synpred invocations", budget.max_synpred_invocations,
+                    spent=self._synpred_calls, token=self.stream.lt(1),
+                    index=self.stream.index)
+            if (budget.max_backtrack_depth is not None
+                    and self._speculating + 1 > budget.max_backtrack_depth):
+                raise BudgetExceededError(
+                    "backtrack depth", budget.max_backtrack_depth,
+                    spent=self._speculating + 1, token=self.stream.lt(1),
+                    index=self.stream.index)
+            self._check_deadline()
         mark = self.stream.mark()
         self._speculating += 1
         prev_deepest = self._deepest_spec_index

@@ -52,12 +52,30 @@ class DecisionStats:
                 % (self.decision, self.events, self.avg_depth, self.backtrack_events))
 
 
+class DegradationEvent:
+    """One graceful-degradation occurrence: a decision ran without its
+    precomputed artifact (e.g. the cached DFA was corrupt) and the
+    runtime fell back to on-the-fly analysis instead of failing."""
+
+    __slots__ = ("decision", "rule_name", "reason")
+
+    def __init__(self, decision: int, rule_name: str, reason: str):
+        self.decision = decision
+        self.rule_name = rule_name
+        self.reason = reason
+
+    def __repr__(self):
+        return "DegradationEvent(d%d in %s: %s)" % (
+            self.decision, self.rule_name, self.reason)
+
+
 class DecisionProfiler:
     """Collects decision events during a parse; attach via ParserOptions."""
 
     def __init__(self):
         self.stats: Dict[int, DecisionStats] = {}
         self.total_events = 0
+        self.degradations: List[DegradationEvent] = []
 
     def record(self, decision: int, depth: int, backtracked: bool = False,
                backtrack_depth: int = 0) -> None:
@@ -67,9 +85,13 @@ class DecisionProfiler:
         stats.record(depth, backtracked, backtrack_depth)
         self.total_events += 1
 
+    def record_degradation(self, event: DegradationEvent) -> None:
+        self.degradations.append(event)
+
     def reset(self) -> None:
         self.stats.clear()
         self.total_events = 0
+        self.degradations.clear()
 
     def report(self, analysis=None) -> "ProfileReport":
         return ProfileReport(self, analysis)

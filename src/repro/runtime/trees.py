@@ -4,6 +4,12 @@ The interpreter builds a concrete parse tree: :class:`RuleNode` per rule
 invocation, :class:`TokenNode` per matched token.  Embedded actions can
 attach arbitrary values to nodes (``node.value``), which is how the
 example interpreters (calculator, JSON) compute results.
+
+Error recovery (``ParserOptions(recover=True)`` or an inline
+:class:`~repro.runtime.errors.DefaultErrorStrategy`) additionally
+records every repair as an :class:`ErrorNode` — which tokens were
+skipped or deleted, and which token was synthesized — so downstream
+consumers can see exactly where the tree deviates from the input.
 """
 
 from __future__ import annotations
@@ -25,6 +31,15 @@ class ParseTree:
         """Concatenated source text of all tokens under this node."""
         return " ".join(t.token.text for t in self.walk() if isinstance(t, TokenNode))
 
+    def error_nodes(self) -> List["ErrorNode"]:
+        """All recovery points recorded under this node, in input order."""
+        return [n for n in self.walk() if isinstance(n, ErrorNode)]
+
+    @property
+    def has_errors(self) -> bool:
+        """True when any repair happened somewhere under this node."""
+        return any(isinstance(n, ErrorNode) for n in self.walk())
+
 
 class TokenNode(ParseTree):
     """Leaf wrapping one matched token."""
@@ -39,6 +54,45 @@ class TokenNode(ParseTree):
 
     def __repr__(self):
         return "TokenNode(%r)" % self.token.text
+
+
+class ErrorNode(ParseTree):
+    """A recovery point: marks where and how the parser repaired input.
+
+    ``tokens`` are the input tokens the repair discarded (panic-mode
+    resync skips, inline single-token deletions); ``inserted`` is the
+    token an inline single-token *insertion* synthesized (its ``index``
+    is -1 — it never existed in the stream); ``error`` is the
+    :class:`~repro.exceptions.RecognitionError` that triggered the
+    repair (None for silent cascade resyncs).
+
+    ErrorNodes are leaves.  They are deliberately excluded from
+    :attr:`ParseTree.text`, so the text of a recovered tree is exactly
+    the input the parser *accepted* — the non-error spans.
+    """
+
+    __slots__ = ("error", "tokens", "inserted")
+
+    def __init__(self, error=None, tokens=(), inserted=None):
+        self.error = error
+        self.tokens = list(tokens)
+        self.inserted = inserted
+
+    @property
+    def is_insertion(self) -> bool:
+        return self.inserted is not None
+
+    def to_sexpr(self) -> str:
+        if self.inserted is not None:
+            return "(<error> inserted %s)" % self.inserted.text
+        if self.tokens:
+            return "(<error> %s)" % " ".join(t.text for t in self.tokens)
+        return "(<error>)"
+
+    def __repr__(self):
+        if self.inserted is not None:
+            return "ErrorNode(inserted %r)" % self.inserted.text
+        return "ErrorNode(%d skipped)" % len(self.tokens)
 
 
 class RuleNode(ParseTree):
@@ -99,6 +153,8 @@ class TreeVisitor:
     def visit(self, tree: ParseTree):
         if isinstance(tree, TokenNode):
             return self.visit_token(tree)
+        if isinstance(tree, ErrorNode):
+            return self.visit_error(tree)
         method = getattr(self, "visit_" + tree.rule_name, None)
         if method is not None:
             return method(tree)
@@ -106,6 +162,9 @@ class TreeVisitor:
 
     def visit_token(self, node: TokenNode):
         return node.token.text
+
+    def visit_error(self, node: ErrorNode):
+        return None
 
     def generic_visit(self, node: RuleNode):
         result = None

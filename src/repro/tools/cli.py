@@ -57,6 +57,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--rule", help="start rule (default: first parser rule)")
     p.add_argument("--tree", action="store_true", help="print the parse tree")
     p.add_argument("--trace", action="store_true", help="print a rule trace")
+    p.add_argument("--recover", action="store_true",
+                   help="recover from syntax errors and report them all "
+                        "(exit status stays nonzero)")
 
     p = sub.add_parser("profile", help="parse and report decision statistics")
     add_common(p)
@@ -134,13 +137,23 @@ def cmd_analyze(args) -> int:
 def cmd_parse(args) -> int:
     host = _load_host(args)
     trace = TraceListener(echo=False) if args.trace else None
-    options = ParserOptions(trace=trace)
-    tree = host.parse(_read_input(args.input), rule_name=args.rule, options=options)
+    options = ParserOptions(trace=trace, recover=args.recover)
+    parser = host.parser(_read_input(args.input), options=options)
+    tree = parser.parse(args.rule)
     if args.trace and trace is not None:
         print(trace.transcript())
     if args.tree and tree is not None:
         print(tree.to_sexpr())
-    else:
+    if parser.errors:
+        # One compiler-style line per recovered error, then fail the run:
+        # a parse that needed repairs is not a clean parse.
+        for error in parser.errors:
+            print("%s:%s: %s" % (args.input, error.position, error),
+                  file=sys.stderr)
+        print("%d syntax error(s) in %s" % (len(parser.errors), args.input),
+              file=sys.stderr)
+        return 1
+    if not args.tree:
         print("ok")
     return 0
 

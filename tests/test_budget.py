@@ -1,0 +1,177 @@
+"""Parser resource budgets: typed limits instead of hangs and stack
+blowups.
+
+Every limit in :class:`ParserBudget` must (a) leave legitimate parses
+untouched and (b) convert its pathological case into a
+:class:`BudgetExceededError` — which is deliberately *not* a
+:class:`RecognitionError`, so error recovery can never swallow it.
+"""
+
+import pytest
+
+import repro
+from repro.exceptions import BudgetExceededError, RecognitionError
+from repro.runtime.budget import ParserBudget
+from repro.runtime.parser import ParserOptions
+
+NEST = """
+    grammar Nest;
+    s : e ;
+    e : '(' e ')' | A ;
+    A : 'a' ;
+    WS : ' ' -> skip ;
+"""
+
+SYN = r"""
+    grammar Syn;
+    options { backtrack=true; }
+    s : (t ';')+ ;
+    t : '-'* ID | expr ;
+    expr : INT | '-' expr ;
+    ID : [a-z]+ ;
+    INT : [0-9]+ ;
+    WS : [ ]+ -> skip ;
+"""
+
+SIBLINGS = """
+    grammar Siblings;
+    s : t u ;
+    t : A B ;
+    u : C D ;
+    A : 'a' ;
+    B : 'b' ;
+    C : 'c' ;
+    D : 'd' ;
+    WS : ' ' -> skip ;
+"""
+
+
+@pytest.fixture(scope="module")
+def nest():
+    return repro.compile_grammar(NEST)
+
+
+@pytest.fixture(scope="module")
+def syn():
+    from repro.analysis.construction import AnalysisOptions
+
+    # PEG mode with a tiny recursion bound leaves synpred edges in the
+    # DFA, so parsing "- - - 5" genuinely speculates at parse time.
+    return repro.compile_grammar(SYN, options=AnalysisOptions(
+        max_recursion_depth=1))
+
+
+class TestValidation:
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ValueError):
+            ParserBudget(max_dfa_steps=0)
+        with pytest.raises(ValueError):
+            ParserBudget(max_rule_depth=-1)
+
+    def test_rejects_negative_deadline(self):
+        with pytest.raises(ValueError):
+            ParserBudget(deadline_seconds=-1.0)
+
+    def test_repr(self):
+        assert "unlimited" in repr(ParserBudget())
+        assert "max_rule_depth=5" in repr(ParserBudget(max_rule_depth=5))
+
+    def test_not_a_recognition_error(self):
+        assert not issubclass(BudgetExceededError, RecognitionError)
+
+
+class TestRuleDepth:
+    def test_deep_nesting_raises_typed_error(self, nest):
+        text = "( " * 120 + "a" + " )" * 120
+        with pytest.raises(BudgetExceededError) as ei:
+            nest.parse(text, options=ParserOptions(
+                budget=ParserBudget(max_rule_depth=50)))
+        assert ei.value.resource == "rule depth"
+        assert ei.value.limit == 50
+
+    def test_shallow_input_fits(self, nest):
+        tree = nest.parse("( ( a ) )", options=ParserOptions(
+            budget=ParserBudget(max_rule_depth=50)))
+        assert tree is not None
+
+    def test_escapes_recovery(self, nest):
+        """recover=True must not convert a budget violation into a
+        recovered parse with errors — the typed error escapes."""
+        text = "( " * 120 + "a" + " )" * 120
+        with pytest.raises(BudgetExceededError):
+            nest.parse(text, options=ParserOptions(
+                recover=True, budget=ParserBudget(max_rule_depth=50)))
+
+
+class TestDfaSteps:
+    def test_tight_step_limit_raises(self, nest):
+        with pytest.raises(BudgetExceededError) as ei:
+            nest.parse("a", options=ParserOptions(
+                budget=ParserBudget(max_dfa_steps=1)))
+        assert ei.value.resource == "dfa steps"
+
+    def test_generous_limit_unnoticed(self, nest):
+        assert nest.parse("( a )", options=ParserOptions(
+            budget=ParserBudget(max_dfa_steps=10_000))) is not None
+
+
+class TestSynpreds:
+    def test_invocation_limit(self, syn):
+        # "- - N" prefixes defeat the token-edge DFA (recursion was cut
+        # at depth 1), so each statement costs one speculation.
+        with pytest.raises(BudgetExceededError) as ei:
+            syn.parse("- - 5 ; - - 7 ;", options=ParserOptions(
+                budget=ParserBudget(max_synpred_invocations=1)))
+        assert ei.value.resource == "synpred invocations"
+
+    def test_generous_limits_unnoticed(self, syn):
+        assert syn.parse("- - 5 ; - - 7 ;", options=ParserOptions(
+            budget=ParserBudget(max_synpred_invocations=1000,
+                                max_backtrack_depth=64))) is not None
+
+
+class TestDeadline:
+    def test_expired_deadline_raises(self, nest):
+        text = "( " * 60 + "a" + " )" * 60
+        with pytest.raises(BudgetExceededError) as ei:
+            nest.parse(text, options=ParserOptions(
+                budget=ParserBudget(deadline_seconds=0.0)))
+        assert ei.value.resource == "deadline"
+
+    def test_roomy_deadline_unnoticed(self, nest):
+        assert nest.parse("( a )", options=ParserOptions(
+            budget=ParserBudget(deadline_seconds=60.0))) is not None
+
+
+class TestRecoveryAttempts:
+    def test_stuck_recovery_is_bounded(self):
+        """Input "a" leaves both t and u erroring at the same (EOF)
+        position; each failed rule burns one recovery attempt there."""
+        host = repro.compile_grammar(SIBLINGS)
+        parser = host.parser("a", options=ParserOptions(
+            recover=True, budget=ParserBudget(max_recovery_attempts=1)))
+        with pytest.raises(BudgetExceededError) as ei:
+            parser.parse()
+        assert ei.value.resource == "recovery attempts"
+
+    def test_unbudgeted_recovery_still_terminates(self):
+        host = repro.compile_grammar(SIBLINGS)
+        parser = host.parser("a", options=ParserOptions(recover=True))
+        parser.parse()
+        assert parser.errors
+
+
+class TestDefensive:
+    def test_defensive_budget_fits_ordinary_parses(self, nest):
+        budget = ParserBudget.defensive()
+        assert budget.deadline_seconds == 10.0
+        assert nest.parse("( ( ( a ) ) )", options=ParserOptions(
+            budget=budget)) is not None
+
+    def test_one_budget_serves_many_parses(self, nest):
+        # Counters live in the parser, not the budget: limits do not
+        # accumulate across parses.
+        budget = ParserBudget(max_dfa_steps=50)
+        opts = ParserOptions(budget=budget)
+        for _ in range(10):
+            assert nest.parse("( a )", options=opts) is not None

@@ -17,6 +17,7 @@ from repro.analysis.construction import AnalysisOptions, DecisionAnalyzer
 from repro.cache import (
     SCHEMA_VERSION,
     ArtifactStore,
+    CacheDiagnostic,
     artifact_key,
     artifact_to_dict,
     grammar_fingerprint,
@@ -191,6 +192,90 @@ class TestCorruptionTolerance:
         blocker.write_text("not a directory")
         host = repro.compile_grammar(GRAMMAR, cache_dir=str(blocker))
         assert host.recognize("a b")
+
+
+class TestDegradedWarmStart:
+    """A structurally valid entry with one rotten record must not sink
+    the warm start: the record degrades (placeholder DFA), the compile
+    warns, and the parser rebuilds the DFA on first use."""
+
+    def _seed_and_corrupt_record(self, tmp_path):
+        repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        (path,) = _entry_paths(tmp_path)
+        payload = json.loads(open(path).read())
+        # Damage one record's DFA only: every payload-level integrity
+        # check (schema, name, vocabulary, decision count) still passes.
+        payload["analysis"]["records"][0]["dfa"] = {"flipped": "bits"}
+        with open(path, "w") as f:
+            f.write(json.dumps(payload))
+
+    def test_warm_start_survives_with_degraded_decision(self, tmp_path):
+        self._seed_and_corrupt_record(tmp_path)
+        with pytest.warns(UserWarning, match="partially corrupt"):
+            host = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert host.from_cache  # degraded, not evicted
+        assert 0 in host.degraded_decisions
+        assert any(d.kind == "degraded" for d in host.analysis.diagnostics)
+
+    def test_degraded_decision_rebuilds_on_first_parse(self, tmp_path):
+        from repro.runtime.parser import ParserOptions
+        from repro.runtime.profiler import DecisionProfiler
+
+        self._seed_and_corrupt_record(tmp_path)
+        with pytest.warns(UserWarning):
+            host = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        profiler = DecisionProfiler()
+        tree = host.parse("a c", options=ParserOptions(profiler=profiler))
+        assert tree is not None
+        (event,) = profiler.degradations
+        assert event.decision == 0
+        # The rebuilt DFA was grafted back: the record is whole again.
+        assert host.degraded_decisions == []
+        assert host.analysis.records[0].dfa.start is not None
+
+    def test_degraded_and_cold_hosts_agree(self, tmp_path):
+        self._seed_and_corrupt_record(tmp_path)
+        with pytest.warns(UserWarning):
+            degraded = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        cold = repro.compile_grammar(GRAMMAR)
+        assert degraded.parse("a b").to_sexpr() == cold.parse("a b").to_sexpr()
+        assert degraded.parse("a c").to_sexpr() == cold.parse("a c").to_sexpr()
+
+
+class TestCacheDiagnostics:
+    """Every eviction leaves a structured trace, surfaced on the host."""
+
+    def test_corrupt_entry_leaves_diagnostic(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        path = store.path_for("deadbeef")
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write("{truncated")
+        assert store.load("deadbeef") is None
+        (diag,) = store.diagnostics
+        assert diag.kind == CacheDiagnostic.CORRUPT
+        assert diag.key == "deadbeef"
+
+    def test_host_surfaces_store_diagnostics(self, tmp_path):
+        repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        (path,) = _entry_paths(tmp_path)
+        with open(path, "w") as f:
+            f.write("{truncated")
+        host = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert not host.from_cache
+        assert any(d.kind == CacheDiagnostic.CORRUPT
+                   for d in host.cache_diagnostics)
+
+    def test_stale_entry_noted(self, tmp_path):
+        repro.compile_grammar(EDITED, cache_dir=str(tmp_path))
+        (edited_path,) = _entry_paths(tmp_path)
+        store = ArtifactStore(str(tmp_path))
+        key = artifact_key(GRAMMAR, None, None)
+        os.replace(edited_path, store.path_for(key))
+        host = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert not host.from_cache
+        assert any(d.kind == CacheDiagnostic.STALE
+                   for d in host.cache_diagnostics)
 
 
 class TestAtomicity:

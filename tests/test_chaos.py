@@ -1,0 +1,192 @@
+"""Fault-injection robustness suite.
+
+Drives every benchmark grammar with hundreds of seeded corrupted inputs
+(:mod:`repro.runtime.chaos`) and asserts the fault-tolerance contract:
+a recovering parse must always terminate, must raise nothing but typed
+:class:`RecognitionError`/:class:`BudgetExceededError`, and must mark
+every repair it makes with an :class:`ErrorNode` in the parse tree.
+
+The full 200-seed sweep runs as part of tier 1; ``pytest -m chaos``
+selects the short smoke subset CI uses for quick signal.
+"""
+
+import pytest
+
+import repro
+from repro.exceptions import BudgetExceededError, RecognitionError
+from repro.grammars import PAPER_ORDER, load
+from repro.runtime.budget import ParserBudget
+from repro.runtime.chaos import ChaosCharStream, ChaosTokenStream
+from repro.runtime.parser import ParserOptions
+from repro.runtime.trees import ErrorNode
+
+RATES = dict(drop_rate=0.04, duplicate_rate=0.04, substitute_rate=0.05,
+             truncate_rate=0.15)
+FULL_SEEDS = 200
+SMOKE_SEEDS = 10
+
+
+def _workload(name):
+    """Compiled host + clean token list for one suite grammar (tokenized
+    once; corruption happens on the token list, so 200 seeds do not pay
+    for 200 lexes)."""
+    bench = load(name)
+    host = bench.compile()
+    tokens = host.tokenize(bench.generate_program(2, seed=1)).tokens()
+    return host, tokens
+
+
+def _drive(host, tokens, seeds):
+    """The robustness contract, checked over one seed range.
+
+    Returns outcome counts so callers can also assert the sweep actually
+    exercised recovery (a harness that never corrupts proves nothing).
+    """
+    stats = {"clean": 0, "recovered": 0, "budget": 0}
+    budget = ParserBudget.defensive(deadline_seconds=30.0)
+    for seed in seeds:
+        stream = ChaosTokenStream(tokens, seed=seed, **RATES)
+        parser = host.parser(stream, options=ParserOptions(
+            recover=True, budget=budget))
+        try:
+            tree = parser.parse()
+        except BudgetExceededError:
+            stats["budget"] += 1
+            continue
+        except RecognitionError:
+            pytest.fail("recover=True must not leak RecognitionError "
+                        "(seed %d)" % seed)
+        if parser.errors:
+            assert tree is not None, "recovered parse lost its tree (seed %d)" % seed
+            assert tree.has_errors, \
+                "errors reported but no ErrorNode in tree (seed %d)" % seed
+            stats["recovered"] += 1
+        else:
+            stats["clean"] += 1
+    return stats
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_token_chaos_full_sweep(name):
+    host, tokens = _workload(name)
+    stats = _drive(host, tokens, range(FULL_SEEDS))
+    # At these rates most seeds corrupt something; the sweep must have
+    # actually exercised the recovery machinery, not just clean parses.
+    assert stats["recovered"] > FULL_SEEDS // 4, stats
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_token_chaos_smoke(name):
+    """Short seeded subset for CI (`pytest -m chaos`)."""
+    host, tokens = _workload(name)
+    stats = _drive(host, tokens, range(SMOKE_SEEDS))
+    assert sum(stats.values()) == SMOKE_SEEDS
+
+
+@pytest.mark.parametrize("name", ["java", "sql"])
+def test_char_chaos(name):
+    """Character-level damage: the lexer may reject what the corruptor
+    writes, but only ever with a typed RecognitionError."""
+    bench = load(name)
+    host = bench.compile()
+    text = bench.generate_program(2, seed=1)
+    budget = ParserBudget.defensive(deadline_seconds=30.0)
+    survived = 0
+    for seed in range(50):
+        chaos = ChaosCharStream(text, seed=seed, **RATES)
+        try:
+            stream = host.tokenize(chaos.text)
+        except RecognitionError:
+            continue  # lexer-level rejection is a valid typed outcome
+        parser = host.parser(stream, options=ParserOptions(
+            recover=True, budget=budget))
+        try:
+            tree = parser.parse()
+        except (RecognitionError, BudgetExceededError):
+            continue
+        if parser.errors:
+            assert tree.has_errors
+        survived += 1
+    assert survived > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_damage(self):
+        host, tokens = _workload("sql")
+        a = ChaosTokenStream(tokens, seed=7, **RATES)
+        b = ChaosTokenStream(tokens, seed=7, **RATES)
+        assert [t.text for t in a.tokens()] == [t.text for t in b.tokens()]
+        assert [repr(e) for e in a.events] == [repr(e) for e in b.events]
+
+    def test_different_seeds_differ_somewhere(self):
+        host, tokens = _workload("sql")
+        damages = {tuple(t.text for t in ChaosTokenStream(
+            tokens, seed=s, **RATES).tokens()) for s in range(20)}
+        assert len(damages) > 1
+
+    def test_zero_rates_are_identity(self):
+        host, tokens = _workload("sql")
+        stream = ChaosTokenStream(tokens, seed=3)
+        assert not stream.corrupted
+        assert [t.text for t in stream.tokens()] == [t.text for t in tokens]
+
+    def test_char_stream_deterministic(self):
+        a = ChaosCharStream("select x from t;", seed=5, **RATES)
+        b = ChaosCharStream("select x from t;", seed=5, **RATES)
+        assert a.text == b.text and str(a) == a.text
+
+
+TINY = """
+    grammar Tiny;
+    s : A B C ;
+    A : 'a' ;
+    B : 'b' ;
+    C : 'c' ;
+    WS : ' ' -> skip ;
+"""
+
+
+class TestErrorNodesMarkRepairSites:
+    """Each inline repair kind leaves its specific ErrorNode."""
+
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return repro.compile_grammar(TINY)
+
+    def test_missing_token_leaves_insertion_node(self, tiny):
+        parser = tiny.parser("a c", options=ParserOptions(recover=True))
+        tree = parser.parse()
+        (node,) = tree.error_nodes()
+        assert node.is_insertion
+        assert node.inserted.text == "<missing B>"
+        assert node.inserted.index == -1  # never existed in the stream
+        assert len(parser.errors) == 1
+        assert "(<error> inserted <missing B>)" in tree.to_sexpr()
+
+    def test_extra_token_leaves_deletion_node(self, tiny):
+        parser = tiny.parser("a b b c", options=ParserOptions(recover=True))
+        tree = parser.parse()
+        (node,) = tree.error_nodes()
+        assert not node.is_insertion
+        assert [t.text for t in node.tokens] == ["b"]
+        assert len(parser.errors) == 1
+
+    def test_trailing_junk_attaches_to_root(self, tiny):
+        parser = tiny.parser("a b c a b", options=ParserOptions(recover=True))
+        tree = parser.parse()
+        nodes = tree.error_nodes()
+        assert len(nodes) == 1
+        assert [t.text for t in nodes[0].tokens] == ["a", "b"]
+
+    def test_repaired_tree_text_excludes_repairs(self, tiny):
+        parser = tiny.parser("a b b c", options=ParserOptions(recover=True))
+        tree = parser.parse()
+        assert tree.text == "a b c"
+
+    def test_errors_carry_position(self, tiny):
+        parser = tiny.parser("a c", options=ParserOptions(recover=True))
+        parser.parse()
+        (error,) = parser.errors
+        assert error.line == 1 and error.column == 2
+        assert error.position == "1:2"

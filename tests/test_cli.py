@@ -71,6 +71,31 @@ class TestParse:
         grammar, _source, _tmp = paths
         assert main(["parse", grammar, "/nonexistent/input"]) == 1
 
+    def test_recover_lists_errors_and_exits_nonzero(self, paths, tmp_path, capsys):
+        grammar, _source, _tmp = paths
+        bad = tmp_path / "bad.txt"
+        bad.write_text("x = = 1 ;\nprint ;")
+        rc = main(["parse", grammar, str(bad), "--recover"])
+        assert rc != 0
+        err = capsys.readouterr().err
+        # Compiler-style file:line:col prefix for every recovered error.
+        assert "%s:1:4:" % bad in err
+        assert "syntax error(s)" in err
+
+    def test_recover_clean_input_still_ok(self, paths, capsys):
+        grammar, source, _tmp = paths
+        assert main(["parse", grammar, source, "--recover"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_recover_tree_shows_repairs(self, paths, tmp_path, capsys):
+        grammar, _source, _tmp = paths
+        bad = tmp_path / "bad.txt"
+        bad.write_text("x 42 ;")
+        rc = main(["parse", grammar, str(bad), "--tree", "--recover"])
+        assert rc != 0
+        captured = capsys.readouterr()
+        assert "<error>" in captured.out
+
 
 class TestProfile:
     def test_profile_output(self, paths, capsys):

@@ -148,3 +148,88 @@ class TestStreamingParse:
                               ParserOptions(build_tree=False))
         parser.parse()
         assert stream.peak_buffered <= 4
+
+
+class TestStreamingRecovery:
+    """Error recovery over a sliding window.
+
+    Panic resync consumes tokens straight through the stream, so the
+    window must keep trimming behind it, and neither prediction nor
+    recovery may leave a mark pinning the window open."""
+
+    @pytest.fixture(scope="class")
+    def host(self):
+        return repro.compile_grammar(r"""
+            grammar CmdsR;
+            session : command* ;
+            command : 'set' ID INT | 'get' ID | 'ping' ;
+            ID : [a-z]+ ;
+            INT : [0-9]+ ;
+            JUNK : '#' ;
+            WS : [ \t\r\n]+ -> skip ;
+        """)
+
+    def test_resync_skips_junk_and_releases_marks(self, host):
+        stream = StreamingTokenStream(token_source(host, "set # 1 ping"))
+        parser = LLStarParser(host.analysis, stream,
+                              ParserOptions(recover=True))
+        tree = parser.parse()
+        (node,) = tree.error_nodes()
+        assert [t.text for t in node.tokens] == ["#", "1"]
+        assert len(parser.errors) == 1
+        assert stream._marks == []  # nothing left pinning the window
+
+    def test_single_token_insertion_on_streaming_input(self, host):
+        stream = StreamingTokenStream(token_source(host, "set alpha get beta"))
+        parser = LLStarParser(host.analysis, stream,
+                              ParserOptions(recover=True))
+        tree = parser.parse()
+        (node,) = tree.error_nodes()
+        assert node.is_insertion
+        assert node.inserted.text == "<missing INT>"
+        assert stream._marks == []
+
+    def test_window_stays_bounded_across_recovery(self, host):
+        good = "set alpha 1 get alpha ping "
+        text = good * 40 + "set # 9 " + good * 40
+        stream = StreamingTokenStream(token_source(host, text))
+        parser = LLStarParser(host.analysis, stream,
+                              ParserOptions(recover=True, build_tree=False))
+        parser.parse()
+        assert parser.errors
+        assert stream.size > 480       # the input really was long...
+        assert stream.peak_buffered <= 8  # ...and resync never pinned it
+
+    def test_streaming_and_buffered_recovered_trees_agree(self, host):
+        text = "set alpha 1 get # ping set beta 2"
+        buffered = host.parser(text, options=ParserOptions(recover=True))
+        buffered_tree = buffered.parse()
+        stream = StreamingTokenStream(token_source(host, text))
+        streaming = LLStarParser(host.analysis, stream,
+                                 ParserOptions(recover=True))
+        streaming_tree = streaming.parse()
+        assert streaming_tree.to_sexpr() == buffered_tree.to_sexpr()
+        assert len(streaming.errors) == len(buffered.errors) == 1
+
+    def test_failed_speculation_then_resync_releases_marks(self):
+        """Speculation pins the window with a mark; when every
+        alternative fails and panic resync takes over, the pin must
+        already be gone so the resync can trim as it skips."""
+        host = repro.compile_grammar(r"""
+            grammar B;
+            options { backtrack=true; }
+            s : pre* tail ;
+            tail : x '!' | x '?' ;
+            pre : 'p' ;
+            x : '(' x ')' | ID ;
+            ID : [a-z]+ ;
+            WS : [ ]+ -> skip ;
+        """, options=AnalysisOptions(max_recursion_depth=1))
+        stream = StreamingTokenStream(token_source(host, "p p ( z ?"))
+        parser = LLStarParser(host.analysis, stream,
+                              ParserOptions(recover=True))
+        tree = parser.parse()
+        assert parser.errors
+        assert tree.has_errors
+        assert stream._marks == []
+        assert stream.la(1) == EOF  # recovery consumed to a safe point
