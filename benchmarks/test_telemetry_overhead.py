@@ -1,0 +1,87 @@
+"""Telemetry overhead: observability must be ~free when it is off.
+
+The tracing layer's hot-path contract is a single ``is not None``
+attribute check in ``_adaptive_predict`` / ``_run_rule`` / ``_recover``
+when no :class:`ParseTelemetry` is attached.  This benchmark parses each
+suite grammar's workload three ways — no telemetry, telemetry enabled
+(metrics + events), and telemetry with per-rule spans — asserts the
+trees are identical, bounds the disabled-path cost at a few percent,
+and records the *enabled* cost in ``benchmarks/results/`` so the price
+of turning observability on is a measured number, not folklore.
+"""
+
+import time
+
+from repro.grammars import PAPER_ORDER, load
+from repro.runtime.parser import LLStarParser, ParserOptions
+from repro.runtime.telemetry import ParseTelemetry
+from repro.runtime.token_stream import ListTokenStream
+
+from conftest import emit_table
+
+REPS = 5
+
+
+def _best_of(host, tokens, make_options):
+    best = None
+    tree = None
+    for _ in range(REPS):
+        # make_options() per rep: each telemetry run observes one parse.
+        stream = ListTokenStream(list(tokens))
+        parser = LLStarParser(host.analysis, stream, make_options())
+        started = time.perf_counter()
+        tree = parser.parse()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, tree, parser
+
+
+def test_telemetry_overhead(paper_names):
+    rows = []
+    for name in PAPER_ORDER:
+        bench = load(name)
+        host = bench.compile()
+        tokens = host.tokenize(bench.generate_program(5, seed=42)).tokens()
+
+        plain_s, plain_tree, _ = _best_of(
+            host, tokens, lambda: ParserOptions())
+        off_s, off_tree, _ = _best_of(
+            host, tokens, lambda: ParserOptions(telemetry=None))
+        on_s, on_tree, on_parser = _best_of(
+            host, tokens,
+            lambda: ParserOptions(telemetry=ParseTelemetry()))
+        spans_s, spans_tree, _ = _best_of(
+            host, tokens,
+            lambda: ParserOptions(telemetry=ParseTelemetry(trace_rules=True)))
+
+        # Observability must never change what the parser produces.
+        assert off_tree.to_sexpr() == plain_tree.to_sexpr()
+        assert on_tree.to_sexpr() == plain_tree.to_sexpr()
+        assert spans_tree.to_sexpr() == plain_tree.to_sexpr()
+        # ...and the enabled run really did observe the parse.
+        tel = on_parser.options.telemetry
+        assert tel.metrics.value("llstar_predictions_total") > 0
+        assert tel.dfa_hit_rate > 0.0
+
+        # Acceptance bound: telemetry *disabled* costs <=5% (the 10ms
+        # constant absorbs timer noise on sub-millisecond parses; both
+        # arms run the identical `tel is None` code path).
+        assert off_s <= plain_s * 1.05 + 0.01
+
+        rows.append((
+            paper_names[name],
+            len(tokens),
+            "%.3fs" % plain_s,
+            "%.3fs" % off_s,
+            "%.3fs" % on_s,
+            "%+.1f%%" % ((on_s / plain_s - 1.0) * 100.0),
+            "%.3fs" % spans_s,
+        ))
+
+    emit_table(
+        "telemetry_overhead",
+        "Telemetry overhead (best of %d): disabled is free, enabled is "
+        "the recorded price" % REPS,
+        ("Grammar", "tokens", "plain", "tel off", "tel on", "on cost",
+         "on+spans"),
+        rows)

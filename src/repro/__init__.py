@@ -66,8 +66,10 @@ from repro.exceptions import (
     FailedPredicateError,
     LexerError,
     BudgetExceededError,
+    TokenStreamError,
 )
 from repro.runtime.budget import ParserBudget
+from repro.runtime.telemetry import MetricsRegistry, ParseTelemetry
 from repro.grammar import (
     Grammar,
     GrammarBuilder,

@@ -166,7 +166,8 @@ def compile_grammar(source, name: Optional[str] = None,
                     rewrite_left_recursion: bool = True,
                     strict: bool = True,
                     cache_dir: Optional[str] = None,
-                    parallel: Optional[int] = None) -> ParserHost:
+                    parallel: Optional[int] = None,
+                    telemetry=None) -> ParserHost:
     """Full pipeline: text or Grammar -> ready-to-parse :class:`ParserHost`.
 
     ``strict`` raises on validation *errors* (left recursion that the
@@ -179,12 +180,30 @@ def compile_grammar(source, name: Optional[str] = None,
     cacheable — a pre-built :class:`Grammar` object has no stable content
     hash, so ``cache_dir`` is ignored for it.  ``parallel=N`` runs a cold
     compile's per-decision analysis on N threads.
+
+    ``telemetry`` (a :class:`~repro.runtime.telemetry.ParseTelemetry`)
+    observes the compile: a span per compile plus cache
+    hit/miss/save/evict events when ``cache_dir`` is set.  The same
+    object can then be attached to ``ParserOptions`` so compile-time and
+    parse-time metrics land in one registry.
     """
+    if telemetry is not None:
+        with telemetry.span("compile:%s" % (name or "grammar")):
+            return _compile_grammar_impl(source, name, options,
+                                         rewrite_left_recursion, strict,
+                                         cache_dir, parallel, telemetry)
+    return _compile_grammar_impl(source, name, options,
+                                 rewrite_left_recursion, strict,
+                                 cache_dir, parallel, telemetry)
+
+
+def _compile_grammar_impl(source, name, options, rewrite_left_recursion,
+                          strict, cache_dir, parallel, telemetry) -> ParserHost:
     if cache_dir is not None and not isinstance(source, Grammar):
         from repro.cache import ArtifactStore, CacheDiagnostic, artifact_key
         from repro.cache import artifact_to_dict, grammar_fingerprint
 
-        store = ArtifactStore(cache_dir)
+        store = ArtifactStore(cache_dir, telemetry=telemetry)
         key = artifact_key(source, name, options, rewrite_left_recursion)
         payload = store.load(key)
         if payload is not None:

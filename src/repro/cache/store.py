@@ -20,6 +20,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import List, Optional
 
 from repro.analysis.construction import AnalysisOptions
@@ -38,12 +39,15 @@ class CacheDiagnostic:
     it deserialized but did not match the grammar it claimed to be for.
     All three evict the entry and fall back to a cold compile — the
     diagnostic is how tooling distinguishes "first compile" from
-    "something damaged the cache".
+    "something damaged the cache".  ``orphan``: a ``.tmp`` spill from a
+    writer that died between ``mkstemp`` and the atomic ``os.replace``;
+    swept (age-bounded) on store init.
     """
 
     CORRUPT = "corrupt"
     SCHEMA = "schema-mismatch"
     STALE = "stale"
+    ORPHAN = "orphan-temp"
 
     __slots__ = ("kind", "key", "detail")
 
@@ -78,13 +82,33 @@ def artifact_key(source: str, name: Optional[str],
 
 
 class ArtifactStore:
-    """A directory of ``<key>.json`` compiled-artifact entries."""
+    """A directory of ``<key>.json`` compiled-artifact entries.
 
-    def __init__(self, cache_dir: str):
+    ``telemetry`` (a :class:`~repro.runtime.telemetry.ParseTelemetry`)
+    receives one :class:`~repro.runtime.telemetry.CacheEvent` per store
+    operation — hit, miss, save, evict, orphan sweep — and a
+    ``llstar_cache_events_total{op=...}`` counter each.
+    """
+
+    #: A ``.tmp`` spill younger than this is assumed to belong to a
+    #: still-running concurrent writer and is left alone; older ones are
+    #: orphans from a writer that died mid-publish and are swept.
+    ORPHAN_TMP_AGE_SECONDS = 3600.0
+
+    def __init__(self, cache_dir: str, telemetry=None,
+                 sweep_orphans: bool = True,
+                 orphan_age_seconds: Optional[float] = None):
         self.cache_dir = cache_dir
+        self.telemetry = telemetry
         #: Health events from this store instance's loads (see
         #: :class:`CacheDiagnostic`); purely informational.
         self.diagnostics: List[CacheDiagnostic] = []
+        #: Orphaned temp files removed by this instance's init sweep.
+        self.orphans_swept = 0
+        if sweep_orphans:
+            age = (self.ORPHAN_TMP_AGE_SECONDS if orphan_age_seconds is None
+                   else orphan_age_seconds)
+            self._sweep_orphan_temps(age)
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.cache_dir, key + ".json")
@@ -92,7 +116,45 @@ class ArtifactStore:
     def note(self, kind: str, key: str, detail: str) -> CacheDiagnostic:
         d = CacheDiagnostic(kind, key, detail)
         self.diagnostics.append(d)
+        if self.telemetry is not None:
+            self.telemetry.record_cache(kind, key, detail)
         return d
+
+    def _record(self, operation: str, key: str, detail: str = "") -> None:
+        if self.telemetry is not None:
+            self.telemetry.record_cache(operation, key, detail)
+
+    def _sweep_orphan_temps(self, max_age_seconds: float) -> int:
+        """Delete ``.tmp`` spills abandoned by a writer that died between
+        ``mkstemp`` and ``os.replace`` in :meth:`save`.
+
+        Age-bounded so an in-flight concurrent write is never yanked out
+        from under its owner.  Best-effort (an unreadable directory is a
+        no-op); every removal lands in :attr:`diagnostics` and the
+        telemetry cache counter so operators can tell "clean start" from
+        "writers keep crashing here".
+        """
+        try:
+            entries = os.listdir(self.cache_dir)
+        except OSError:
+            return 0
+        cutoff = time.time() - max_age_seconds
+        swept = 0
+        for entry in entries:
+            if not entry.endswith(".tmp"):
+                continue
+            path = os.path.join(self.cache_dir, entry)
+            try:
+                if os.stat(path).st_mtime > cutoff:
+                    continue
+                os.unlink(path)
+            except OSError:
+                continue  # raced with its owner or a concurrent sweeper
+            swept += 1
+            self.note(CacheDiagnostic.ORPHAN, entry,
+                      "stale temp file from an interrupted write; removed")
+        self.orphans_swept = swept
+        return swept
 
     def load(self, key: str) -> Optional[dict]:
         """The payload for ``key``, or None on miss *or* any corruption.
@@ -106,6 +168,7 @@ class ArtifactStore:
             with open(path, "r", encoding="utf-8") as f:
                 payload = json.load(f)
         except FileNotFoundError:
+            self._record("miss", key)
             return None
         except (OSError, ValueError, UnicodeDecodeError) as e:
             self.note(CacheDiagnostic.CORRUPT, key,
@@ -119,6 +182,7 @@ class ArtifactStore:
                          else type(payload).__name__, SCHEMA_VERSION))
             self.evict(key)
             return None
+        self._record("hit", key)
         return payload
 
     def save(self, key: str, payload: dict) -> str:
@@ -136,6 +200,7 @@ class ArtifactStore:
                 with os.fdopen(fd, "w", encoding="utf-8") as f:
                     f.write(artifact_to_json(payload))
                 os.replace(tmp_path, path)
+                self._record("save", key)
             except BaseException:
                 try:
                     os.unlink(tmp_path)
@@ -150,7 +215,8 @@ class ArtifactStore:
         try:
             os.unlink(self.path_for(key))
         except OSError:
-            pass
+            return
+        self._record("evict", key)
 
     def __repr__(self):
         return "ArtifactStore(%r)" % self.cache_dir

@@ -185,6 +185,16 @@ class LexerError(RecognitionError):
         )
 
 
+class TokenStreamError(LLStarError, ValueError):
+    """A token-stream contract violation: reading or seeking a position
+    the stream can no longer (or never could) serve — e.g. a discarded
+    window slot, or lookahead past the end of an empty window.
+
+    Subclasses :class:`ValueError` for backward compatibility with
+    callers that caught the streams' historical bare ``ValueError``.
+    """
+
+
 class BudgetExceededError(LLStarError):
     """A parse ran into a :class:`~repro.runtime.budget.ParserBudget` bound.
 

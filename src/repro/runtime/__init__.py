@@ -25,6 +25,15 @@ from repro.runtime.profiler import (
     ProfileReport,
 )
 from repro.runtime.streaming import StreamingTokenStream
+from repro.runtime.telemetry import (
+    CacheEvent,
+    DfaFallbackEvent,
+    MetricsRegistry,
+    ParseTelemetry,
+    PredictEvent,
+    RecoveryEvent,
+    SpanEvent,
+)
 
 
 def __getattr__(name):
@@ -67,4 +76,11 @@ __all__ = [
     "DecisionStats",
     "DegradationEvent",
     "ProfileReport",
+    "ParseTelemetry",
+    "MetricsRegistry",
+    "PredictEvent",
+    "DfaFallbackEvent",
+    "RecoveryEvent",
+    "CacheEvent",
+    "SpanEvent",
 ]

@@ -91,6 +91,10 @@ class SingleTokenDeletionStrategy(ErrorStrategy):
         self.report(parser, error)
         deleted = stream.consume()
         parser._attach_error_node(ErrorNode(error=error, tokens=[deleted]))
+        telemetry = getattr(parser, "_telemetry", None)
+        if telemetry is not None:
+            telemetry.record_recovery("delete", rule_name, stream.index,
+                                      skipped=1)
         return stream.consume()
 
 
@@ -130,6 +134,9 @@ class DefaultErrorStrategy(SingleTokenDeletionStrategy):
         missing = Token(expected_type, "<missing %s>" % name,
                         line=token.line, column=token.column)
         parser._attach_error_node(ErrorNode(error=error, inserted=missing))
+        telemetry = getattr(parser, "_telemetry", None)
+        if telemetry is not None:
+            telemetry.record_recovery("insert", rule_name, stream.index)
         return missing
 
 

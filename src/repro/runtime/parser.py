@@ -68,6 +68,9 @@ class ParserOptions:
     ``budget``: a :class:`~repro.runtime.budget.ParserBudget` of resource
     limits; crossing one raises
     :class:`~repro.exceptions.BudgetExceededError`.
+    ``telemetry``: a :class:`~repro.runtime.telemetry.ParseTelemetry`
+    receiving structured events and metrics (prediction outcomes,
+    recovery repairs, degradations, speculation spans).
     """
 
     def __init__(self, memoize: bool = True, build_tree: bool = True,
@@ -75,7 +78,8 @@ class ParserOptions:
                  action_globals: Optional[Dict[str, Any]] = None,
                  error_strategy: Optional[ErrorStrategy] = None,
                  trace=None, recover: bool = False,
-                 budget: Optional[ParserBudget] = None):
+                 budget: Optional[ParserBudget] = None,
+                 telemetry=None):
         self.memoize = memoize
         self.build_tree = build_tree
         self.profiler = profiler
@@ -93,6 +97,7 @@ class ParserOptions:
         # the deterministic-LL error-handling advantage of Section 1.
         self.recover = recover
         self.budget = budget
+        self.telemetry = telemetry
 
 
 class LLStarParser:
@@ -136,6 +141,8 @@ class LLStarParser:
         self._deadline: Optional[float] = None
         # Structured degradation events (missing DFAs rebuilt on the fly).
         self.degradations: List[Any] = []
+        # Hot-path handle; None keeps every telemetry hook a single check.
+        self._telemetry = self.options.telemetry
 
     # -- public entry points --------------------------------------------------------
 
@@ -159,7 +166,15 @@ class LLStarParser:
                 reported = self.options.error_strategy.report(self, error)
                 skipped = []
                 while self.stream.la(1) != EOF:
+                    # A hostile tail (e.g. an unbounded stream of junk)
+                    # must not dodge the budget deadline by hiding in
+                    # this drain loop.
+                    self._check_deadline()
                     skipped.append(self.stream.consume())
+                if self._telemetry is not None:
+                    self._telemetry.record_recovery(
+                        "eof-drain", rule_name, self.stream.index,
+                        skipped=len(skipped))
                 if node is not None and (reported or skipped):
                     node.add(ErrorNode(error=error if reported else None,
                                        tokens=skipped))
@@ -205,6 +220,12 @@ class LLStarParser:
         frame["ctx"] = node
         if self.options.trace is not None:
             self.options.trace.enter_rule(rule_name, self.stream.index, self.speculating)
+        tel = self._telemetry
+        rule_span = None
+        if tel is not None and not self.speculating:
+            tel.record_rule(rule_name)
+            if tel.trace_rules:
+                rule_span = tel.start_span("rule:" + rule_name)
         prev_ctx = self._ctx_node
         if node is not None:
             self._ctx_node = node
@@ -234,6 +255,8 @@ class LLStarParser:
         finally:
             self._rule_depth -= 1
             self._ctx_node = prev_ctx
+            if rule_span is not None:
+                tel.end_span(rule_span)
         if memo_key is not None:
             self._memo[memo_key] = self.stream.index
         if self.options.trace is not None:
@@ -332,6 +355,10 @@ class LLStarParser:
         resync = self._recovery_set()
         skipped = []
         while self.stream.la(1) not in resync and self.stream.la(1) != EOF:
+            # Resync can skip arbitrarily far on corrupted input (or
+            # forever on an unbounded stream); keep the deadline honest
+            # inside the loop, not just at rule boundaries.
+            self._check_deadline()
             skipped.append(self.stream.consume())
         if (self.stream.index == self._last_recovery_index
                 and self.stream.la(1) != EOF):
@@ -340,6 +367,10 @@ class LLStarParser:
             # (ANTLR's single-token failsafe).
             skipped.append(self.stream.consume())
         self._last_recovery_index = self.stream.index
+        if self._telemetry is not None:
+            self._telemetry.record_recovery("panic", rule_name,
+                                            self.stream.index,
+                                            skipped=len(skipped))
         if reported or skipped:
             self._attach_error_node(ErrorNode(
                 error=error if reported else None, tokens=skipped))
@@ -410,14 +441,17 @@ class LLStarParser:
         """
         record = self.analysis.records[decision]
         dfa = record.dfa
+        degraded = False
         if dfa is None or dfa.start is None:
             dfa = self._materialize_dfa(decision, record)
+            degraded = True
         state = dfa.start
         budget = self.options.budget
         max_steps = budget.max_dfa_steps if budget is not None else None
         offset = 0  # tokens of lookahead consumed along DFA edges
         backtracked = False
         backtrack_depth = 0
+        used_predicates = False
         try:
             while True:
                 self._dfa_steps += 1
@@ -437,6 +471,7 @@ class LLStarParser:
                     state = nxt
                     continue
                 if state.predicate_edges:
+                    used_predicates = True
                     alt, backtracked, backtrack_depth = self._evaluate_predicates(
                         state, decision, frame)
                     if alt is not None:
@@ -450,6 +485,21 @@ class LLStarParser:
             if self.options.profiler is not None and not self.speculating:
                 self.options.profiler.record(decision, depth, backtracked,
                                              backtrack_depth)
+            tel = self._telemetry
+            if tel is not None and not self.speculating:
+                tel.record_predict(decision, record.rule_name, depth,
+                                   dfa_hit=not (used_predicates or degraded),
+                                   backtracked=backtracked,
+                                   backtrack_depth=backtrack_depth,
+                                   index=self.stream.index)
+                if used_predicates:
+                    tel.record_fallback(
+                        decision, record.rule_name,
+                        "synpred" if backtracked else "predicates",
+                        self.stream.index)
+                if degraded:
+                    tel.record_fallback(decision, record.rule_name,
+                                        "degraded", self.stream.index)
             if self.options.trace is not None:
                 self.options.trace.predict(decision, depth, backtracked)
 
@@ -472,6 +522,8 @@ class LLStarParser:
         self.degradations.append(event)
         if self.options.profiler is not None:
             self.options.profiler.record_degradation(event)
+        if self._telemetry is not None:
+            self._telemetry.record_degradation(event)
         return dfa
 
     def _evaluate_predicates(self, state, decision: int, frame: Dict[str, Any]):
@@ -523,11 +575,13 @@ class LLStarParser:
         self._speculating += 1
         prev_deepest = self._deepest_spec_index
         self._deepest_spec_index = mark
+        tel = self._telemetry
+        spec_span = tel.start_span("synpred:" + rule_name) if tel is not None else None
+        matched = False
         try:
             self._run_rule(rule_name, [])
             matched = True
         except RecognitionError as e:
-            matched = False
             if (self._deepest_spec_error is None
                     or (e.index or 0) >= (self._deepest_spec_error.index or 0)):
                 self._deepest_spec_error = e
@@ -535,6 +589,9 @@ class LLStarParser:
             depth = max(self._deepest_spec_index, self.stream.index) - mark
             self._deepest_spec_index = max(prev_deepest, self._deepest_spec_index)
             self._speculating -= 1
+            if spec_span is not None:
+                tel.end_span(spec_span)
+                tel.record_synpred(rule_name, matched)
             # The memo table persists for the whole parse (ANTLR policy):
             # repeated speculation of the same rule at the same position
             # across decisions is what makes nested backtracking linear.

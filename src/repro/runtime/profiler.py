@@ -14,6 +14,7 @@ tokens of lookahead the DFA examined, whether the decision backtracked
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Set
 
 
@@ -58,6 +59,7 @@ class DegradationEvent:
     runtime fell back to on-the-fly analysis instead of failing."""
 
     __slots__ = ("decision", "rule_name", "reason")
+    kind = "degradation"
 
     def __init__(self, decision: int, rule_name: str, reason: str):
         self.decision = decision
@@ -70,28 +72,39 @@ class DegradationEvent:
 
 
 class DecisionProfiler:
-    """Collects decision events during a parse; attach via ParserOptions."""
+    """Collects decision events during a parse; attach via ParserOptions.
+
+    Thread-safe: one profiler may be shared across concurrent parses of
+    a batch.  Each ``record`` is a read-modify-write of several counters,
+    so without the lock simultaneous events silently under-count (the
+    classic lost-update race); the uncontended acquire is cheap next to
+    the prediction it instruments.
+    """
 
     def __init__(self):
         self.stats: Dict[int, DecisionStats] = {}
         self.total_events = 0
         self.degradations: List[DegradationEvent] = []
+        self._lock = threading.Lock()
 
     def record(self, decision: int, depth: int, backtracked: bool = False,
                backtrack_depth: int = 0) -> None:
-        stats = self.stats.get(decision)
-        if stats is None:
-            stats = self.stats[decision] = DecisionStats(decision)
-        stats.record(depth, backtracked, backtrack_depth)
-        self.total_events += 1
+        with self._lock:
+            stats = self.stats.get(decision)
+            if stats is None:
+                stats = self.stats[decision] = DecisionStats(decision)
+            stats.record(depth, backtracked, backtrack_depth)
+            self.total_events += 1
 
     def record_degradation(self, event: DegradationEvent) -> None:
-        self.degradations.append(event)
+        with self._lock:
+            self.degradations.append(event)
 
     def reset(self) -> None:
-        self.stats.clear()
-        self.total_events = 0
-        self.degradations.clear()
+        with self._lock:
+            self.stats.clear()
+            self.total_events = 0
+            self.degradations.clear()
 
     def report(self, analysis=None) -> "ProfileReport":
         return ProfileReport(self, analysis)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional
 
+from repro.exceptions import TokenStreamError
 from repro.runtime.token import EOF, Token, DEFAULT_CHANNEL
 from repro.runtime.token_stream import TokenStream
 
@@ -31,9 +32,14 @@ class StreamingTokenStream(TokenStream):
     ``seek`` can rewind at most to the oldest outstanding mark —
     rewinding further raises, which is exactly the contract the LL(*)
     parser honours (it only rewinds to marks it took).
+
+    ``telemetry`` (a :class:`~repro.runtime.telemetry.ParseTelemetry`)
+    receives the window high-water mark as the
+    ``llstar_stream_peak_window`` gauge.
     """
 
-    def __init__(self, tokens: Iterable[Token], channel: int = DEFAULT_CHANNEL):
+    def __init__(self, tokens: Iterable[Token], channel: int = DEFAULT_CHANNEL,
+                 telemetry=None):
         self._source: Iterator[Token] = iter(tokens)
         self._channel = channel
         self._window: List[Token] = []
@@ -43,6 +49,7 @@ class StreamingTokenStream(TokenStream):
         self._eof_seen: Optional[Token] = None
         self._next_abs = 0  # absolute index to assign to the next pull
         self.peak_buffered = 0
+        self._telemetry = telemetry
 
     # -- window management ---------------------------------------------------------
 
@@ -58,14 +65,20 @@ class StreamingTokenStream(TokenStream):
             self._window.append(token)
             if token.type == EOF:
                 self._eof_seen = token
-            self.peak_buffered = max(self.peak_buffered, len(self._window))
+            self._note_window()
             return True
         eof = Token.eof(index=self._next_abs)
         self._next_abs += 1
         self._eof_seen = eof
         self._window.append(eof)
-        self.peak_buffered = max(self.peak_buffered, len(self._window))
+        self._note_window()
         return True
+
+    def _note_window(self) -> None:
+        if len(self._window) > self.peak_buffered:
+            self.peak_buffered = len(self._window)
+            if self._telemetry is not None:
+                self._telemetry.observe_stream_window(self.peak_buffered)
 
     def _ensure(self, absolute: int) -> None:
         while absolute >= self._window_start + len(self._window):
@@ -95,11 +108,19 @@ class StreamingTokenStream(TokenStream):
             raise ValueError("lt(0) is undefined")
         absolute = self._index + (offset - 1 if offset > 0 else offset)
         if absolute < self._window_start:
-            raise ValueError(
+            raise TokenStreamError(
                 "token %d already discarded (window starts at %d); "
                 "only marked positions stay reachable"
                 % (absolute, self._window_start))
         self._ensure(absolute)
+        if not self._window:
+            # Reachable when the cursor was seeked past everything the
+            # source will ever produce and the trim dropped the whole
+            # window: there is no token (not even EOF) left to clamp to.
+            raise TokenStreamError(
+                "empty token window at index %d (window starts at %d, "
+                "source exhausted); cannot read lookahead" %
+                (self._index, self._window_start))
         i = absolute - self._window_start
         if i >= len(self._window):
             i = len(self._window) - 1  # sticky EOF
@@ -126,7 +147,7 @@ class StreamingTokenStream(TokenStream):
 
     def seek(self, index: int) -> None:
         if index < self._window_start:
-            raise ValueError(
+            raise TokenStreamError(
                 "cannot seek to %d: discarded (window starts at %d)"
                 % (index, self._window_start))
         self._index = index

@@ -1,0 +1,632 @@
+"""Structured parse-time observability: events, spans, metrics, exporters.
+
+The paper's evaluation (Tables 2-4) is built on instrumenting prediction
+— lookahead depth, backtracking frequency, DFA coverage.
+:class:`~repro.runtime.profiler.DecisionProfiler` computes those
+aggregates in memory; this module is the production counterpart: a
+structured event stream plus a metrics registry with machine-readable
+export, so "why was this parse slow?" is answerable from a metrics
+endpoint instead of a debugger.
+
+Three layers:
+
+* **Events** — one small object per interesting occurrence
+  (:class:`PredictEvent`, :class:`DfaFallbackEvent`,
+  :class:`RecoveryEvent`, :class:`CacheEvent`, :class:`SpanEvent`; the
+  existing :class:`~repro.runtime.profiler.DegradationEvent` is carried
+  through unchanged).  The event list is bounded — a pathological parse
+  cannot OOM the observer — with a drop counter so truncation is visible.
+* **Metrics** — :class:`MetricsRegistry` holds counters, gauges, and
+  histograms (DFA hit vs ATN-fallback rate, realized-k distribution,
+  recovery attempts, cache hit/miss/evict, peak streaming window) and
+  exports them as JSON (:meth:`MetricsRegistry.to_json`) or Prometheus
+  text exposition format (:meth:`MetricsRegistry.to_prometheus`).
+* **Spans** — nested wall-clock timing for rule invocation and synpred
+  speculation (:meth:`ParseTelemetry.span`), aggregated into per-kind
+  latency histograms.
+
+:class:`ParseTelemetry` is the facade the runtime talks to; attach one
+via ``ParserOptions(telemetry=...)`` / ``compile_grammar(telemetry=...)``
+or the CLI's ``--metrics-out``.  Every hook is a no-op ``None`` check
+when telemetry is not attached, so the disabled cost is one attribute
+load per event site (``benchmarks/test_telemetry_overhead.py`` bounds
+it).  ``record_*`` methods take an internal lock, so one telemetry
+object can observe concurrent parses of a batch without losing events.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "CacheEvent",
+    "Counter",
+    "DfaFallbackEvent",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ParseTelemetry",
+    "PredictEvent",
+    "RecoveryEvent",
+    "SpanEvent",
+]
+
+
+# -- event model ---------------------------------------------------------------------
+
+
+class PredictEvent:
+    """One adaptive-prediction outcome: which decision ran, how many
+    tokens of lookahead the DFA realized (``k``), and whether the pure
+    DFA walk sufficed (``dfa_hit``) or the decision fell back to
+    predicate/synpred evaluation (``backtracked`` when speculation
+    actually ran, with its deepest token reach in ``backtrack_depth``)."""
+
+    kind = "predict"
+    __slots__ = ("decision", "rule_name", "k", "dfa_hit", "backtracked",
+                 "backtrack_depth", "index")
+
+    def __init__(self, decision: int, rule_name: str, k: int, dfa_hit: bool,
+                 backtracked: bool, backtrack_depth: int, index: int):
+        self.decision = decision
+        self.rule_name = rule_name
+        self.k = k
+        self.dfa_hit = dfa_hit
+        self.backtracked = backtracked
+        self.backtrack_depth = backtrack_depth
+        self.index = index
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "decision": self.decision,
+                "rule": self.rule_name, "k": self.k, "dfa_hit": self.dfa_hit,
+                "backtracked": self.backtracked,
+                "backtrack_depth": self.backtrack_depth, "index": self.index}
+
+    def __repr__(self):
+        return "PredictEvent(d%d k=%d %s)" % (
+            self.decision, self.k, "dfa" if self.dfa_hit else "fallback")
+
+
+class DfaFallbackEvent:
+    """A decision left the token-edge DFA and resolved through predicate
+    evaluation (``reason='predicates'``), speculative parsing
+    (``reason='synpred'``), or an on-the-fly DFA rebuild
+    (``reason='degraded'``)."""
+
+    kind = "dfa-fallback"
+    __slots__ = ("decision", "rule_name", "reason", "index")
+
+    def __init__(self, decision: int, rule_name: str, reason: str, index: int):
+        self.decision = decision
+        self.rule_name = rule_name
+        self.reason = reason
+        self.index = index
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "decision": self.decision,
+                "rule": self.rule_name, "reason": self.reason,
+                "index": self.index}
+
+    def __repr__(self):
+        return "DfaFallbackEvent(d%d %s)" % (self.decision, self.reason)
+
+
+class RecoveryEvent:
+    """One error-repair occurrence.  ``kind`` distinguishes inline
+    single-token ``insert``/``delete``, rule-level ``panic`` resync, and
+    the end-of-parse ``eof-drain``; ``skipped`` counts tokens thrown away
+    to resynchronise."""
+
+    PANIC = "panic"
+    INSERT = "insert"
+    DELETE = "delete"
+    EOF_DRAIN = "eof-drain"
+
+    kind = "recovery"
+    __slots__ = ("repair", "rule_name", "index", "skipped")
+
+    def __init__(self, repair: str, rule_name: str, index: int, skipped: int = 0):
+        self.repair = repair
+        self.rule_name = rule_name
+        self.index = index
+        self.skipped = skipped
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "repair": self.repair,
+                "rule": self.rule_name, "index": self.index,
+                "skipped": self.skipped}
+
+    def __repr__(self):
+        return "RecoveryEvent(%s in %s @%d, skipped %d)" % (
+            self.repair, self.rule_name, self.index, self.skipped)
+
+
+class CacheEvent:
+    """One artifact-cache occurrence: ``hit``, ``miss``, ``save``,
+    ``evict``, an orphaned-temp sweep (``orphan``), or any
+    :class:`~repro.cache.CacheDiagnostic` kind verbatim."""
+
+    HIT = "hit"
+    MISS = "miss"
+    SAVE = "save"
+    EVICT = "evict"
+    ORPHAN = "orphan"
+
+    kind = "cache"
+    __slots__ = ("operation", "key", "detail")
+
+    def __init__(self, operation: str, key: str, detail: str = ""):
+        self.operation = operation
+        self.key = key
+        self.detail = detail
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "operation": self.operation,
+                "key": self.key, "detail": self.detail}
+
+    def __repr__(self):
+        return "CacheEvent(%s %s)" % (self.operation, self.key[:16])
+
+
+class SpanEvent:
+    """A closed timing span: ``name`` is ``kind:detail`` (e.g.
+    ``rule:expr``, ``synpred:synpred1_t``), ``depth`` its nesting level,
+    ``elapsed`` wall-clock seconds."""
+
+    kind = "span"
+    __slots__ = ("name", "depth", "elapsed")
+
+    def __init__(self, name: str, depth: int, elapsed: float):
+        self.name = name
+        self.depth = depth
+        self.elapsed = elapsed
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "name": self.name, "depth": self.depth,
+                "elapsed": self.elapsed}
+
+    def __repr__(self):
+        return "SpanEvent(%s %.6fs depth %d)" % (self.name, self.elapsed, self.depth)
+
+
+class _OpenSpan:
+    """Handle returned by :meth:`ParseTelemetry.start_span`."""
+
+    __slots__ = ("name", "depth", "started")
+
+    def __init__(self, name: str, depth: int, started: float):
+        self.name = name
+        self.depth = depth
+        self.started = started
+
+
+# -- metrics -------------------------------------------------------------------------
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    metric_type = "counter"
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: Optional[dict] = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else {}
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def sample(self) -> dict:
+        return {"labels": self.labels, "value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways; ``track_max`` keeps high-water
+    marks (peak streaming window)."""
+
+    metric_type = "gauge"
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: Optional[dict] = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else {}
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def track_max(self, value) -> None:
+        if value > self.value:
+            self.value = value
+
+    def sample(self) -> dict:
+        return {"labels": self.labels, "value": self.value}
+
+
+#: Default histogram buckets for token-count distributions (realized k,
+#: speculation depth): fine near the paper's observed 1-2 token regime,
+#: coarse in the pathological tail.
+K_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 32, 64)
+
+#: Default buckets for span latencies, in seconds.
+LATENCY_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+_INF = float("inf")
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/max.
+
+    Buckets are upper bounds (Prometheus ``le`` semantics); an implicit
+    ``+Inf`` bucket catches the tail.  ``max`` is tracked exactly so
+    Table-3-style ``max k`` never loses precision to bucketing.
+    """
+
+    metric_type = "histogram"
+    __slots__ = ("name", "help", "labels", "bounds", "counts", "sum",
+                 "count", "max")
+
+    def __init__(self, name: str, help: str = "", labels: Optional[dict] = None,
+                 buckets: Tuple[float, ...] = K_BUCKETS):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else {}
+        self.bounds = tuple(sorted(buckets)) + (_INF,)
+        self.counts = [0] * len(self.bounds)
+        self.sum = 0.0
+        self.count = 0
+        self.max = 0.0
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative count)`` pairs, Prometheus-style."""
+        out, running = [], 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            out.append((bound, running))
+        return out
+
+    def sample(self) -> dict:
+        return {"labels": self.labels,
+                "buckets": {_format_bound(b): n for b, n in self.cumulative()},
+                "sum": self.sum, "count": self.count, "max": self.max}
+
+
+def _format_bound(bound: float) -> str:
+    if bound == _INF:
+        return "+Inf"
+    if float(bound) == int(bound):
+        return str(int(bound))
+    return repr(float(bound))
+
+
+def _label_key(labels: Optional[dict]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((labels or {}).items()))
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join('%s="%s"' % (k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+                     for k, v in sorted(labels.items()))
+    return "{%s}" % inner
+
+
+class MetricsRegistry:
+    """A named collection of metrics with JSON and Prometheus export.
+
+    One metric *name* maps to one type/help and any number of labelled
+    instances; asking again for the same ``(name, labels)`` returns the
+    existing instance, so call sites never need to pre-register.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[Tuple[str, tuple], Any] = {}
+        self._meta: Dict[str, Tuple[type, str]] = {}
+
+    def _get(self, cls, name: str, help: str, labels: Optional[dict], **kwargs):
+        meta = self._meta.get(name)
+        if meta is not None and meta[0] is not cls:
+            raise ValueError("metric %r already registered as %s"
+                             % (name, meta[0].metric_type))
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = cls(name, help=help, labels=labels,
+                                              **kwargs)
+            if meta is None:
+                self._meta[name] = (cls, help)
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[dict] = None) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[dict] = None) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Optional[dict] = None,
+                  buckets: Tuple[float, ...] = K_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    # -- introspection ---------------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._meta)
+
+    def get(self, name: str, labels: Optional[dict] = None):
+        """The metric instance for ``(name, labels)``, or None."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name: str, labels: Optional[dict] = None, default=0):
+        """Counter/gauge value (testing convenience)."""
+        metric = self.get(name, labels)
+        return default if metric is None else metric.value
+
+    # -- exporters -------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-safe snapshot: ``{name: {type, help, samples: [...]}}``."""
+        out: Dict[str, dict] = {}
+        for (name, _), metric in sorted(self._metrics.items(),
+                                        key=lambda kv: kv[0]):
+            entry = out.setdefault(name, {
+                "type": metric.metric_type,
+                "help": self._meta[name][1],
+                "samples": [],
+            })
+            entry["samples"].append(metric.sample())
+        return out
+
+    def to_json_text(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        seen: set = set()
+        for (name, _), metric in sorted(self._metrics.items(),
+                                        key=lambda kv: kv[0]):
+            if name not in seen:
+                seen.add(name)
+                help_text = self._meta[name][1]
+                if help_text:
+                    lines.append("# HELP %s %s" % (name, help_text))
+                lines.append("# TYPE %s %s" % (name, metric.metric_type))
+            if isinstance(metric, Histogram):
+                for bound, running in metric.cumulative():
+                    labels = dict(metric.labels, le=_format_bound(bound))
+                    lines.append("%s_bucket%s %d"
+                                 % (name, _format_labels(labels), running))
+                lines.append("%s_sum%s %s" % (name, _format_labels(metric.labels),
+                                              _format_number(metric.sum)))
+                lines.append("%s_count%s %d" % (name, _format_labels(metric.labels),
+                                                metric.count))
+            else:
+                lines.append("%s%s %s" % (name, _format_labels(metric.labels),
+                                          _format_number(metric.value)))
+        return "\n".join(lines) + "\n"
+
+
+def _format_number(value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+# -- the facade ----------------------------------------------------------------------
+
+
+class ParseTelemetry:
+    """Observability hub threaded through the runtime and cache.
+
+    ``capture_events`` keeps the structured event list (bounded by
+    ``max_events``; overflow increments :attr:`dropped_events` instead of
+    growing).  ``trace_rules`` additionally opens a span per rule
+    invocation — precise but hot, so it is opt-in; synpred speculation
+    spans are always taken (speculation is the expensive path worth
+    timing).  All ``record_*`` entry points are serialized by one lock,
+    so a telemetry object shared across threads never drops counts.
+    """
+
+    def __init__(self, capture_events: bool = True, max_events: int = 10_000,
+                 trace_rules: bool = False, clock=time.perf_counter):
+        self.metrics = MetricsRegistry()
+        self.events: List[Any] = []
+        self.capture_events = capture_events
+        self.max_events = max_events
+        self.trace_rules = trace_rules
+        self.dropped_events = 0
+        self._clock = clock
+        self._span_depth = 0
+        self._lock = threading.Lock()
+        m = self.metrics
+        # Pre-resolved hot-path handles (no registry lookup per event).
+        self._predictions = m.counter(
+            "llstar_predictions_total", "adaptive-prediction events")
+        self._dfa_hits = m.counter(
+            "llstar_dfa_hits_total",
+            "predictions resolved by the lookahead DFA alone")
+        self._fallbacks = m.counter(
+            "llstar_atn_fallbacks_total",
+            "predictions that left the DFA for predicate/synpred evaluation")
+        self._realized_k = m.histogram(
+            "llstar_realized_k", "lookahead depth per prediction (tokens)",
+            buckets=K_BUCKETS)
+        self._backtracks = m.counter(
+            "llstar_backtrack_events_total",
+            "predictions that launched speculative sub-parses")
+        self._backtrack_depth = m.histogram(
+            "llstar_backtrack_depth",
+            "deepest token reach per backtracking prediction",
+            buckets=K_BUCKETS)
+        self._synpreds = m.counter(
+            "llstar_synpred_invocations_total",
+            "speculative sub-parses launched")
+        self._rules = m.counter(
+            "llstar_rule_invocations_total", "rule invocations")
+        self._recovery_skipped = m.counter(
+            "llstar_recovery_tokens_skipped_total",
+            "tokens discarded while resynchronising")
+        self._degradations = m.counter(
+            "llstar_degradations_total",
+            "decisions whose DFA was rebuilt at parse time")
+        self._stream_window = m.gauge(
+            "llstar_stream_peak_window",
+            "high-water mark of the streaming token window")
+
+    # -- event plumbing --------------------------------------------------------
+
+    def _emit(self, event) -> None:
+        if not self.capture_events:
+            return
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.dropped_events += 1
+
+    def events_by_kind(self, kind: str) -> List[Any]:
+        return [e for e in self.events if e.kind == kind]
+
+    # -- runtime hooks ---------------------------------------------------------
+
+    def record_predict(self, decision: int, rule_name: str, k: int,
+                       dfa_hit: bool, backtracked: bool, backtrack_depth: int,
+                       index: int) -> None:
+        with self._lock:
+            self._predictions.inc()
+            self._realized_k.observe(k)
+            if dfa_hit:
+                self._dfa_hits.inc()
+            else:
+                self._fallbacks.inc()
+            if backtracked:
+                self._backtracks.inc()
+                self._backtrack_depth.observe(backtrack_depth)
+            self._emit(PredictEvent(decision, rule_name, k, dfa_hit,
+                                    backtracked, backtrack_depth, index))
+
+    def record_fallback(self, decision: int, rule_name: str, reason: str,
+                        index: int) -> None:
+        with self._lock:
+            self.metrics.counter(
+                "llstar_fallback_reasons_total",
+                "why predictions left the DFA", labels={"reason": reason}).inc()
+            self._emit(DfaFallbackEvent(decision, rule_name, reason, index))
+
+    def record_synpred(self, rule_name: str, matched: bool) -> None:
+        with self._lock:
+            self._synpreds.inc()
+            self.metrics.counter(
+                "llstar_synpred_outcomes_total", "speculation outcomes",
+                labels={"outcome": "matched" if matched else "failed"}).inc()
+
+    def record_rule(self, rule_name: str) -> None:
+        with self._lock:
+            self._rules.inc()
+
+    def record_recovery(self, repair: str, rule_name: str, index: int,
+                        skipped: int = 0) -> None:
+        with self._lock:
+            self.metrics.counter(
+                "llstar_recovery_events_total", "error repairs by kind",
+                labels={"kind": repair}).inc()
+            if skipped:
+                self._recovery_skipped.inc(skipped)
+            self._emit(RecoveryEvent(repair, rule_name, index, skipped))
+
+    def record_cache(self, operation: str, key: str, detail: str = "") -> None:
+        with self._lock:
+            self.metrics.counter(
+                "llstar_cache_events_total", "artifact-cache operations",
+                labels={"op": operation}).inc()
+            self._emit(CacheEvent(operation, key, detail))
+
+    def record_degradation(self, event) -> None:
+        """``event`` is a :class:`~repro.runtime.profiler.DegradationEvent`."""
+        with self._lock:
+            self._degradations.inc()
+            self._emit(event)
+
+    def observe_stream_window(self, peak: int) -> None:
+        with self._lock:
+            self._stream_window.track_max(peak)
+
+    # -- spans -----------------------------------------------------------------
+
+    def start_span(self, name: str) -> _OpenSpan:
+        span = _OpenSpan(name, self._span_depth, self._clock())
+        self._span_depth += 1
+        return span
+
+    def end_span(self, span: _OpenSpan) -> float:
+        elapsed = self._clock() - span.started
+        with self._lock:
+            self._span_depth = span.depth
+            span_kind = span.name.split(":", 1)[0]
+            self.metrics.histogram(
+                "llstar_span_seconds", "nested span latency by kind",
+                labels={"kind": span_kind}, buckets=LATENCY_BUCKETS
+            ).observe(elapsed)
+            self._emit(SpanEvent(span.name, span.depth, elapsed))
+        return elapsed
+
+    @contextmanager
+    def span(self, name: str):
+        handle = self.start_span(name)
+        try:
+            yield handle
+        finally:
+            self.end_span(handle)
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def dfa_hit_rate(self) -> float:
+        """Fraction of predictions the DFA resolved without fallback."""
+        total = self._predictions.value
+        return self._dfa_hits.value / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """One JSON-safe document: metrics plus event accounting."""
+        by_kind: Dict[str, int] = {}
+        for event in self.events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        return {
+            "metrics": self.metrics.to_json(),
+            "dfa_hit_rate": self.dfa_hit_rate,
+            "events": by_kind,
+            "dropped_events": self.dropped_events,
+        }
+
+    def to_json_text(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        return self.metrics.to_prometheus()
+
+    def __repr__(self):
+        return ("ParseTelemetry(%d events, %d predictions, hit rate %.2f)"
+                % (len(self.events), self._predictions.value, self.dfa_hit_rate))

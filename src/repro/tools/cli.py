@@ -4,17 +4,24 @@ Subcommands::
 
     llstar analyze  grammar.g [--max-k N] [--dot DIR]
     llstar parse    grammar.g input.txt [--rule R] [--tree] [--trace]
-    llstar profile  grammar.g input.txt [--rule R]
+                    [--metrics-out FILE]
+    llstar profile  grammar.g input.txt [--rule R] [--json]
+                    [--metrics-out FILE]
     llstar codegen  grammar.g [-o parser.py] [--class-name NAME]
     llstar tokens   grammar.g input.txt
 
-``analyze`` prints a Table-1-style decision summary; ``profile`` prints
-the Table-3/4 runtime statistics for one input.
+``analyze`` prints a Table-1-style decision summary; ``profile`` replays
+an input under the profiler + telemetry and prints the Table-3/4 runtime
+statistics.  ``--metrics-out`` exports the telemetry registry (DFA hit
+rate, realized-k histogram, cache/recovery counters) as JSON, or as
+Prometheus text when the file ends in ``.prom`` (override with
+``--metrics-format``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -27,6 +34,7 @@ from repro.exceptions import LLStarError
 from repro.runtime.debug import TraceListener
 from repro.runtime.parser import ParserOptions
 from repro.runtime.profiler import DecisionProfiler
+from repro.runtime.telemetry import ParseTelemetry
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -46,6 +54,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         p.add_argument("--parallel", type=int, metavar="N",
                        help="analyze decisions on N threads (cold compiles)")
 
+    def add_metrics(p):
+        p.add_argument("--metrics-out", metavar="FILE",
+                       help="export telemetry metrics to FILE (JSON, or "
+                            "Prometheus text for .prom files)")
+        p.add_argument("--metrics-format", choices=["json", "prom"],
+                       help="force the --metrics-out format "
+                            "(default: by file extension)")
+
     p = sub.add_parser("analyze", help="static LL(*) analysis summary")
     add_common(p)
     p.add_argument("--dot", metavar="DIR",
@@ -60,6 +76,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--recover", action="store_true",
                    help="recover from syntax errors and report them all "
                         "(exit status stays nonzero)")
+    add_metrics(p)
 
     p = sub.add_parser("profile", help="parse and report decision statistics")
     add_common(p)
@@ -67,6 +84,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--rule")
     p.add_argument("--by-decision", action="store_true",
                    help="per-decision event/lookahead breakdown")
+    p.add_argument("--json", action="store_true",
+                   help="print the aggregates (and metrics) as one JSON "
+                        "document instead of tables")
+    p.add_argument("--trace-rules", action="store_true",
+                   help="also time every rule invocation as a span "
+                        "(slower; enables per-rule latency histograms)")
+    add_metrics(p)
 
     p = sub.add_parser("sets", help="print FIRST/FOLLOW sets")
     add_common(p)
@@ -100,18 +124,41 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_host(args):
+def _load_host(args, telemetry=None):
     with open(args.grammar) as f:
         text = f.read()
     options = AnalysisOptions(max_recursion_depth=args.max_recursion)
     return compile_grammar(text, options=options,
                            cache_dir=getattr(args, "cache", None),
-                           parallel=getattr(args, "parallel", None))
+                           parallel=getattr(args, "parallel", None),
+                           telemetry=telemetry)
 
 
 def _read_input(path: str) -> str:
     with open(path) as f:
         return f.read()
+
+
+def _telemetry_for(args):
+    """A ParseTelemetry when the invocation asked for metrics, else None."""
+    if getattr(args, "metrics_out", None) or getattr(args, "json", False):
+        return ParseTelemetry(trace_rules=getattr(args, "trace_rules", False))
+    return None
+
+
+def _write_metrics(telemetry: ParseTelemetry, args) -> None:
+    path = args.metrics_out
+    if not path:
+        return
+    fmt = args.metrics_format
+    if fmt is None:
+        fmt = "prom" if path.endswith((".prom", ".txt")) else "json"
+    with open(path, "w") as f:
+        if fmt == "prom":
+            f.write(telemetry.to_prometheus())
+        else:
+            f.write(telemetry.to_json_text() + "\n")
+    print("wrote %s metrics to %s" % (fmt, path), file=sys.stderr)
 
 
 def cmd_analyze(args) -> int:
@@ -135,11 +182,19 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_parse(args) -> int:
-    host = _load_host(args)
+    telemetry = _telemetry_for(args)
+    host = _load_host(args, telemetry=telemetry)
     trace = TraceListener(echo=False) if args.trace else None
-    options = ParserOptions(trace=trace, recover=args.recover)
+    options = ParserOptions(trace=trace, recover=args.recover,
+                            telemetry=telemetry)
     parser = host.parser(_read_input(args.input), options=options)
-    tree = parser.parse(args.rule)
+    try:
+        tree = parser.parse(args.rule)
+    finally:
+        # A parse that died mid-flight still leaves its metrics behind —
+        # that is the whole point of the observability layer.
+        if telemetry is not None:
+            _write_metrics(telemetry, args)
     if args.trace and trace is not None:
         print(trace.transcript())
     if args.tree and tree is not None:
@@ -159,12 +214,25 @@ def cmd_parse(args) -> int:
 
 
 def cmd_profile(args) -> int:
-    host = _load_host(args)
+    from repro.tools.report import profile_tables, profile_to_dict
+
+    telemetry = _telemetry_for(args) or ParseTelemetry(
+        trace_rules=args.trace_rules)
+    host = _load_host(args, telemetry=telemetry)
     profiler = DecisionProfiler()
     host.parse(_read_input(args.input), rule_name=args.rule,
-               options=ParserOptions(profiler=profiler))
+               options=ParserOptions(profiler=profiler, telemetry=telemetry))
     report = profiler.report(host.analysis)
+    if args.metrics_out:
+        _write_metrics(telemetry, args)
+    if args.json:
+        print(json.dumps(profile_to_dict(report, telemetry=telemetry),
+                         indent=2, sort_keys=True))
+        return 0
     print(report.summary())
+    print("dfa hit rate: %.2f%%" % (100.0 * telemetry.dfa_hit_rate))
+    print()
+    print(profile_tables(report, name=os.path.basename(args.input)))
     print()
     fixed = host.analysis.count(FIXED)
     cyclic = host.analysis.count(CYCLIC)

@@ -145,3 +145,66 @@ class SuiteReport:
 def build_report(units: int = 30, seed: int = 42,
                  names: Optional[List[str]] = None) -> str:
     return SuiteReport(units=units, seed=seed, names=names).collect().render()
+
+
+# -- single-input profiling views (the ``profile`` CLI) ----------------------------
+
+
+def profile_to_dict(report, telemetry=None) -> dict:
+    """Table-3/4 aggregates of one profiled parse as a JSON-safe dict.
+
+    ``report`` is a :class:`~repro.runtime.profiler.ProfileReport`;
+    ``telemetry`` (optional :class:`~repro.runtime.telemetry.ParseTelemetry`)
+    adds the full metrics snapshot, so one document carries both the
+    paper-style aggregates and the operational counters.
+    """
+    can = report.can_backtrack_decisions
+    data = {
+        "table3": {
+            "decisions_covered": report.decisions_covered,
+            "events": report.total_events,
+            "avg_k": report.avg_k,
+            "avg_backtrack_k": report.avg_backtrack_k,
+            "max_k": report.max_k,
+        },
+        "table4": {
+            "can_backtrack": len(can) if can is not None else None,
+            "did_backtrack": len(report.did_backtrack_decisions
+                                 & can) if can is not None
+            else len(report.did_backtrack_decisions),
+            "backtrack_event_percent": report.backtrack_event_percent,
+            "backtrack_rate": report.backtrack_rate,
+        },
+        "per_decision": [
+            {"decision": d, "events": s.events, "avg_k": s.avg_depth,
+             "max_k": max(s.max_depth, s.max_backtrack_depth),
+             "backtracks": s.backtrack_events}
+            for d, s in sorted(report.profiler.stats.items())
+        ],
+    }
+    if telemetry is not None:
+        data["telemetry"] = telemetry.snapshot()
+    return data
+
+
+def profile_tables(report, name: str = "input") -> str:
+    """Render one profiled parse as Table-3/4-style text tables."""
+    t3 = format_table(
+        "Table 3 (single input): parser decision lookahead depth",
+        ("Input", "n", "events", "avg k", "back. k", "max k"),
+        [(name, report.decisions_covered, report.total_events,
+          "%.2f" % report.avg_k, "%.2f" % report.avg_backtrack_k,
+          report.max_k)])
+    can = report.can_backtrack_decisions
+    t4 = format_table(
+        "Table 4 (single input): decision backtracking behaviour",
+        ("Input", "Can back.", "Did back.", "events", "Backtrack",
+         "Back. rate"),
+        [(name,
+          len(can) if can is not None else "-",
+          len(report.did_backtrack_decisions & can) if can is not None
+          else len(report.did_backtrack_decisions),
+          report.total_events,
+          "%.2f%%" % report.backtrack_event_percent,
+          "%.2f%%" % report.backtrack_rate)])
+    return t3 + "\n\n" + t4

@@ -143,6 +143,87 @@ class TestDeadline:
             budget=ParserBudget(deadline_seconds=60.0))) is not None
 
 
+class TestDeadlineInsideRecovery:
+    """Regression: the deadline used to be checked only at rule entry
+    and prediction, so panic resync and the post-parse EOF drain could
+    consume an unbounded junk tail without ever noticing an expired
+    budget.  Both loops now check per skipped token."""
+
+    DEAD = """
+        grammar Dead;
+        s : GO ID NUM ;
+        GO : 'go' ;
+        ID : [a-z]+ ;
+        NUM : [0-9]+ ;
+        JUNK : '#' ;
+    """
+
+    @pytest.fixture(scope="class")
+    def dead(self):
+        return repro.compile_grammar(self.DEAD)
+
+    def _junk_tail_stream(self, host, good, junk_count):
+        from repro.runtime.streaming import StreamingTokenStream
+        from repro.runtime.token import Token
+
+        vocab = host.grammar.vocabulary
+        junk = Token(vocab.type_of("JUNK"), "#")
+        tokens = [Token(vocab.type_of(name), text) for name, text in good]
+        tokens.extend(junk for _ in range(junk_count))
+        return StreamingTokenStream(iter(tokens))
+
+    def test_panic_resync_honors_deadline(self, dead):
+        """A mismatch followed by a few hundred thousand junk tokens:
+        the resync skip loop must raise mid-skip, not after."""
+        from repro.runtime.parser import LLStarParser
+
+        stream = self._junk_tail_stream(
+            dead, [("GO", "go"), ("ID", "x")], 400_000)
+        parser = LLStarParser(dead.analysis, stream, ParserOptions(
+            recover=True, build_tree=False,
+            budget=ParserBudget(deadline_seconds=0.05)))
+        with pytest.raises(BudgetExceededError) as ei:
+            parser.parse()
+        assert ei.value.resource == "deadline"
+        # It raised from inside the skip loop, long before the junk ran out.
+        from repro.runtime.token import EOF
+        assert stream.la(1) != EOF
+
+    def test_eof_drain_honors_deadline(self, dead):
+        """Trailing junk after a successful start rule is drained by
+        parse(); that loop must also observe the deadline."""
+        from repro.runtime.parser import LLStarParser
+
+        host = repro.compile_grammar(
+            "grammar D2; s : GO ; GO : 'go' ; JUNK : '#' ;")
+        stream = self._junk_tail_stream(host, [("GO", "go")], 400_000)
+        parser = LLStarParser(host.analysis, stream, ParserOptions(
+            recover=True, build_tree=False,
+            budget=ParserBudget(deadline_seconds=0.05)))
+        with pytest.raises(BudgetExceededError) as ei:
+            parser.parse()
+        assert ei.value.resource == "deadline"
+
+    def test_pathological_backtracking_hits_deadline(self, syn):
+        """Chaos-style: statements engineered so every prediction
+        speculates; a short deadline must convert the grind into a
+        typed error instead of a multi-second parse."""
+        text = ("- " * 40 + "5 ; ") * 400
+        with pytest.raises(BudgetExceededError) as ei:
+            syn.parse(text, options=ParserOptions(
+                budget=ParserBudget(deadline_seconds=0.001)))
+        assert ei.value.resource == "deadline"
+
+    def test_roomy_deadline_lets_recovery_finish(self, dead):
+        stream = self._junk_tail_stream(dead, [("GO", "go"), ("ID", "x")], 50)
+        from repro.runtime.parser import LLStarParser
+
+        parser = LLStarParser(dead.analysis, stream, ParserOptions(
+            recover=True, budget=ParserBudget(deadline_seconds=60.0)))
+        parser.parse()
+        assert parser.errors
+
+
 class TestRecoveryAttempts:
     def test_stuck_recovery_is_bounded(self):
         """Input "a" leaves both t and u erroring at the same (EOF)

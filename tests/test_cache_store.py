@@ -278,6 +278,74 @@ class TestCacheDiagnostics:
                    for d in host.cache_diagnostics)
 
 
+class TestOrphanSweep:
+    """A writer that dies between ``mkstemp`` and ``os.replace`` leaves a
+    ``.tmp`` spill; store init sweeps those (age-bounded) so a crashy
+    host does not slowly fill the cache directory with garbage."""
+
+    def _plant_tmp(self, tmp_path, name=".deadbeef.12345.tmp", age=None):
+        os.makedirs(str(tmp_path), exist_ok=True)
+        path = os.path.join(str(tmp_path), name)
+        with open(path, "w") as f:
+            f.write('{"half": "written')
+        if age is not None:
+            old = os.stat(path).st_mtime - age
+            os.utime(path, (old, old))
+        return path
+
+    def test_stale_tmp_swept_on_init(self, tmp_path):
+        path = self._plant_tmp(tmp_path, age=7200.0)
+        store = ArtifactStore(str(tmp_path))
+        assert not os.path.exists(path)
+        assert store.orphans_swept == 1
+        (diag,) = store.diagnostics
+        assert diag.kind == CacheDiagnostic.ORPHAN
+
+    def test_fresh_tmp_left_for_its_writer(self, tmp_path):
+        # A young spill may belong to a concurrent in-flight save.
+        path = self._plant_tmp(tmp_path)
+        store = ArtifactStore(str(tmp_path))
+        assert os.path.exists(path)
+        assert store.orphans_swept == 0
+        assert store.diagnostics == []
+
+    def test_sweep_respects_custom_age(self, tmp_path):
+        path = self._plant_tmp(tmp_path, age=10.0)
+        store = ArtifactStore(str(tmp_path), orphan_age_seconds=1.0)
+        assert not os.path.exists(path)
+        assert store.orphans_swept == 1
+
+    def test_sweep_can_be_disabled(self, tmp_path):
+        path = self._plant_tmp(tmp_path, age=7200.0)
+        store = ArtifactStore(str(tmp_path), sweep_orphans=False)
+        assert os.path.exists(path)
+        assert store.orphans_swept == 0
+
+    def test_sweep_spares_real_entries(self, tmp_path):
+        repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        (entry,) = _entry_paths(tmp_path)
+        old = os.stat(entry).st_mtime - 7200.0
+        os.utime(entry, (old, old))
+        ArtifactStore(str(tmp_path))
+        assert os.path.exists(entry)
+
+    def test_sweep_reports_to_telemetry(self, tmp_path):
+        from repro.runtime.telemetry import ParseTelemetry
+
+        self._plant_tmp(tmp_path, age=7200.0)
+        tel = ParseTelemetry()
+        ArtifactStore(str(tmp_path), telemetry=tel)
+        assert tel.metrics.value("llstar_cache_events_total",
+                                 {"op": CacheDiagnostic.ORPHAN}) == 1
+
+    def test_compile_path_sweeps_orphans(self, tmp_path):
+        """The public compile_grammar(cache_dir=...) path sweeps too —
+        regression for orphans accumulating forever."""
+        path = self._plant_tmp(tmp_path, age=7200.0)
+        repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert not os.path.exists(path)
+
+
 class TestAtomicity:
     def test_no_temp_files_left_behind(self, tmp_path):
         repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))

@@ -112,6 +112,85 @@ class TestProfile:
         assert "events" in out and "rule" in out
 
 
+class TestMetricsExport:
+    def test_parse_metrics_out_json(self, paths, capsys):
+        import json
+
+        grammar, source, tmp = paths
+        out_path = os.path.join(str(tmp), "m.json")
+        assert main(["parse", grammar, source, "--metrics-out", out_path]) == 0
+        assert "wrote json metrics" in capsys.readouterr().err
+        with open(out_path) as f:
+            doc = json.load(f)
+        metrics = doc["metrics"]
+        assert doc["dfa_hit_rate"] == 1.0
+        assert metrics["llstar_predictions_total"]["type"] == "counter"
+        (sample,) = metrics["llstar_predictions_total"]["samples"]
+        assert sample["value"] >= 1
+        assert "llstar_realized_k" in metrics
+
+    def test_parse_metrics_out_prom_by_extension(self, paths, capsys):
+        grammar, source, tmp = paths
+        out_path = os.path.join(str(tmp), "m.prom")
+        assert main(["parse", grammar, source, "--metrics-out", out_path]) == 0
+        assert "wrote prom metrics" in capsys.readouterr().err
+        text = open(out_path).read()
+        assert "# TYPE llstar_predictions_total counter" in text
+        assert "llstar_realized_k_bucket{le=\"+Inf\"}" in text
+
+    def test_metrics_format_flag_overrides_extension(self, paths):
+        import json
+
+        grammar, source, tmp = paths
+        out_path = os.path.join(str(tmp), "m.prom")
+        assert main(["parse", grammar, source, "--metrics-out", out_path,
+                     "--metrics-format", "json"]) == 0
+        with open(out_path) as f:
+            json.load(f)
+
+    def test_failed_parse_still_writes_metrics(self, paths, tmp_path):
+        # The whole point of the layer: a dead parse leaves evidence.
+        grammar, _source, _tmp = paths
+        bad = tmp_path / "bad.txt"
+        bad.write_text("x = = ;")
+        out_path = str(tmp_path / "m.json")
+        assert main(["parse", grammar, str(bad),
+                     "--metrics-out", out_path]) == 1
+        assert os.path.exists(out_path)
+
+    def test_profile_json_document(self, paths, capsys):
+        import json
+
+        grammar, source, _tmp = paths
+        assert main(["profile", grammar, source, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["table3"]["events"] >= 1
+        assert doc["table3"]["avg_k"] >= 1.0
+        assert "backtrack_rate" in doc["table4"]
+        assert doc["per_decision"]
+        assert "llstar_dfa_hits_total" in doc["telemetry"]["metrics"]
+        assert doc["telemetry"]["dfa_hit_rate"] == 1.0
+
+    def test_profile_tables_include_hit_rate(self, paths, capsys):
+        grammar, source, _tmp = paths
+        assert main(["profile", grammar, source]) == 0
+        out = capsys.readouterr().out
+        assert "dfa hit rate: 100.00%" in out
+        assert "Table 3 (single input)" in out
+        assert "Table 4 (single input)" in out
+
+    def test_profile_metrics_out(self, paths):
+        import json
+
+        grammar, source, tmp = paths
+        out_path = os.path.join(str(tmp), "prof.json")
+        assert main(["profile", grammar, source,
+                     "--metrics-out", out_path]) == 0
+        with open(out_path) as f:
+            doc = json.load(f)
+        assert "llstar_rule_invocations_total" in doc["metrics"]
+
+
 class TestSets:
     def test_all_rules(self, paths, capsys):
         grammar, _source, _tmp = paths

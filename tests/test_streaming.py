@@ -75,6 +75,50 @@ class TestStreamBasics:
         assert s.la(5) == EOF
 
 
+class TestEmptyWindowGuard:
+    """Regression: a fully-trimmed window used to crash ``lt`` with a
+    bare IndexError from ``window[-1]``.  The stream now raises a typed
+    :class:`TokenStreamError` naming the index and window start."""
+
+    @pytest.fixture()
+    def host(self):
+        return repro.compile_grammar(
+            "grammar S; s : (A | B)+ ; A : 'a' ; B : 'b' ; WS : ' ' -> skip ;")
+
+    def _exhausted_empty_stream(self, host):
+        # Drain a one-token stream past EOF, jump ahead of the buffered
+        # region, then release a mark there: _trim computes a keep-floor
+        # beyond every buffered token and drops the whole window.
+        s = StreamingTokenStream(token_source(host, "a"))
+        s.consume()
+        assert s.la(1) == EOF  # EOF pulled in; window = [a, EOF]
+        s.seek(5)              # beyond the window; only lower bound checked
+        m = s.mark()
+        s.release(m)
+        assert s.buffered == 0
+        return s
+
+    def test_lt_on_empty_window_raises_typed_error(self, host):
+        s = self._exhausted_empty_stream(host)
+        with pytest.raises(repro.TokenStreamError,
+                           match="empty token window at index 5"):
+            s.lt(1)
+
+    def test_empty_window_error_is_a_value_error(self, host):
+        # Callers that guarded the old bare ValueError paths keep working.
+        s = self._exhausted_empty_stream(host)
+        with pytest.raises(ValueError):
+            s.lt(1)
+        assert issubclass(repro.TokenStreamError, repro.LLStarError)
+
+    def test_seek_before_window_raises_typed_error(self, host):
+        s = StreamingTokenStream(token_source(host, "a b a b"))
+        s.consume()
+        s.consume()
+        with pytest.raises(repro.TokenStreamError):
+            s.seek(0)
+
+
 class TestStreamingParse:
     def test_bounded_window_on_long_ll1_input(self):
         host = repro.compile_grammar(r"""

@@ -1,0 +1,321 @@
+"""The prediction observability layer: events, metrics, exporters, wiring.
+
+The telemetry subsystem mirrors the instrumentation behind the paper's
+Tables 2-4 as production metrics: every adaptive prediction lands in the
+realized-k histogram and the DFA-hit/ATN-fallback counters, every error
+repair and cache operation is a structured event, and the whole registry
+exports as JSON and Prometheus text.
+"""
+
+import json
+import re
+import threading
+
+import pytest
+
+import repro
+from repro.runtime.parser import LLStarParser, ParserOptions
+from repro.runtime.streaming import StreamingTokenStream
+from repro.runtime.telemetry import (
+    CacheEvent,
+    Histogram,
+    MetricsRegistry,
+    ParseTelemetry,
+    PredictEvent,
+    RecoveryEvent,
+)
+
+SIMPLE = r"""
+    grammar Simple;
+    s : ID '=' INT ';' | 'print' ID ';' ;
+    ID : [a-z]+ ;
+    INT : [0-9]+ ;
+    WS : [ \t\r\n]+ -> skip ;
+"""
+
+SYN = r"""
+    grammar Syn;
+    options { backtrack=true; }
+    s : (t ';')+ ;
+    t : '-'* ID | expr ;
+    expr : INT | '-' expr ;
+    ID : [a-z]+ ;
+    INT : [0-9]+ ;
+    WS : [ ]+ -> skip ;
+"""
+
+
+@pytest.fixture(scope="module")
+def simple():
+    return repro.compile_grammar(SIMPLE)
+
+
+@pytest.fixture(scope="module")
+def syn():
+    from repro.analysis.construction import AnalysisOptions
+
+    return repro.compile_grammar(SYN, options=AnalysisOptions(
+        max_recursion_depth=1))
+
+
+# -- metrics registry -----------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_inc_and_value(self):
+        m = MetricsRegistry()
+        c = m.counter("x_total", "help text")
+        c.inc()
+        c.inc(4)
+        assert m.value("x_total") == 5
+
+    def test_same_name_same_labels_is_same_instance(self):
+        m = MetricsRegistry()
+        assert m.counter("a_total") is m.counter("a_total")
+        assert m.counter("a_total", labels={"k": "1"}) is not m.counter("a_total")
+
+    def test_type_conflict_rejected(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(ValueError):
+            m.gauge("x")
+
+    def test_gauge_track_max(self):
+        m = MetricsRegistry()
+        g = m.gauge("peak")
+        g.track_max(3)
+        g.track_max(2)
+        assert g.value == 3
+
+    def test_histogram_buckets_sum_count_max(self):
+        h = Histogram("k", buckets=(1, 2, 4))
+        for v in (1, 1, 2, 3, 9):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == 16
+        assert h.max == 9
+        assert h.mean == pytest.approx(3.2)
+        # cumulative le counts: <=1:2, <=2:3, <=4:4, +Inf:5
+        assert h.cumulative() == [(1, 2), (2, 3), (4, 4), (float("inf"), 5)]
+
+    def test_json_export_shape(self):
+        m = MetricsRegistry()
+        m.counter("c_total", "a counter", labels={"op": "hit"}).inc()
+        m.histogram("h", "a histogram", buckets=(1, 2)).observe(2)
+        doc = json.loads(m.to_json_text())
+        assert doc["c_total"]["type"] == "counter"
+        assert doc["c_total"]["samples"][0] == {
+            "labels": {"op": "hit"}, "value": 1}
+        sample = doc["h"]["samples"][0]
+        assert sample["buckets"] == {"1": 0, "2": 1, "+Inf": 1}
+        assert sample["count"] == 1 and sample["sum"] == 2
+
+    def test_prometheus_text_parses(self):
+        m = MetricsRegistry()
+        m.counter("c_total", "a counter", labels={"op": "hit"}).inc(2)
+        m.gauge("g", "a gauge").set(7)
+        m.histogram("h", "a histogram", buckets=(1, 2)).observe(1.5)
+        text = m.to_prometheus()
+        metric_line = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"'
+            r'(,[a-zA-Z0-9_]+="[^"]*")*\})? -?[0-9.eE+]+(inf)?$')
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ",
+                                line), line
+            else:
+                assert metric_line.match(line), line
+        assert 'c_total{op="hit"} 2' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_sum 1.5" in text
+        assert "h_count 1" in text
+
+    def test_histogram_bucket_counts_monotonic_in_export(self):
+        m = MetricsRegistry()
+        h = m.histogram("h", buckets=(1, 2, 4, 8))
+        for v in (1, 3, 3, 5, 100):
+            h.observe(v)
+        counts = [n for _le, n in h.cumulative()]
+        assert counts == sorted(counts)
+        assert counts[-1] == h.count
+
+
+# -- the facade ----------------------------------------------------------------------
+
+
+class TestParseTelemetry:
+    def test_event_list_is_bounded_with_drop_counter(self):
+        tel = ParseTelemetry(max_events=3)
+        for i in range(5):
+            tel.record_predict(0, "s", 1, True, False, 0, i)
+        assert len(tel.events) == 3
+        assert tel.dropped_events == 2
+        assert tel.metrics.value("llstar_predictions_total") == 5  # metrics never drop
+
+    def test_capture_events_off_keeps_metrics(self):
+        tel = ParseTelemetry(capture_events=False)
+        tel.record_predict(0, "s", 2, False, True, 3, 0)
+        assert tel.events == []
+        assert tel.metrics.value("llstar_predictions_total") == 1
+
+    def test_dfa_hit_rate(self):
+        tel = ParseTelemetry()
+        tel.record_predict(0, "s", 1, True, False, 0, 0)
+        tel.record_predict(0, "s", 1, True, False, 0, 1)
+        tel.record_predict(1, "t", 2, False, True, 2, 2)
+        assert tel.dfa_hit_rate == pytest.approx(2 / 3)
+
+    def test_spans_nest_and_aggregate(self):
+        tel = ParseTelemetry()
+        with tel.span("rule:outer"):
+            with tel.span("synpred:inner"):
+                pass
+        spans = tel.events_by_kind("span")
+        assert [s.name for s in spans] == ["synpred:inner", "rule:outer"]
+        assert spans[0].depth == 1 and spans[1].depth == 0
+        hist = tel.metrics.get("llstar_span_seconds", {"kind": "rule"})
+        assert hist.count == 1
+
+    def test_snapshot_is_json_safe(self):
+        tel = ParseTelemetry()
+        tel.record_recovery("panic", "s", 4, skipped=2)
+        tel.record_cache("hit", "abc123")
+        doc = json.loads(tel.to_json_text())
+        assert doc["events"] == {"recovery": 1, "cache": 1}
+        assert doc["dropped_events"] == 0
+
+    def test_shared_across_threads_loses_nothing(self):
+        tel = ParseTelemetry(capture_events=False)
+        n, per = 8, 2000
+
+        def hammer():
+            for i in range(per):
+                tel.record_predict(0, "s", 1, True, False, 0, i)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tel.metrics.value("llstar_predictions_total") == n * per
+
+
+# -- runtime wiring -------------------------------------------------------------------
+
+
+class TestParserWiring:
+    def test_predict_events_and_realized_k(self, simple):
+        tel = ParseTelemetry()
+        profiler = repro.runtime.DecisionProfiler()
+        simple.parse("x = 42 ;",
+                     options=ParserOptions(telemetry=tel, profiler=profiler))
+        events = tel.events_by_kind("predict")
+        assert events and all(isinstance(e, PredictEvent) for e in events)
+        hist = tel.metrics.get("llstar_realized_k")
+        # Telemetry and profiler observe the same prediction stream.
+        assert hist.count == profiler.total_events
+        assert hist.sum == sum(s.sum_depth for s in profiler.stats.values())
+        assert tel.dfa_hit_rate == 1.0
+
+    def test_synpred_fallback_recorded(self, syn):
+        tel = ParseTelemetry()
+        syn.parse("- - 5 ;", options=ParserOptions(telemetry=tel))
+        assert tel.metrics.value("llstar_atn_fallbacks_total") > 0
+        assert tel.metrics.value("llstar_synpred_invocations_total") > 0
+        reasons = {e.reason for e in tel.events_by_kind("dfa-fallback")}
+        assert "synpred" in reasons
+        assert tel.metrics.value("llstar_backtrack_events_total") > 0
+        assert tel.metrics.get("llstar_backtrack_depth").count > 0
+        # speculation spans are always timed
+        assert any(s.name.startswith("synpred:")
+                   for s in tel.events_by_kind("span"))
+
+    def test_rule_spans_are_opt_in(self, simple):
+        quiet = ParseTelemetry()
+        simple.parse("x = 1 ;", options=ParserOptions(telemetry=quiet))
+        assert not any(s.name.startswith("rule:")
+                       for s in quiet.events_by_kind("span"))
+        traced = ParseTelemetry(trace_rules=True)
+        simple.parse("x = 1 ;", options=ParserOptions(telemetry=traced))
+        assert any(s.name == "rule:s" for s in traced.events_by_kind("span"))
+        assert traced.metrics.value("llstar_rule_invocations_total") == 1
+
+    def test_recovery_events(self, simple):
+        tel = ParseTelemetry()
+        parser = simple.parser(simple.tokenize("x = ;"),
+                               options=ParserOptions(recover=True,
+                                                     telemetry=tel))
+        parser.parse()
+        repairs = {e.repair for e in tel.events_by_kind("recovery")}
+        assert "insert" in repairs
+        assert tel.metrics.value("llstar_recovery_events_total",
+                                 {"kind": "insert"}) == 1
+
+    def test_panic_recovery_counts_skipped_tokens(self, simple):
+        tel = ParseTelemetry()
+        parser = simple.parser(simple.tokenize("x x x x ;"),
+                               options=ParserOptions(recover=True,
+                                                     telemetry=tel))
+        parser.parse()
+        assert parser.errors
+        total = sum(e.skipped for e in tel.events_by_kind("recovery"))
+        assert total > 0
+        assert tel.metrics.value(
+            "llstar_recovery_tokens_skipped_total") == total
+
+    def test_streaming_peak_window_gauge(self, simple):
+        tel = ParseTelemetry()
+        tokens = iter(simple.lexer_spec.tokenizer("x = 42 ;"))
+        stream = StreamingTokenStream(tokens, telemetry=tel)
+        parser = LLStarParser(simple.analysis, stream,
+                              ParserOptions(telemetry=tel))
+        parser.parse()
+        peak = tel.metrics.value("llstar_stream_peak_window")
+        assert peak == stream.peak_buffered
+        assert peak >= 1
+
+
+class TestCacheWiring:
+    def test_cold_then_warm_compile_events(self, tmp_path):
+        tel = ParseTelemetry()
+        host = repro.compile_grammar(SIMPLE, cache_dir=str(tmp_path),
+                                     telemetry=tel)
+        assert not host.from_cache
+        ops = [e.operation for e in tel.events_by_kind("cache")]
+        assert ops == ["miss", "save"]
+        warm = repro.compile_grammar(SIMPLE, cache_dir=str(tmp_path),
+                                     telemetry=tel)
+        assert warm.from_cache
+        assert tel.metrics.value("llstar_cache_events_total",
+                                 {"op": "hit"}) == 1
+        # compile spans bracket both compiles
+        assert len([s for s in tel.events_by_kind("span")
+                    if s.name.startswith("compile:")]) == 2
+
+    def test_corrupt_entry_emits_diagnostic_event(self, tmp_path):
+        import glob
+        import os
+
+        tel = ParseTelemetry()
+        repro.compile_grammar(SIMPLE, cache_dir=str(tmp_path))
+        entry, = glob.glob(os.path.join(str(tmp_path), "*.json"))
+        with open(entry, "w") as f:
+            f.write("{ truncated")
+        host = repro.compile_grammar(SIMPLE, cache_dir=str(tmp_path),
+                                     telemetry=tel)
+        assert not host.from_cache
+        ops = [e.operation for e in tel.events_by_kind("cache")]
+        assert "corrupt" in ops and "evict" in ops and "save" in ops
+
+
+class TestDegradationWiring:
+    def test_degraded_decision_counted(self):
+        # Strip one decision's DFA to force a parse-time rebuild.
+        host = repro.compile_grammar(SIMPLE)
+        record = host.analysis.records[0]
+        record.dfa = None  # as a salvaged-cache degraded placeholder would be
+        tel = ParseTelemetry()
+        host.parse("x = 1 ;", options=ParserOptions(telemetry=tel))
+        assert tel.metrics.value("llstar_degradations_total") == 1
+        reasons = {e.reason for e in tel.events_by_kind("dfa-fallback")}
+        assert "degraded" in reasons
