@@ -7,7 +7,6 @@ and only then fails over to a synpred (backtracking) edge — "the decision
 will not backtrack in practice unless the input starts with ``--``".
 """
 
-import pytest
 
 from repro.analysis import AnalysisOptions, BACKTRACK, analyze
 from repro.api import compile_grammar

@@ -8,7 +8,6 @@ backtracking decisions (the rest of the auto-inserted synpreds are
 statically removed).
 """
 
-import time
 
 from repro.analysis import BACKTRACK, CYCLIC, FIXED
 from repro.grammars import PAPER_ORDER

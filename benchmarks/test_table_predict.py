@@ -1,0 +1,88 @@
+"""Flat-table prediction vs the object-graph reference interpreter.
+
+The flat execution core (:mod:`repro.tables`) derives a per-decision
+execution index from the serialized arrays: a one-probe fast map that
+resolves fixed-k=1 predictions with a single dict lookup, plus
+per-state transition dicts for deeper walks — instead of chasing
+``DFAState`` objects.  This benchmark times a full parse of a
+generated workload per
+suite grammar under ``ParserOptions(use_tables=True)`` (the default)
+and ``use_tables=False`` (the retained object-graph reference path),
+checks both predict identical trees, and asserts the table walk is
+faster on aggregate across the suite.
+"""
+
+import time
+
+from repro.grammars import PAPER_ORDER, load
+from repro.runtime.parser import ParserOptions
+
+from conftest import emit_table
+
+UNITS = 60
+REPS = 7
+
+
+def _best_parse_seconds(host, stream_factory, options_by_key):
+    """Best-of-REPS per options key, A/B interleaved within each rep so
+    clock drift (thermal, scheduler) cancels instead of biasing
+    whichever path happened to run in the slower block."""
+    best = {}
+    for _ in range(REPS):
+        for key, options in options_by_key.items():
+            stream = stream_factory()
+            started = time.perf_counter()
+            host.parse(stream, options=options)
+            elapsed = time.perf_counter() - started
+            if key not in best or elapsed < best[key]:
+                best[key] = elapsed
+    return best
+
+
+def test_table_predict_vs_object_graph(paper_names):
+    rows = []
+    total_table = total_graph = 0.0
+    for name in PAPER_ORDER:
+        bench = load(name)
+        host = bench.compile()
+        program = bench.generate_program(UNITS, seed=7)
+        tokens = list(host.lexer_spec.tokenizer(program))
+
+        def stream_factory():
+            from repro.runtime.token_stream import ListTokenStream
+
+            return ListTokenStream(tokens)
+
+        # Trees must agree before timing means anything.
+        table_tree = host.parse(stream_factory(),
+                                options=ParserOptions(use_tables=True))
+        graph_tree = host.parse(stream_factory(),
+                                options=ParserOptions(use_tables=False))
+        assert table_tree.to_sexpr() == graph_tree.to_sexpr(), name
+
+        best = _best_parse_seconds(host, stream_factory, {
+            "table": ParserOptions(build_tree=False, use_tables=True),
+            "graph": ParserOptions(build_tree=False, use_tables=False),
+        })
+        table_s, graph_s = best["table"], best["graph"]
+        total_table += table_s
+        total_graph += graph_s
+        rows.append((
+            paper_names[name],
+            len(tokens),
+            "%.4fs" % graph_s,
+            "%.4fs" % table_s,
+            "%.2fx" % (graph_s / table_s if table_s else float("inf")),
+        ))
+
+    rows.append(("TOTAL", "", "%.4fs" % total_graph, "%.4fs" % total_table,
+                 "%.2fx" % (total_graph / total_table)))
+    emit_table(
+        "table_predict",
+        "Prediction: flat tables vs object-graph DFA walk "
+        "(best of %d, %d-unit programs)" % (REPS, UNITS),
+        ("Grammar", "Tokens", "Object graph", "Flat tables", "Speedup"),
+        rows)
+    assert total_table < total_graph, (
+        "flat-table prediction must beat the object-graph walk "
+        "(table %.4fs vs graph %.4fs)" % (total_table, total_graph))

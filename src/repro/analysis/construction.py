@@ -19,18 +19,17 @@ Termination safety (Sections 5.3-5.4):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.analysis.config import ATNConfig, EMPTY_STACK
 from repro.analysis.dfa_model import DFA, DFAState
 from repro.analysis.diagnostics import AnalysisDiagnostic
 from repro.analysis.semctx import SemanticContext, context_for_alt
-from repro.atn.states import ATN, ATNState, RuleStopState
+from repro.atn.states import ATN, RuleStopState
 from repro.atn.transitions import (
     ActionTransition,
     AtomTransition,
     EpsilonTransition,
-    Predicate,
     PredicateTransition,
     RuleTransition,
     SetTransition,

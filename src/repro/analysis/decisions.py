@@ -24,6 +24,9 @@ from repro.atn.builder import build_atn
 from repro.atn.states import ATN
 from repro.grammar.model import Grammar
 from repro.grammar.transforms import apply_peg_mode, erase_syntactic_predicates
+from repro.tables.lookahead import DecisionTable, compile_decision_table
+from repro.tables.pool import SemCtxPool
+from repro.tables.tableset import TableSet
 
 FIXED = "fixed"
 CYCLIC = "cyclic"
@@ -31,26 +34,98 @@ BACKTRACK = "backtrack"
 
 
 class DecisionRecord:
-    """One decision's analysis outcome."""
+    """One decision's analysis outcome.
+
+    The record holds *two* faces of the same lookahead machine: the
+    object-graph :class:`DFA` (the analysis-time representation the
+    DecisionAnalyzer builds and the diagnostics/tools walk) and the flat
+    :class:`DecisionTable` (the execution core the parser, cache, and
+    codegen share).  Either side can be absent and is derived from the
+    other on demand — ``compile_decision_table`` going one way,
+    ``DecisionTable.to_dfa`` (lossless) going back — so assigning
+    :attr:`dfa` always invalidates the table and vice versa.
+    """
 
     def __init__(self, decision: int, rule_name: str, kind: str, dfa: DFA):
         self.decision = decision
         self.rule_name = rule_name
         self.kind = kind  # DecisionKind: rule/block/optional/star/plus
-        self.dfa = dfa
+        self._dfa: Optional[DFA] = dfa
+        self._table: Optional[DecisionTable] = None
+        self._pool: Optional[SemCtxPool] = None
         self.category = self._classify()
-        self.fixed_k = dfa.fixed_k() if self.category == FIXED else None
+        self.fixed_k = self._shape().fixed_k() if self.category == FIXED else None
         #: True when this record carries a placeholder DFA (its cached
         #: form was unusable); the parser rebuilds the real DFA on first
         #: use via DecisionAnalyzer and calls :meth:`replace_dfa`.
         self.degraded = False
 
+    @classmethod
+    def from_table(cls, decision: int, rule_name: str, kind: str,
+                   table: DecisionTable) -> "DecisionRecord":
+        """Warm-start construction straight from a deserialized table;
+        the object-graph DFA is decompiled lazily if anything asks."""
+        record = cls.__new__(cls)
+        record.decision = decision
+        record.rule_name = rule_name
+        record.kind = kind
+        record._dfa = None
+        record._table = table
+        record._pool = table.pool
+        record.category = record._classify()
+        record.fixed_k = table.fixed_k() if record.category == FIXED else None
+        record.degraded = False
+        return record
+
+    def _shape(self):
+        """Whichever representation exists (both answer the same
+        is_cyclic/fixed_k/uses_backtracking shape queries)."""
+        return self._dfa if self._dfa is not None else self._table
+
     def _classify(self) -> str:
-        if self.dfa.uses_backtracking():
+        shape = self._shape()
+        if shape.uses_backtracking():
             return BACKTRACK
-        if self.dfa.is_cyclic():
+        if shape.is_cyclic():
             return CYCLIC
         return FIXED
+
+    # -- the two representations -------------------------------------------------
+
+    @property
+    def dfa(self) -> Optional[DFA]:
+        if self._dfa is None and self._table is not None:
+            self._dfa = self._table.to_dfa()
+        return self._dfa
+
+    @dfa.setter
+    def dfa(self, dfa: Optional[DFA]) -> None:
+        # Direct assignment (degraded-mode tests, tools) must never leave
+        # a stale table behind; classification is NOT re-derived here,
+        # matching the old plain-attribute semantics — use replace_dfa()
+        # for a rebuild that should reclassify.
+        self._dfa = dfa
+        self._table = None
+
+    @property
+    def table(self) -> Optional[DecisionTable]:
+        """The flat execution table, compiled on first use against the
+        bound pool (or a private one).  None while the record is a
+        degraded shell with no DFA either."""
+        if self._table is None and self._dfa is not None:
+            if self._pool is None:
+                self._pool = SemCtxPool()
+            self._table = compile_decision_table(self._dfa, self._pool)
+        return self._table
+
+    def bind_pool(self, pool: SemCtxPool) -> None:
+        """Intern this record's gates into a shared pool and compile its
+        table.  Called serially in decision order by
+        :class:`AnalysisResult` so pool indices are deterministic no
+        matter how many threads built the DFAs."""
+        self._pool = pool
+        if self._dfa is not None:
+            self._table = compile_decision_table(self._dfa, pool)
 
     @property
     def can_backtrack(self) -> bool:
@@ -59,7 +134,7 @@ class DecisionRecord:
     def replace_dfa(self, dfa: DFA) -> None:
         """Swap in a freshly built DFA (degraded-mode rebuild at parse
         time) and re-derive the classification from its shape."""
-        self.dfa = dfa
+        self.dfa = dfa  # property: invalidates the table
         self.category = self._classify()
         self.fixed_k = dfa.fixed_k() if self.category == FIXED else None
         self.degraded = False
@@ -75,20 +150,26 @@ class DecisionRecord:
         return record
 
     def to_dict(self) -> dict:
-        """JSON-safe form; category/fixed_k are derived, not stored."""
+        """JSON-safe form; category/fixed_k are derived, not stored.
+
+        The serialized body is the flat table (pool indices resolve
+        against the owning :class:`AnalysisResult`'s shared pool, which
+        serializes alongside the records).
+        """
         return {
             "decision": self.decision,
             "rule_name": self.rule_name,
             "kind": self.kind,
-            "dfa": self.dfa.to_dict(),
+            "table": self.table.to_dict(),
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "DecisionRecord":
-        # The constructor re-classifies from DFA shape, so a cached record
-        # can never disagree with the DFA it carries.
-        return cls(data["decision"], data["rule_name"], data["kind"],
-                   DFA.from_dict(data["dfa"]))
+    def from_dict(cls, data: dict, pool: SemCtxPool) -> "DecisionRecord":
+        # from_table re-classifies from table shape, so a cached record
+        # can never disagree with the machine it carries.
+        return cls.from_table(data["decision"], data["rule_name"],
+                              data["kind"],
+                              DecisionTable.from_dict(data["table"], pool))
 
     def __repr__(self):
         extra = " k=%s" % self.fixed_k if self.fixed_k else ""
@@ -100,12 +181,21 @@ class AnalysisResult:
     """Everything static analysis learned about a grammar."""
 
     def __init__(self, grammar: Grammar, atn: ATN, records: List[DecisionRecord],
-                 diagnostics: List[AnalysisDiagnostic], elapsed_seconds: float):
+                 diagnostics: List[AnalysisDiagnostic], elapsed_seconds: float,
+                 pool: Optional[SemCtxPool] = None):
         self.grammar = grammar
         self.atn = atn
         self.records = records
         self.diagnostics = diagnostics
         self.elapsed_seconds = elapsed_seconds
+        #: Shared interned-gate pool for every decision table.  Binding
+        #: happens here, serially in decision order, so pool indices (and
+        #: therefore serialized payloads) are bit-identical whether the
+        #: DFAs were analyzed serially or on N threads.
+        self.pool = pool if pool is not None else SemCtxPool()
+        for record in records:
+            if record._pool is not self.pool:
+                record.bind_pool(self.pool)
 
     # -- lookups ----------------------------------------------------------------
 
@@ -114,6 +204,10 @@ class AnalysisResult:
 
     def record(self, decision: int) -> DecisionRecord:
         return self.records[decision]
+
+    def table_set(self, lexer=None) -> TableSet:
+        """The grammar's complete execution core (see :mod:`repro.tables`)."""
+        return TableSet(self.pool, [r.table for r in self.records], lexer)
 
     # -- Table 1 / Table 2 style aggregates ----------------------------------------
 
@@ -168,11 +262,21 @@ class AnalysisResult:
         them from the grammar text (cheap, and they carry live Python
         objects like compiled actions), then grafts these records back on
         via :meth:`from_dict`.
+
+        Records serialize as flat :class:`DecisionTable` dicts whose
+        pool indices resolve against the shared ``pool`` entry; record
+        serialization runs first because compiling a table may intern
+        gates into the pool.
         """
+        from repro.tables.tableset import TABLE_FORMAT_VERSION
+
+        records = [r.to_dict() for r in self.records]
         return {
             "grammar_name": self.grammar.name,
             "elapsed_seconds": self.elapsed_seconds,
-            "records": [r.to_dict() for r in self.records],
+            "table_version": TABLE_FORMAT_VERSION,
+            "pool": self.pool.to_dict(),
+            "records": records,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
@@ -189,16 +293,23 @@ class AnalysisResult:
         missing keys) still raise — those mean the entry belongs to a
         different grammar, not a damaged copy of this one.
         """
+        from repro.tables.tableset import TABLE_FORMAT_VERSION
+
         if len(data["records"]) != len(atn.decisions):
             raise ValueError(
                 "cache entry has %d decisions, grammar has %d"
                 % (len(data["records"]), len(atn.decisions)))
+        if data.get("table_version") != TABLE_FORMAT_VERSION:
+            raise ValueError("table format %r != %d"
+                             % (data.get("table_version"),
+                                TABLE_FORMAT_VERSION))
+        pool = SemCtxPool.from_dict(data["pool"])
         records: List[DecisionRecord] = []
         diagnostics = [AnalysisDiagnostic.from_dict(dd)
                        for dd in data["diagnostics"]]
         for info, rd in zip(atn.decisions, data["records"]):
             try:
-                record = DecisionRecord.from_dict(rd)
+                record = DecisionRecord.from_dict(rd, pool)
                 if (record.decision != info.decision
                         or record.rule_name != info.rule_name):
                     raise ValueError("record does not match its decision")
@@ -209,7 +320,8 @@ class AnalysisResult:
                 diagnostics.append(AnalysisDiagnostic.degraded(
                     info.decision, "cached record unusable (%s)" % e))
             records.append(record)
-        return cls(grammar, atn, records, diagnostics, data["elapsed_seconds"])
+        return cls(grammar, atn, records, diagnostics,
+                   data["elapsed_seconds"], pool=pool)
 
     def __repr__(self):
         return "AnalysisResult(%s: %d decisions, %d diagnostics)" % (

@@ -23,6 +23,10 @@ from repro.atn.transitions import Predicate
 class SemanticContext:
     """Base: a boolean expression over :class:`Predicate` leaves."""
 
+    # Empty slots keep subclasses' own __slots__ effective (a slotted
+    # subclass of a dict-ful base still grows a __dict__).
+    __slots__ = ()
+
     def evaluate(self, eval_leaf) -> bool:
         """``eval_leaf(predicate) -> bool`` supplies leaf evaluation."""
         raise NotImplementedError

@@ -14,7 +14,7 @@ over N threads.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.construction import AnalysisOptions
 from repro.analysis.decisions import AnalysisResult, analyze

@@ -25,6 +25,7 @@ from repro.cache.serialize import (
     artifact_to_json,
     grammar_fingerprint,
     lexer_from_artifact,
+    upgrade_payload,
 )
 from repro.cache.store import ArtifactStore, CacheDiagnostic, artifact_key
 
@@ -38,4 +39,5 @@ __all__ = [
     "artifact_to_json",
     "grammar_fingerprint",
     "lexer_from_artifact",
+    "upgrade_payload",
 ]

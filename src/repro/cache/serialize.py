@@ -7,6 +7,15 @@ decision classifications, hoisted semantic contexts, diagnostics, and the
 lexer DFA — is pure data over token types, rule names, and predicate
 strings, so it round-trips losslessly through JSON-safe dicts.
 
+Since schema 2 the stored form *is* the flat execution core
+(:mod:`repro.tables`): decision tables plus the shared semantic-context
+pool, and the lexer DFA as a flat :class:`~repro.tables.lexer.LexerTable`.
+A warm start deserializes straight into the arrays the parser and
+tokenizer execute — no object-graph DFA is ever rebuilt unless a tool
+asks for one.  Schema-1 entries (object-graph dicts) are upgraded in
+place by :func:`upgrade_payload`: the store recompiles their tables on
+load rather than throwing the analysis away.
+
 What is *not* stored: the grammar object and the ATN.  Both are cheap to
 re-derive from the grammar text (parse + transforms + Figure 7
 construction) and carry live Python objects; a warm start re-runs that
@@ -14,8 +23,8 @@ front half via :meth:`GrammarAnalyzer.prepare_atn` and grafts the stored
 records back on, skipping :class:`DecisionAnalyzer` entirely.
 
 ``SCHEMA_VERSION`` gates compatibility: any change to the dict layout of
-any participating ``to_dict`` must bump it, which invalidates every
-existing cache entry (the store keys on the version).
+any participating ``to_dict`` must bump it.  The store either upgrades a
+one-version-old entry or evicts it — an unknown schema is never parsed.
 """
 
 from __future__ import annotations
@@ -27,11 +36,13 @@ from typing import Optional
 from repro.analysis.construction import AnalysisOptions
 from repro.analysis.decisions import AnalysisResult, GrammarAnalyzer
 from repro.grammar.model import Grammar
-from repro.lexgen.dfa import LexerDFA
 from repro.lexgen.lexer import LexerSpec
+from repro.tables.lexer import LexerTable, compile_lexer_table
+from repro.tables.tableset import TABLE_FORMAT_VERSION
 
 #: Bump whenever any participating ``to_dict`` layout changes.
-SCHEMA_VERSION = 1
+#: 1 — object-graph DFA dicts; 2 — flat tables (repro.tables).
+SCHEMA_VERSION = 2
 
 
 def grammar_fingerprint(source: str, name: Optional[str] = None) -> str:
@@ -56,7 +67,8 @@ def artifact_to_dict(grammar: Grammar, analysis: AnalysisResult,
         # meta-parse; if a re-parse allocates differently the entry is stale.
         "vocabulary_max_type": grammar.vocabulary.max_type,
         "analysis": analysis.to_dict(),
-        "lexer": lexer_spec.dfa.to_dict() if lexer_spec is not None else None,
+        "lexer": (lexer_spec.table.to_dict()
+                  if lexer_spec is not None else None),
     }
 
 
@@ -95,4 +107,49 @@ def lexer_from_artifact(grammar: Grammar, payload: dict) -> Optional[LexerSpec]:
     grammars); the vocabulary comes from the freshly parsed grammar."""
     if payload.get("lexer") is None:
         return None
-    return LexerSpec(LexerDFA.from_dict(payload["lexer"]), grammar.vocabulary)
+    table = LexerTable.from_dict(payload["lexer"])
+    return LexerSpec(table.to_lexer_dfa(), grammar.vocabulary, table=table)
+
+
+def upgrade_payload(payload: dict) -> dict:
+    """Upgrade a schema-1 payload (object-graph dicts) to the current
+    schema by compiling flat tables from the stored DFAs.
+
+    The analysis the old entry paid for is preserved verbatim — the
+    lookahead machines are identical, only their encoding changes.
+    Raises on anything that does not convert cleanly; the store treats
+    that as an unusable entry and evicts.
+    """
+    from repro.analysis.dfa_model import DFA
+    from repro.lexgen.dfa import LexerDFA
+    from repro.tables.lookahead import compile_decision_table
+    from repro.tables.pool import SemCtxPool
+
+    if payload.get("schema") != 1:
+        raise ValueError("can only upgrade schema 1, got %r"
+                         % payload.get("schema"))
+    analysis = payload["analysis"]
+    pool = SemCtxPool()
+    records = []
+    for rd in analysis["records"]:
+        table = compile_decision_table(DFA.from_dict(rd["dfa"]), pool)
+        records.append({
+            "decision": rd["decision"],
+            "rule_name": rd["rule_name"],
+            "kind": rd["kind"],
+            "table": table.to_dict(),
+        })
+    upgraded = dict(payload)
+    upgraded["schema"] = SCHEMA_VERSION
+    upgraded["analysis"] = {
+        "grammar_name": analysis["grammar_name"],
+        "elapsed_seconds": analysis["elapsed_seconds"],
+        "table_version": TABLE_FORMAT_VERSION,
+        "pool": pool.to_dict(),
+        "records": records,
+        "diagnostics": analysis["diagnostics"],
+    }
+    if payload.get("lexer") is not None:
+        upgraded["lexer"] = compile_lexer_table(
+            LexerDFA.from_dict(payload["lexer"])).to_dict()
+    return upgraded

@@ -1,11 +1,13 @@
 """On-disk store for compiled-grammar artifacts.
 
 Entries are keyed by ``(grammar content hash, AnalysisOptions
-fingerprint, compile flags, schema version)``: editing the grammar text,
-changing any analysis tunable, or bumping :data:`SCHEMA_VERSION` all
-land on a different file name, so stale entries are simply never looked
-at (and a sweeper may delete them at will — the directory is a pure
-cache, safe to ``rm -rf`` between runs).
+fingerprint, compile flags)``: editing the grammar text or changing any
+analysis tunable lands on a different file name, so stale entries are
+simply never looked at (and a sweeper may delete them at will — the
+directory is a pure cache, safe to ``rm -rf`` between runs).  Schema
+compatibility is handled at load time instead: a one-version-old entry
+is upgraded in place (see :func:`repro.cache.serialize.upgrade_payload`),
+anything older or newer is evicted.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or
 concurrent writer can never publish a half-written entry.  Reads are
@@ -28,6 +30,7 @@ from repro.cache.serialize import (
     SCHEMA_VERSION,
     artifact_to_json,
     grammar_fingerprint,
+    upgrade_payload,
 )
 
 
@@ -35,19 +38,23 @@ class CacheDiagnostic:
     """One cache-health event: why a stored entry could not be used.
 
     ``corrupt``: the file existed but did not read/parse; ``schema``:
-    it parsed but was written by a different schema version; ``stale``:
-    it deserialized but did not match the grammar it claimed to be for.
-    All three evict the entry and fall back to a cold compile — the
-    diagnostic is how tooling distinguishes "first compile" from
-    "something damaged the cache".  ``orphan``: a ``.tmp`` spill from a
-    writer that died between ``mkstemp`` and the atomic ``os.replace``;
-    swept (age-bounded) on store init.
+    it parsed but was written by an incompatible schema version;
+    ``stale``: it deserialized but did not match the grammar it claimed
+    to be for.  All three evict the entry and fall back to a cold
+    compile — the diagnostic is how tooling distinguishes "first
+    compile" from "something damaged the cache".  ``upgraded``: the
+    entry was one schema version old and was converted in place (its
+    analysis was preserved; only the encoding changed) — the load still
+    counts as a hit.  ``orphan``: a ``.tmp`` spill from a writer that
+    died between ``mkstemp`` and the atomic ``os.replace``; swept
+    (age-bounded) on store init.
     """
 
     CORRUPT = "corrupt"
     SCHEMA = "schema-mismatch"
     STALE = "stale"
     ORPHAN = "orphan-temp"
+    UPGRADED = "schema-upgraded"
 
     __slots__ = ("kind", "key", "detail")
 
@@ -66,14 +73,16 @@ def artifact_key(source: str, name: Optional[str],
     """Cache key for one ``compile_grammar`` configuration.
 
     Covers everything that changes the compiled artifact: grammar text
-    (content hash), the analysis tunables, the left-recursion-rewrite
-    flag, and the serialization schema version.  ``strict`` and
-    ``parallel`` are deliberately excluded — neither changes the result,
-    only whether errors raise / how fast analysis runs.
+    (content hash), the analysis tunables, and the left-recursion-rewrite
+    flag.  ``strict`` and ``parallel`` are deliberately excluded —
+    neither changes the result, only whether errors raise / how fast
+    analysis runs.  The schema version is deliberately *not* part of the
+    key either: compatibility is a load-time concern
+    (:meth:`ArtifactStore.load` upgrades a one-version-old entry in
+    place instead of orphaning it under a dead key).
     """
     opts = options or AnalysisOptions()
     material = json.dumps({
-        "schema": SCHEMA_VERSION,
         "grammar": grammar_fingerprint(source, name),
         "options": opts.fingerprint(),
         "rewrite_left_recursion": rewrite_left_recursion,
@@ -176,10 +185,29 @@ class ArtifactStore:
             self.evict(key)
             return None
         if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            schema = (payload.get("schema") if isinstance(payload, dict)
+                      else type(payload).__name__)
+            if isinstance(payload, dict) and schema == SCHEMA_VERSION - 1:
+                # One version old: recompile the flat tables from the
+                # stored object-graph dicts rather than discarding a
+                # paid-for analysis.  Anything that does not convert
+                # cleanly falls through to eviction below.
+                try:
+                    upgraded = upgrade_payload(payload)
+                except Exception as e:
+                    self.note(CacheDiagnostic.SCHEMA, key,
+                              "schema %r entry failed upgrade (%s); evicted"
+                              % (schema, e.__class__.__name__))
+                    self.evict(key)
+                    return None
+                self.note(CacheDiagnostic.UPGRADED, key,
+                          "schema %r entry upgraded to %d in place"
+                          % (schema, SCHEMA_VERSION))
+                self.save(key, upgraded)
+                self._record("hit", key)
+                return upgraded
             self.note(CacheDiagnostic.SCHEMA, key,
-                      "schema %r != %d; evicted"
-                      % (payload.get("schema") if isinstance(payload, dict)
-                         else type(payload).__name__, SCHEMA_VERSION))
+                      "schema %r != %d; evicted" % (schema, SCHEMA_VERSION))
             self.evict(key)
             return None
         self._record("hit", key)

@@ -4,20 +4,21 @@ Generated modules contain plain recursive-descent methods; everything
 decision-related (DFA walk per Figure 5, synpred speculation with
 memoization, profiling) lives here so the generated code stays readable.
 
-DFA tables are serialized as plain data::
+Lookahead machines are embedded as the same versioned flat-table dicts
+the artifact cache stores (see :mod:`repro.tables`)::
 
-    DFAS = [
-      {"start": 0,
-       "states": [
-          {"edges": {5: 1}, "accept": None,
-           "preds": [[["synpred", "synpred1"], 1], [None, 2]]},
-          ...
-      ]},
-      ...
-    ]
+    TABLES = {
+      "version": 1,
+      "pool": {"contexts": [...]},       # interned semantic contexts
+      "decisions": [ {...DecisionTable dict...}, ... ],
+    }
 
-Predicate contexts: ``["pred", code]``, ``["synpred", name]``,
-``["and", [...]]``, ``["or", [...]]``, or ``None`` for default edges.
+On first prediction the class reconstitutes live
+:class:`~repro.tables.lookahead.DecisionTable` objects (once per
+generated class, cached on it) and every ``_predict`` executes them
+through the same derived execution index the interpreted parser uses —
+one dict probe for fixed-k=1 decisions, per-state ``token -> target``
+dicts for deeper lookahead.
 Predicate ``code`` strings are evaluated against the calling rule
 method's locals (passed in by generated code as ``frame``).
 """
@@ -42,7 +43,7 @@ _MEMO_FAILED = -2
 class GeneratedParser:
     """Base for generated parsers.  Subclasses define:
 
-    * ``DFAS`` — serialized lookahead DFA per decision;
+    * ``TABLES`` — the flat execution core (pool + one table per decision);
     * ``TOKEN_NAMES`` — type -> display name (errors);
     * ``TOKEN_TYPES`` — display name -> type (``self._tt``);
     * ``START_RULE`` — default entry rule name;
@@ -50,10 +51,31 @@ class GeneratedParser:
       methods for erased syntactic predicates.
     """
 
-    DFAS: List[dict] = []
+    TABLES: Dict[str, Any] = {"version": 1, "pool": {"contexts": []},
+                              "decisions": []}
     TOKEN_NAMES: Dict[int, str] = {}
     TOKEN_TYPES: Dict[str, int] = {}
     START_RULE = ""
+
+    @classmethod
+    def _live_tables(cls):
+        """Reconstitute (pool, [DecisionTable, ...]) from ``TABLES``,
+        cached on the generated class itself (not this base)."""
+        cached = cls.__dict__.get("_tables_cache")
+        if cached is None:
+            from repro.tables.lookahead import DecisionTable
+            from repro.tables.pool import SemCtxPool
+            from repro.tables.tableset import TABLE_FORMAT_VERSION
+
+            data = cls.TABLES
+            if data.get("version") != TABLE_FORMAT_VERSION:
+                raise ValueError("generated table format %r != %d"
+                                 % (data.get("version"), TABLE_FORMAT_VERSION))
+            pool = SemCtxPool.from_dict(data["pool"])
+            cached = (pool, [DecisionTable.from_dict(d, pool)
+                             for d in data["decisions"]])
+            cls._tables_cache = cached
+        return cached
 
     def __init__(self, stream: TokenStream, state: Any = None,
                  build_tree: bool = True, memoize: bool = True, profiler=None):
@@ -158,26 +180,43 @@ class GeneratedParser:
     # -- prediction -------------------------------------------------------------------------
 
     def _predict(self, decision: int, frame: Dict[str, Any]) -> int:
-        """Walk the serialized DFA; return the predicted alternative."""
-        dfa = self.DFAS[decision]
-        states = dfa["states"]
-        state = states[dfa["start"]]
+        """Execute the decision's flat table; return the predicted
+        alternative.
+
+        Same inner loop as the interpreted parser: the table's derived
+        execution index resolves a fixed-k=1 prediction with one dict
+        probe and walks deeper lookahead through per-state
+        ``token -> target`` dicts.
+        """
+        _pool, tables = self._live_tables()
+        table = tables[decision]
+        la = self.stream.la
+        fast, rows = table.execution_index()
+        accept_alt = table.accept_alt
+        pred_index = table.pred_index
         offset = 0
         backtracked = [False]
         backtrack_depth = [0]
         try:
+            alt = fast.get(la(1))
+            if alt is not None:
+                offset = 1
+                return alt
+            state = table.start
             while True:
-                if state["accept"] is not None:
-                    return state["accept"]
-                token_type = self.stream.la(offset + 1)
-                nxt = state["edges"].get(token_type)
+                alt = accept_alt[state]
+                if alt > 0:
+                    return alt
+                token_type = la(offset + 1)
+                nxt = rows[state].get(token_type)
                 if nxt is not None:
-                    state = states[nxt]
+                    state = nxt
                     offset += 1
                     continue
-                for ctx, alt in state["preds"]:
-                    if ctx is None or self._eval_ctx(ctx, frame, backtracked,
-                                                    backtrack_depth):
+                if pred_index[state] != pred_index[state + 1]:
+                    alt = self._evaluate_gates(table, state, frame,
+                                               backtracked, backtrack_depth)
+                    if alt is not None:
                         return alt
                 raise NoViableAltError(decision, self.stream.lt(offset + 1),
                                        self.stream.index + offset,
@@ -187,24 +226,28 @@ class GeneratedParser:
                 self.profiler.record(decision, max(offset, 1), backtracked[0],
                                      backtrack_depth[0])
 
-    def _eval_ctx(self, ctx, frame, backtracked, backtrack_depth) -> bool:
-        kind = ctx[0]
-        if kind == "pred":
+    def _evaluate_gates(self, table, state, frame, backtracked,
+                        backtrack_depth) -> Optional[int]:
+        """Predicate edges in stored (evaluation) order; first pass wins."""
+
+        def eval_leaf(predicate) -> bool:
+            if predicate.is_synpred:
+                backtracked[0] = True
+                ok, depth = self._eval_synpred(predicate.synpred)
+                backtrack_depth[0] = max(backtrack_depth[0], depth)
+                return ok
             env = {"state": self.state, "parser": self, "stream": self.stream,
                    "LA": self.stream.la, "LT": self.stream.lt, "TT": self._tt}
-            return bool(eval(ctx[1], env, dict(frame)))
-        if kind == "synpred":
-            backtracked[0] = True
-            ok, depth = self._eval_synpred(ctx[1])
-            backtrack_depth[0] = max(backtrack_depth[0], depth)
-            return ok
-        if kind == "and":
-            return all(self._eval_ctx(c, frame, backtracked, backtrack_depth)
-                       for c in ctx[1])
-        if kind == "or":
-            return any(self._eval_ctx(c, frame, backtracked, backtrack_depth)
-                       for c in ctx[1])
-        raise ValueError("bad serialized context %r" % (ctx,))
+            return bool(eval(predicate.code, env, dict(frame)))
+
+        contexts = table.pool.contexts
+        pred_ctx = table.pred_ctx
+        pred_alt = table.pred_alt
+        for i in range(table.pred_index[state], table.pred_index[state + 1]):
+            c = pred_ctx[i]
+            if c < 0 or contexts[c].evaluate(eval_leaf):
+                return pred_alt[i]
+        return None
 
     def _eval_synpred(self, name: str) -> Tuple[bool, int]:
         mark = self.stream.mark()

@@ -25,7 +25,7 @@ which matches the paper's example.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.exceptions import GrammarError
 from repro.grammar import ast

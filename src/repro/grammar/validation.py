@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.exceptions import LeftRecursionError
 from repro.grammar import ast
-from repro.grammar.model import Grammar, Rule
+from repro.grammar.model import Grammar
 
 
 class GrammarIssue:

@@ -21,7 +21,7 @@ declarations).  The registry below feeds the Table 1-4 benchmarks.
 from __future__ import annotations
 
 import importlib
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from repro.analysis.construction import AnalysisOptions
 

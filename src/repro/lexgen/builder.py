@@ -8,13 +8,13 @@ beats ``ID``), then lexer rules in definition order.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Set, Tuple
 
 from repro.exceptions import GrammarError
 from repro.grammar import ast
 from repro.grammar.model import Grammar, Rule
 from repro.lexgen.dfa import build_lexer_dfa
-from repro.lexgen.lexer import DFATokenizer, LexerSpec
+from repro.lexgen.lexer import LexerSpec
 from repro.lexgen.nfa import MAX_CODEPOINT, NFA, NFAState
 from repro.util.intervals import IntervalSet
 

@@ -3,42 +3,65 @@
 Edges are keyed by disjoint character intervals rather than single
 characters so the DFA stays tiny even with full-Unicode complements.
 Runtime lookup is a binary search over each state's sorted interval
-edges.
+edges, using the same sorted-range encoding (parallel ``los`` / ``his``
+/ ``targets`` int arrays + bisect) as the flat execution tables in
+:mod:`repro.tables` — the previous encoding bisected a list of
+``(lo, hi)`` tuples, allocating a probe tuple and comparing tuples on
+every character.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
 from repro.lexgen.nfa import NFA, NFAState
+from repro.tables.ranges import find_interval_index
 
 
 class LexerDFAState:
-    """DFA state: sorted disjoint interval edges + best accept rule."""
+    """DFA state: sorted disjoint interval edges + best accept rule.
 
-    __slots__ = ("id", "ivals", "targets", "accept")
+    ``los``/``his``/``targets`` are parallel arrays: edge ``i`` matches
+    codepoints in ``[los[i], his[i]]`` (inclusive) and goes to state id
+    ``targets[i]``; ``los`` is sorted and intervals are disjoint.
+    """
+
+    __slots__ = ("id", "los", "his", "targets", "accept")
 
     def __init__(self, state_id: int):
         self.id = state_id
-        # Parallel arrays: ivals[i] = (lo, hi) sorted; targets[i] = state id
-        self.ivals: List[Tuple[int, int]] = []
+        self.los: List[int] = []
+        self.his: List[int] = []
         self.targets: List[int] = []
         self.accept: Optional[Tuple[int, str, tuple]] = None
 
+    @property
+    def ivals(self) -> List[Tuple[int, int]]:
+        """The interval list view ``[(lo, hi), ...]`` (diagnostics)."""
+        return list(zip(self.los, self.his))
+
+    def add_edge(self, lo: int, hi: int, target: int) -> None:
+        """Append one interval edge (caller keeps them sorted/disjoint,
+        or calls :meth:`sort_edges` once after building)."""
+        self.los.append(lo)
+        self.his.append(hi)
+        self.targets.append(target)
+
+    def sort_edges(self) -> None:
+        order = sorted(range(len(self.los)), key=lambda k: self.los[k])
+        self.los = [self.los[k] for k in order]
+        self.his = [self.his[k] for k in order]
+        self.targets = [self.targets[k] for k in order]
+
     def next_state(self, codepoint: int) -> int:
         """Target state id for a character, or -1 (stuck)."""
-        i = bisect_right(self.ivals, (codepoint, 0x110000)) - 1
-        if i >= 0:
-            lo, hi = self.ivals[i]
-            if lo <= codepoint <= hi:
-                return self.targets[i]
-        return -1
+        i = find_interval_index(self.los, self.his, codepoint, 0, len(self.los))
+        return self.targets[i] if i >= 0 else -1
 
     def to_dict(self) -> dict:
-        """JSON-safe form for the compiled-artifact cache."""
+        """JSON-safe form (kept stable for the schema-v1 upgrade path)."""
         return {
-            "ivals": [list(iv) for iv in self.ivals],
+            "ivals": [[lo, hi] for lo, hi in zip(self.los, self.his)],
             "targets": list(self.targets),
             "accept": ([self.accept[0], self.accept[1], list(self.accept[2])]
                        if self.accept is not None else None),
@@ -47,7 +70,8 @@ class LexerDFAState:
     @classmethod
     def from_dict(cls, state_id: int, data: dict) -> "LexerDFAState":
         s = cls(state_id)
-        s.ivals = [(lo, hi) for lo, hi in data["ivals"]]
+        s.los = [lo for lo, _hi in data["ivals"]]
+        s.his = [hi for _lo, hi in data["ivals"]]
         s.targets = list(data["targets"])
         if data["accept"] is not None:
             priority, name, commands = data["accept"]
@@ -151,10 +175,6 @@ def build_lexer_dfa(nfa: NFA) -> LexerDFA:
             target_id = get_state(closure)
             if closure not in done:
                 work.append(closure)
-            ds.ivals.append((lo, hi))
-            ds.targets.append(target_id)
-        # bisect requires sorted intervals
-        order = sorted(range(len(ds.ivals)), key=lambda k: ds.ivals[k])
-        ds.ivals = [ds.ivals[k] for k in order]
-        ds.targets = [ds.targets[k] for k in order]
+            ds.add_edge(lo, hi, target_id)
+        ds.sort_edges()  # bisect requires sorted intervals
     return dfa

@@ -7,20 +7,46 @@ first, then lexer-rule definition order).  ``-> skip`` drops the token;
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from bisect import bisect_right
+from typing import Dict, Iterator, Optional
 
 from repro.exceptions import LexerError
 from repro.lexgen.dfa import LexerDFA
 from repro.runtime.char_stream import CharStream
 from repro.runtime.token import DEFAULT_CHANNEL, HIDDEN_CHANNEL, Token, Vocabulary
+from repro.tables.lexer import LexerTable, compile_lexer_table
 
 
 class LexerSpec:
-    """Compiled lexer: DFA plus the vocabulary mapping rule names to types."""
+    """Compiled lexer: DFA plus the vocabulary mapping rule names to types.
 
-    def __init__(self, dfa: LexerDFA, vocabulary: Vocabulary):
+    The tokenizer executes the flat :class:`~repro.tables.lexer.LexerTable`
+    form; a cache warm start passes the deserialized ``table`` directly so
+    nothing is recompiled.
+    """
+
+    def __init__(self, dfa: LexerDFA, vocabulary: Vocabulary,
+                 table: Optional[LexerTable] = None):
         self.dfa = dfa
         self.vocabulary = vocabulary
+        self._table = table
+        # Token type per accepts-pool index, resolved on first use (the
+        # vocabulary lookup involves string dispatch; once per rule, not
+        # once per token).
+        self._accept_types: Dict[int, int] = {}
+
+    @property
+    def table(self) -> LexerTable:
+        if self._table is None:
+            self._table = compile_lexer_table(self.dfa)
+        return self._table
+
+    def _accept_type(self, accept_index: int) -> int:
+        t = self._accept_types.get(accept_index)
+        if t is None:
+            t = self.token_type_for(self.table.accepts[accept_index][1])
+            self._accept_types[accept_index] = t
+        return t
 
     def tokenizer(self, text: str, name: str = "<input>") -> "DFATokenizer":
         return DFATokenizer(self, CharStream(text, name))
@@ -65,33 +91,50 @@ class DFATokenizer:
         return token
 
     def next_token(self) -> Optional[Token]:
-        """Scan one token; None for skipped rules; EOF token at end."""
+        """Scan one token; None for skipped rules; EOF token at end.
+
+        The maximal-munch loop walks the flat lexer table: one
+        ``bisect_right`` probe over the state's sorted interval row per
+        character, all array indexing, no per-character allocation.
+        """
         stream = self.stream
         if stream.at_eof:
             line, col = stream.line_column()
             return Token.eof(line=line, column=col, start=stream.index)
 
-        dfa = self.spec.dfa
+        spec = self.spec
+        table = spec.table
+        edge_index = table.edge_index
+        edge_lo = table.edge_lo
+        edge_hi = table.edge_hi
+        edge_targets = table.edge_targets
+        accept_idx = table.accept_idx
         start_index = stream.index
-        state_id = dfa.start_id
-        last_accept = None  # (end_index, accept_rule)
+        state = table.start
+        last_end = -1
+        last_accept = -1  # index into the accepts pool
         index = start_index
         text = stream.text
         n = len(text)
         while index < n:
-            state_id = dfa.state(state_id).next_state(ord(text[index]))
-            if state_id < 0:
+            cp = ord(text[index])
+            lo = edge_index[state]
+            i = bisect_right(edge_lo, cp, lo, edge_index[state + 1]) - 1
+            if i < lo or cp > edge_hi[i]:
                 break
+            state = edge_targets[i]
             index += 1
-            accept = dfa.state(state_id).accept
-            if accept is not None:
-                last_accept = (index, accept)
+            ai = accept_idx[state]
+            if ai >= 0:
+                last_end = index
+                last_accept = ai
 
-        if last_accept is None:
+        if last_accept < 0:
             line, col = stream.line_column(start_index)
             raise LexerError(text[start_index], line, col, start_index)
 
-        end_index, (priority, name, commands) = last_accept
+        commands = table.accepts[last_accept][2]
+        end_index = last_end
         stream.seek(end_index)
         if "skip" in commands:
             return None
@@ -101,7 +144,7 @@ class DFATokenizer:
                 channel = HIDDEN_CHANNEL
         line, col = stream.line_column(start_index)
         return Token(
-            self.spec.token_type_for(name),
+            spec._accept_type(last_accept),
             text[start_index:end_index],
             line=line,
             column=col,

@@ -37,7 +37,7 @@ def minimize_lexer_dfa(dfa: LexerDFA) -> LexerDFA:
 
     def signature(state: LexerDFAState) -> Tuple:
         sig: List[Tuple[int, int, int]] = []
-        for (lo, hi), target in zip(state.ivals, state.targets):
+        for lo, hi, target in zip(state.los, state.his, state.targets):
             p = part[target]
             if sig and sig[-1][2] == p and sig[-1][1] + 1 == lo:
                 sig[-1] = (sig[-1][0], hi, p)
@@ -80,13 +80,15 @@ def minimize_lexer_dfa(dfa: LexerDFA) -> LexerDFA:
         new_state = LexerDFAState(len(out.states))
         new_state.accept = old_state.accept
         merged: List[Tuple[int, int, int]] = []
-        for (lo, hi), target in zip(old_state.ivals, old_state.targets):
+        for lo, hi, target in zip(old_state.los, old_state.his,
+                                  old_state.targets):
             t = remap[part[target]]
             if merged and merged[-1][2] == t and merged[-1][1] + 1 == lo:
                 merged[-1] = (merged[-1][0], hi, t)
             else:
                 merged.append((lo, hi, t))
-        new_state.ivals = [(lo, hi) for lo, hi, _t in merged]
+        new_state.los = [lo for lo, _hi, _t in merged]
+        new_state.his = [hi for _lo, hi, _t in merged]
         new_state.targets = [t for _lo, _hi, t in merged]
         out.states.append(new_state)
     out.start_id = 0

@@ -71,6 +71,9 @@ class ParserOptions:
     ``telemetry``: a :class:`~repro.runtime.telemetry.ParseTelemetry`
     receiving structured events and metrics (prediction outcomes,
     recovery repairs, degradations, speculation spans).
+    ``use_tables``: predict with the flat execution tables
+    (:mod:`repro.tables`); off walks the object-graph DFA directly —
+    the reference implementation the tables are checked against.
     """
 
     def __init__(self, memoize: bool = True, build_tree: bool = True,
@@ -79,7 +82,7 @@ class ParserOptions:
                  error_strategy: Optional[ErrorStrategy] = None,
                  trace=None, recover: bool = False,
                  budget: Optional[ParserBudget] = None,
-                 telemetry=None):
+                 telemetry=None, use_tables: bool = True):
         self.memoize = memoize
         self.build_tree = build_tree
         self.profiler = profiler
@@ -98,6 +101,7 @@ class ParserOptions:
         self.recover = recover
         self.budget = budget
         self.telemetry = telemetry
+        self.use_tables = use_tables
 
 
 class LLStarParser:
@@ -141,6 +145,10 @@ class LLStarParser:
         self._deadline: Optional[float] = None
         # Structured degradation events (missing DFAs rebuilt on the fly).
         self.degradations: List[Any] = []
+        # Per-decision (table, start, arrays...) rows, unpacked lazily on
+        # first prediction so the hot path pays one list index + tuple
+        # unpack instead of a property call and six attribute fetches.
+        self._table_rows: List[Optional[tuple]] = [None] * len(analysis.records)
         # Hot-path handle; None keeps every telemetry hook a single check.
         self._telemetry = self.options.telemetry
 
@@ -438,8 +446,121 @@ class LLStarParser:
 
         Returns the predicted 1-based alternative.  Reports the event to
         the profiler with the lookahead depth used and any backtracking.
+
+        The default implementation executes the decision's flat
+        :class:`~repro.tables.lookahead.DecisionTable` through its
+        derived execution index: a fixed-k=1 prediction (the common case
+        per the paper's Table 2) is a single dict probe, and deeper
+        walks touch only list indexing and per-state ``token -> target``
+        dicts — no attribute chases, no allocation.
+        ``ParserOptions(use_tables=False)`` selects
+        :meth:`_adaptive_predict_graph`, the object-graph reference walk.
         """
         record = self.analysis.records[decision]
+        if not self.options.use_tables:
+            return self._adaptive_predict_graph(decision, record, frame)
+        degraded = False
+        row = self._table_rows[decision]
+        if row is None:
+            table = record.table
+            if table is None or table.start < 0:
+                self._materialize_dfa(decision, record)
+                table = record.table
+                degraded = True
+            fast, rows = table.execution_index()
+            row = (table, table.start, fast.get, rows, table.accept_alt,
+                   table.pred_index)
+            self._table_rows[decision] = row
+        # Bind everything the hot loop touches to locals once.
+        table, start, fast_get, rows, accept_alt, pred_index = row
+        la = self.stream.la
+        budget = self.options.budget
+        max_steps = budget.max_dfa_steps if budget is not None else None
+        deadline = self._deadline
+        steps = self._dfa_steps  # local counter, written back in finally
+        offset = 0  # tokens of lookahead consumed along DFA edges
+        backtracked = False
+        backtrack_depth = 0
+        used_predicates = False
+        try:
+            # One-probe fast path: start-state edges landing directly on
+            # an accept state (the fixed-k=1 majority).  Step/budget
+            # accounting matches the two loop iterations it replaces.
+            alt = fast_get(la(1))
+            if alt is not None:
+                offset = 1
+                steps += 2
+                if max_steps is not None and steps > max_steps:
+                    raise BudgetExceededError(
+                        "dfa steps", max_steps, spent=steps,
+                        token=self.stream.lt(1), index=self.stream.index)
+                if deadline is not None and steps & 63 == 0:
+                    self._check_deadline()
+                return alt
+            state = start
+            while True:
+                steps += 1
+                if max_steps is not None and steps > max_steps:
+                    raise BudgetExceededError(
+                        "dfa steps", max_steps, spent=steps,
+                        token=self.stream.lt(offset + 1),
+                        index=self.stream.index + offset)
+                if deadline is not None and steps & 63 == 0:
+                    self._check_deadline()
+                alt = accept_alt[state]
+                if alt > 0:
+                    return alt
+                token_type = la(offset + 1)
+                nxt = rows[state].get(token_type)
+                if nxt is not None:
+                    offset += 1
+                    state = nxt
+                    continue
+                if pred_index[state] != pred_index[state + 1]:
+                    used_predicates = True
+                    # Gates can speculate (nested predictions read the
+                    # shared step counter) — sync it around the call.
+                    self._dfa_steps = steps
+                    alt, backtracked, backtrack_depth = self._evaluate_gates(
+                        table, state, frame)
+                    steps = self._dfa_steps
+                    if alt is not None:
+                        return alt
+                token = self.stream.lt(offset + 1)
+                raise NoViableAltError(decision, token,
+                                       self.stream.index + offset,
+                                       rule_name=record.rule_name)
+        finally:
+            self._dfa_steps = steps
+            depth = max(offset, 1)
+            if self.options.profiler is not None and not self.speculating:
+                self.options.profiler.record(decision, depth, backtracked,
+                                             backtrack_depth)
+            tel = self._telemetry
+            if tel is not None and not self.speculating:
+                tel.record_predict(decision, record.rule_name, depth,
+                                   dfa_hit=not (used_predicates or degraded),
+                                   backtracked=backtracked,
+                                   backtrack_depth=backtrack_depth,
+                                   index=self.stream.index)
+                if used_predicates:
+                    tel.record_fallback(
+                        decision, record.rule_name,
+                        "synpred" if backtracked else "predicates",
+                        self.stream.index)
+                if degraded:
+                    tel.record_fallback(decision, record.rule_name,
+                                        "degraded", self.stream.index)
+            if self.options.trace is not None:
+                self.options.trace.predict(decision, depth, backtracked)
+
+    def _adaptive_predict_graph(self, decision: int, record,
+                                frame: Dict[str, Any]) -> int:
+        """Reference prediction walking the object-graph DFA directly.
+
+        Kept behind ``use_tables=False`` as the semantic baseline the
+        flat tables are differentially tested (and benchmarked) against.
+        """
         dfa = record.dfa
         degraded = False
         if dfa is None or dfa.start is None:
@@ -525,6 +646,31 @@ class LLStarParser:
         if self._telemetry is not None:
             self._telemetry.record_degradation(event)
         return dfa
+
+    def _evaluate_gates(self, table, state: int, frame: Dict[str, Any]):
+        """Flat-table twin of :meth:`_evaluate_predicates`: walk the
+        state's row of the predicate arrays in stored (evaluation) order;
+        gate objects come interned from the table's pool."""
+        stats = {"backtracked": False, "deepest": 0}
+
+        def eval_leaf(predicate) -> bool:
+            if predicate.is_synpred:
+                stats["backtracked"] = True
+                ok, depth = self._eval_synpred(predicate.synpred)
+                stats["deepest"] = max(stats["deepest"], depth)
+                return ok
+            return self._eval_predicate(predicate, frame)
+
+        contexts = table.pool.contexts
+        pred_ctx = table.pred_ctx
+        pred_alt = table.pred_alt
+        for i in range(table.pred_index[state], table.pred_index[state + 1]):
+            c = pred_ctx[i]
+            if c < 0:  # default edge: ordered-choice fallback
+                return pred_alt[i], stats["backtracked"], stats["deepest"]
+            if contexts[c].evaluate(eval_leaf):
+                return pred_alt[i], stats["backtracked"], stats["deepest"]
+        return None, stats["backtracked"], stats["deepest"]
 
     def _evaluate_predicates(self, state, decision: int, frame: Dict[str, Any]):
         """Try predicate edges in alternative order; first success wins.

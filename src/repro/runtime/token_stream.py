@@ -9,7 +9,7 @@ O(1) lookahead and rewind.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Iterable, List
 
 from repro.runtime.token import EOF, Token, DEFAULT_CHANNEL
 

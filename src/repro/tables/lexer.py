@@ -1,0 +1,158 @@
+"""Dense flat-table form of the lexer DFA.
+
+Same CSR idiom as :class:`~repro.tables.lookahead.DecisionTable`, over
+character intervals instead of token types:
+
+* ``edge_index[s] : edge_index[s+1]`` is state ``s``'s row in the three
+  parallel arrays ``edge_lo`` / ``edge_hi`` (sorted disjoint inclusive
+  codepoint ranges) and ``edge_targets``;
+* ``accept_idx[s]`` indexes the deduplicated ``accepts`` pool of
+  ``(priority, rule_name, commands)`` labels, -1 for non-accept states.
+
+The tokenizer's maximal-munch loop walks these arrays directly (one
+:func:`~repro.tables.ranges.find_interval_index` probe per character);
+:meth:`LexerTable.to_lexer_dfa` reconstructs the object model losslessly
+for diagnostics and the v1-artifact upgrade path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.tables.ranges import find_interval_index
+
+
+class LexerTable:
+    """Flat form of a whole lexer DFA."""
+
+    __slots__ = ("start", "n_states", "edge_index", "edge_lo", "edge_hi",
+                 "edge_targets", "accept_idx", "accepts")
+
+    def __init__(self, start: int, n_states: int,
+                 edge_index: Tuple[int, ...], edge_lo: Tuple[int, ...],
+                 edge_hi: Tuple[int, ...], edge_targets: Tuple[int, ...],
+                 accept_idx: Tuple[int, ...],
+                 accepts: Tuple[Tuple[int, str, Tuple[str, ...]], ...]):
+        self.start = start
+        self.n_states = n_states
+        self.edge_index = edge_index
+        self.edge_lo = edge_lo
+        self.edge_hi = edge_hi
+        self.edge_targets = edge_targets
+        self.accept_idx = accept_idx
+        self.accepts = accepts
+
+    def next_state(self, state: int, codepoint: int) -> int:
+        """Target state for one character, or -1 (stuck).  The tokenizer
+        inlines this walk; the method exists for tests and tools."""
+        i = find_interval_index(self.edge_lo, self.edge_hi, codepoint,
+                                self.edge_index[state],
+                                self.edge_index[state + 1])
+        return self.edge_targets[i] if i >= 0 else -1
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "n_states": self.n_states,
+            "edge_index": list(self.edge_index),
+            "edge_lo": list(self.edge_lo),
+            "edge_hi": list(self.edge_hi),
+            "edge_targets": list(self.edge_targets),
+            "accept_idx": list(self.accept_idx),
+            "accepts": [[p, name, list(commands)]
+                        for p, name, commands in self.accepts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LexerTable":
+        table = cls(
+            data["start"], data["n_states"],
+            tuple(data["edge_index"]), tuple(data["edge_lo"]),
+            tuple(data["edge_hi"]), tuple(data["edge_targets"]),
+            tuple(data["accept_idx"]),
+            tuple((p, name, tuple(commands))
+                  for p, name, commands in data["accepts"]))
+        table.validate()
+        return table
+
+    def validate(self) -> None:
+        n = self.n_states
+        if len(self.accept_idx) != n:
+            raise ValueError("accept_idx length %d != %d states"
+                             % (len(self.accept_idx), n))
+        if (len(self.edge_index) != n + 1 or self.edge_index[0] != 0
+                or self.edge_index[-1] != len(self.edge_lo)):
+            raise ValueError("bad edge_index row pointers")
+        if any(self.edge_index[i] > self.edge_index[i + 1] for i in range(n)):
+            raise ValueError("non-monotone edge_index")
+        if (len(self.edge_hi) != len(self.edge_lo)
+                or len(self.edge_targets) != len(self.edge_lo)):
+            raise ValueError("edge arrays disagree in length")
+        for s in range(n):
+            row_lo = self.edge_lo[self.edge_index[s]:self.edge_index[s + 1]]
+            row_hi = self.edge_hi[self.edge_index[s]:self.edge_index[s + 1]]
+            for i, (lo, hi) in enumerate(zip(row_lo, row_hi)):
+                if lo > hi:
+                    raise ValueError("inverted interval in state %d" % s)
+                if i and row_hi[i - 1] >= lo:
+                    raise ValueError("overlapping/unsorted intervals in state %d" % s)
+        if any(not (0 <= t < n) for t in self.edge_targets):
+            raise ValueError("edge target out of range")
+        if any(a != -1 and not (0 <= a < len(self.accepts))
+               for a in self.accept_idx):
+            raise ValueError("accept index out of range")
+        if not (0 <= self.start < n) and n:
+            raise ValueError("start state out of range")
+
+    def to_lexer_dfa(self):
+        """Rebuild the object-model :class:`~repro.lexgen.dfa.LexerDFA`
+        (bit-identical ``to_dict`` form)."""
+        from repro.lexgen.dfa import LexerDFA, LexerDFAState
+
+        dfa = LexerDFA()
+        dfa.start_id = self.start
+        for s in range(self.n_states):
+            state = LexerDFAState(s)
+            row = slice(self.edge_index[s], self.edge_index[s + 1])
+            state.los = list(self.edge_lo[row])
+            state.his = list(self.edge_hi[row])
+            state.targets = list(self.edge_targets[row])
+            if self.accept_idx[s] >= 0:
+                state.accept = self.accepts[self.accept_idx[s]]
+            dfa.states.append(state)
+        return dfa
+
+    def __repr__(self):
+        return "LexerTable(%d states, %d ranges)" % (
+            self.n_states, len(self.edge_lo))
+
+
+def compile_lexer_table(dfa) -> LexerTable:
+    """The one object-model -> flat-table boundary for lexer DFAs."""
+    edge_index: List[int] = [0]
+    edge_lo: List[int] = []
+    edge_hi: List[int] = []
+    edge_targets: List[int] = []
+    accept_idx: List[int] = []
+    accepts: List[Tuple[int, str, Tuple[str, ...]]] = []
+    accept_pool = {}
+    for position, state in enumerate(dfa.states):
+        if state.id != position:
+            raise ValueError("non-contiguous lexer DFA state ids")
+        edge_lo.extend(state.los)
+        edge_hi.extend(state.his)
+        edge_targets.extend(state.targets)
+        edge_index.append(len(edge_lo))
+        label: Optional[Tuple[int, str, Tuple[str, ...]]] = state.accept
+        if label is None:
+            accept_idx.append(-1)
+        else:
+            label = (label[0], label[1], tuple(label[2]))
+            idx = accept_pool.get(label)
+            if idx is None:
+                idx = accept_pool[label] = len(accepts)
+                accepts.append(label)
+            accept_idx.append(idx)
+    return LexerTable(dfa.start_id, len(dfa.states), tuple(edge_index),
+                      tuple(edge_lo), tuple(edge_hi), tuple(edge_targets),
+                      tuple(accept_idx), tuple(accepts))

@@ -1,0 +1,68 @@
+"""Interned semantic-context pool.
+
+Hoisted predicate gates (:class:`~repro.analysis.semctx.SemanticContext`
+trees) recur across DFA states and across decisions — every PEG-mode
+decision in a rule tends to carry the same synpred gate.  The pool
+interns each distinct tree once per grammar; flat tables then reference
+gates by small int index, so
+
+* the artifact cache serializes each gate exactly once,
+* the runtime evaluates every occurrence through the same live object,
+* and ``contains_synpred`` (needed to classify a decision as
+  backtracking) is computed once per gate, not once per edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.semctx import SemanticContext, context_from_dict
+
+
+class SemCtxPool:
+    """Append-only interning pool of semantic-context trees."""
+
+    __slots__ = ("contexts", "synpred_flags", "_index")
+
+    def __init__(self):
+        self.contexts: List[SemanticContext] = []
+        #: parallel to ``contexts``: True when the gate contains a synpred
+        #: leaf (evaluating it speculates).
+        self.synpred_flags: List[bool] = []
+        self._index: Dict[SemanticContext, int] = {}
+
+    def add(self, ctx: SemanticContext) -> int:
+        """Intern ``ctx``; returns its pool index."""
+        existing = self._index.get(ctx)
+        if existing is not None:
+            return existing
+        idx = len(self.contexts)
+        self.contexts.append(ctx)
+        self.synpred_flags.append(ctx.contains_synpred)
+        self._index[ctx] = idx
+        return idx
+
+    def get(self, index: int) -> SemanticContext:
+        return self.contexts[index]
+
+    def __len__(self) -> int:
+        return len(self.contexts)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (``synpred_flags`` are re-derived on load)."""
+        return {"contexts": [c.to_dict() for c in self.contexts]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SemCtxPool":
+        pool = cls()
+        for cd in data["contexts"]:
+            pool.add(context_from_dict(cd))
+        if len(pool) != len(data["contexts"]):
+            # Interning collapsed entries the writer kept distinct; table
+            # indexes into this pool would silently alias. A well-formed
+            # artifact never contains duplicates (the writer interned).
+            raise ValueError("semantic-context pool contains duplicates")
+        return pool
+
+    def __repr__(self):
+        return "SemCtxPool(%d contexts)" % len(self.contexts)

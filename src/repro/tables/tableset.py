@@ -1,0 +1,60 @@
+"""The versioned bundle every consumer ships: pool + decision tables
+(+ optional lexer table).
+
+One :class:`TableSet` is the complete execution core for a compiled
+grammar.  The artifact cache serializes it verbatim (inside the schema-v2
+payload), the code generator embeds its dict form in generated modules,
+and both rebuild the identical live tables through :meth:`from_dict`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.tables.lexer import LexerTable
+from repro.tables.lookahead import DecisionTable
+from repro.tables.pool import SemCtxPool
+
+#: Version of the flat-table encoding.  Any change to the array layout of
+#: DecisionTable/LexerTable/SemCtxPool dicts must bump this (and with it
+#: :data:`repro.cache.SCHEMA_VERSION`); readers reject unknown versions.
+TABLE_FORMAT_VERSION = 1
+
+
+class TableSet:
+    """All flat tables for one grammar, sharing one interned gate pool."""
+
+    __slots__ = ("pool", "decisions", "lexer")
+
+    def __init__(self, pool: SemCtxPool, decisions: List[DecisionTable],
+                 lexer: Optional[LexerTable] = None):
+        self.pool = pool
+        self.decisions = decisions
+        self.lexer = lexer
+
+    def to_dict(self) -> dict:
+        return {
+            "version": TABLE_FORMAT_VERSION,
+            "pool": self.pool.to_dict(),
+            "decisions": [t.to_dict() for t in self.decisions],
+            "lexer": self.lexer.to_dict() if self.lexer is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TableSet":
+        version = data.get("version")
+        if version != TABLE_FORMAT_VERSION:
+            raise ValueError("table format %r != %d"
+                             % (version, TABLE_FORMAT_VERSION))
+        pool = SemCtxPool.from_dict(data["pool"])
+        decisions = [DecisionTable.from_dict(d, pool)
+                     for d in data["decisions"]]
+        lexer = (LexerTable.from_dict(data["lexer"])
+                 if data.get("lexer") is not None else None)
+        return cls(pool, decisions, lexer)
+
+    def __repr__(self):
+        return "TableSet(%d decisions%s, %d pooled contexts)" % (
+            len(self.decisions),
+            ", lexer" if self.lexer is not None else "",
+            len(self.pool))

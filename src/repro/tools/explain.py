@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.runtime.token import EOF
 from repro.runtime.token_stream import TokenStream
 
 

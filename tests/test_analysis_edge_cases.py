@@ -1,9 +1,8 @@
 """Analysis edge cases beyond the paper's worked examples."""
 
-import pytest
 
 import repro
-from repro.analysis import AnalysisOptions, BACKTRACK, CYCLIC, FIXED, analyze
+from repro.analysis import AnalysisOptions, FIXED, analyze
 from repro.grammar.meta_parser import parse_grammar
 from repro.runtime.token import EOF
 

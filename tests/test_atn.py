@@ -7,7 +7,6 @@ from repro.atn.states import DecisionKind, RuleStartState, RuleStopState
 from repro.atn.transitions import (
     ActionTransition,
     AtomTransition,
-    EpsilonTransition,
     PredicateTransition,
     RuleTransition,
     SetTransition,

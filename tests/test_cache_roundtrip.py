@@ -110,18 +110,27 @@ class TestRoundTrip:
 class TestSuiteCoverage:
     def test_suite_exercises_backtrack_serialization(self):
         """The PEG-mode grammars must push synpred contexts (backtrack
-        edges) through serialization, per the paper's Table 1 mix."""
+        edges) through serialization, per the paper's Table 1 mix.
+
+        In the flat payload a synpred gate is a pooled context (the
+        shared ``pool`` entry) referenced by a ``pred_ctx`` index."""
         payloads = [artifact_to_dict(h.grammar, h.analysis, h.lexer_spec, "x")
                     for h in (load("java").compile(), load("rats_c").compile())]
-        synpred_edges = [
-            edge
-            for p in payloads
-            for record in p["analysis"]["records"]
-            for state in record["dfa"]["states"]
-            for edge in state["predicate_edges"]
-            if edge[0] is not None and "synpred" in json.dumps(edge[0])
-        ]
-        assert synpred_edges, "no synpred predicate edges serialized"
+        for p in payloads:
+            pool = p["analysis"]["pool"]["contexts"]
+            synpred_indexes = {
+                i for i, ctx in enumerate(pool)
+                if "synpred" in json.dumps(ctx)
+            }
+            assert synpred_indexes, "no synpred contexts in the pool"
+            referenced = {
+                c
+                for record in p["analysis"]["records"]
+                for c in record["table"]["pred_ctx"]
+                if c >= 0
+            }
+            assert synpred_indexes & referenced, \
+                "no predicate edge references a synpred gate"
 
 
 class TestPredicatedRoundTrip:

@@ -203,9 +203,9 @@ class TestDegradedWarmStart:
         repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
         (path,) = _entry_paths(tmp_path)
         payload = json.loads(open(path).read())
-        # Damage one record's DFA only: every payload-level integrity
+        # Damage one record's table only: every payload-level integrity
         # check (schema, name, vocabulary, decision count) still passes.
-        payload["analysis"]["records"][0]["dfa"] = {"flipped": "bits"}
+        payload["analysis"]["records"][0]["table"] = {"flipped": "bits"}
         with open(path, "w") as f:
             f.write(json.dumps(payload))
 
@@ -240,6 +240,131 @@ class TestDegradedWarmStart:
         cold = repro.compile_grammar(GRAMMAR)
         assert degraded.parse("a b").to_sexpr() == cold.parse("a b").to_sexpr()
         assert degraded.parse("a c").to_sexpr() == cold.parse("a c").to_sexpr()
+
+
+class TestSchemaUpgrade:
+    """Schema-1 entries (object-graph DFA dicts) must never crash a warm
+    start: a convertible entry is upgraded in place (its paid-for
+    analysis preserved, the load still a hit), an unconvertible one is
+    evicted with a structured SCHEMA diagnostic and recompiled cold."""
+
+    def _downgrade(self, host, payload):
+        """Rewrite a current artifact dict into its genuine schema-1
+        form: per-record object-graph DFA dicts, no pool, object-model
+        lexer DFA — the exact layout schema 1 wrote."""
+        old = dict(payload)
+        old["schema"] = SCHEMA_VERSION - 1
+        analysis = dict(payload["analysis"])
+        del analysis["pool"]
+        del analysis["table_version"]
+        analysis["records"] = [
+            {"decision": r.decision, "rule_name": r.rule_name,
+             "kind": r.kind, "dfa": r.dfa.to_dict()}
+            for r in host.analysis.records]
+        old["analysis"] = analysis
+        if host.lexer_spec is not None:
+            old["lexer"] = host.lexer_spec.dfa.to_dict()
+        return old
+
+    def _seed_v1(self, tmp_path, grammar=GRAMMAR, options=None):
+        host = repro.compile_grammar(grammar, options=options)
+        store = ArtifactStore(str(tmp_path))
+        key = artifact_key(grammar, None, options)
+        payload = artifact_to_dict(host.grammar, host.analysis,
+                                   host.lexer_spec,
+                                   grammar_fingerprint(grammar))
+        store.save(key, self._downgrade(host, payload))
+        return host, store, key
+
+    def test_v1_entry_upgrades_to_warm_start(self, tmp_path):
+        cold, _store, _key = self._seed_v1(tmp_path)
+        before = DecisionAnalyzer.invocations
+        warm = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert warm.from_cache
+        assert DecisionAnalyzer.invocations == before  # analysis reused
+        assert any(d.kind == CacheDiagnostic.UPGRADED
+                   for d in warm.cache_diagnostics)
+        assert warm.parse("a b").to_sexpr() == cold.parse("a b").to_sexpr()
+        assert warm.parse("a c").to_sexpr() == cold.parse("a c").to_sexpr()
+
+    def test_upgrade_rewrites_entry_at_current_schema(self, tmp_path):
+        self._seed_v1(tmp_path)
+        repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        (path,) = _entry_paths(tmp_path)
+        payload = json.loads(open(path).read())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert all("table" in r for r in payload["analysis"]["records"])
+        # The next load is a plain current-schema hit, not a re-upgrade.
+        again = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert again.from_cache
+        assert not any(d.kind == CacheDiagnostic.UPGRADED
+                       for d in again.cache_diagnostics)
+
+    def test_v1_entry_with_synpreds_upgrades(self, tmp_path):
+        """Semantic contexts in old DFA dicts land in the interned pool
+        and the warm host still classifies/backtracks identically."""
+        grammar = r"""
+            grammar Syn;
+            options { backtrack=true; }
+            t : '-'* ID | expr ;
+            expr : INT | '-' expr ;
+            ID : [a-z]+ ;
+            INT : [0-9]+ ;
+            WS : [ ]+ -> skip ;
+        """
+        options = AnalysisOptions(max_recursion_depth=1)
+        cold, _store, _key = self._seed_v1(tmp_path, grammar, options)
+        warm = repro.compile_grammar(grammar, cache_dir=str(tmp_path),
+                                     options=options)
+        assert warm.from_cache
+        assert len(warm.analysis.pool) == len(cold.analysis.pool)
+        for rc, rw in zip(cold.analysis.records, warm.analysis.records):
+            assert rw.category == rc.category
+            assert rw.fixed_k == rc.fixed_k
+        for text in ("--x", "---5", "7"):
+            assert warm.parse(text).to_sexpr() == cold.parse(text).to_sexpr()
+
+    def test_broken_v1_entry_evicted_never_fatal(self, tmp_path):
+        _host, store, key = self._seed_v1(tmp_path)
+        path = store.path_for(key)
+        payload = json.loads(open(path).read())
+        payload["analysis"]["records"][0]["dfa"] = {"flipped": "bits"}
+        with open(path, "w") as f:
+            f.write(json.dumps(payload))
+        host = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert not host.from_cache  # cold recompile, no crash
+        assert any(d.kind == CacheDiagnostic.SCHEMA and "upgrade" in d.detail
+                   for d in host.cache_diagnostics)
+        assert host.recognize("a b")
+        # The rot was replaced by a fresh current-schema entry.
+        (path,) = _entry_paths(tmp_path)
+        assert json.loads(open(path).read())["schema"] == SCHEMA_VERSION
+
+    def test_two_versions_old_entry_evicted(self, tmp_path):
+        _host, store, key = self._seed_v1(tmp_path)
+        path = store.path_for(key)
+        payload = json.loads(open(path).read())
+        payload["schema"] = SCHEMA_VERSION - 2
+        with open(path, "w") as f:
+            f.write(json.dumps(payload))
+        host = repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        assert not host.from_cache
+        assert any(d.kind == CacheDiagnostic.SCHEMA
+                   for d in host.cache_diagnostics)
+        assert host.recognize("a c")
+
+    def test_store_level_upgrade_counts_as_hit(self, tmp_path):
+        _host, store, key = self._seed_v1(tmp_path)
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded["schema"] == SCHEMA_VERSION
+        assert [d.kind for d in store.diagnostics] \
+            == [CacheDiagnostic.UPGRADED]
+        # The rewritten entry loads clean on the next probe: no second
+        # upgrade, no eviction.
+        assert store.load(key)["schema"] == SCHEMA_VERSION
+        assert [d.kind for d in store.diagnostics] \
+            == [CacheDiagnostic.UPGRADED]
 
 
 class TestCacheDiagnostics:

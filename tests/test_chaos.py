@@ -18,7 +18,6 @@ from repro.grammars import PAPER_ORDER, load
 from repro.runtime.budget import ParserBudget
 from repro.runtime.chaos import ChaosCharStream, ChaosTokenStream
 from repro.runtime.parser import ParserOptions
-from repro.runtime.trees import ErrorNode
 
 RATES = dict(drop_rate=0.04, duplicate_rate=0.04, substitute_rate=0.05,
              truncate_rate=0.15)

@@ -40,10 +40,14 @@ class TestGeneratedStructure:
         source, cls = load_parser(host, class_name="MyParser")
         assert cls.__name__ == "MyParser"
 
-    def test_dfas_serialized(self, host):
+    def test_tables_serialized(self, host):
         _source, cls = load_parser(host)
-        assert len(cls.DFAS) == host.analysis.num_decisions
+        assert len(cls.TABLES["decisions"]) == host.analysis.num_decisions
         assert cls.START_RULE == "s"
+        # The embedded core reconstitutes to live, validated tables.
+        pool, tables = cls._live_tables()
+        assert len(tables) == host.analysis.num_decisions
+        assert cls._live_tables() is cls._tables_cache  # cached per class
 
     def test_source_is_plain_python(self, host):
         source, _cls = load_parser(host)

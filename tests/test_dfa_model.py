@@ -1,6 +1,6 @@
 """Lookahead-DFA shape queries on hand-built automata."""
 
-from repro.analysis.dfa_model import DFA, DFAState
+from repro.analysis.dfa_model import DFA
 from repro.analysis.semctx import PredLeaf
 from repro.atn.transitions import Predicate
 

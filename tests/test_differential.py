@@ -11,13 +11,12 @@ grammars).
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 import repro
 from repro.baselines.earley import EarleyParser
 from repro.baselines.packrat import PackratParser
-from repro.exceptions import GrammarError, LLStarError
+from repro.exceptions import LLStarError
 
 TOKENS = ["A", "B", "C"]
 

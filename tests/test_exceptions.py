@@ -1,6 +1,5 @@
 """Exception hierarchy: messages, attributes, catchability."""
 
-import pytest
 
 from repro.exceptions import (
     ActionError,

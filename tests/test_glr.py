@@ -2,7 +2,6 @@
 
 import pytest
 
-import repro
 from repro.baselines.glr import GLRParser, LR0Automaton
 from repro.baselines.earley import EarleyParser, desugar_to_cfg
 from repro.grammar.meta_parser import parse_grammar

@@ -9,7 +9,6 @@ from repro.exceptions import (
     FailedPredicateError,
     MismatchedTokenError,
     NoViableAltError,
-    RecognitionError,
 )
 from repro.runtime.debug import TraceListener
 from repro.runtime.errors import SingleTokenDeletionStrategy

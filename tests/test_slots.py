@@ -1,0 +1,103 @@
+"""Hot-path classes must be slotted: no per-instance ``__dict__``.
+
+Prediction allocates/touches these objects millions of times per parse;
+an accidental ``__dict__`` (one forgotten ``__slots__`` anywhere in the
+MRO) silently doubles per-instance memory and slows attribute access.
+This is the regression net: constructing each class and asserting the
+instance has no ``__dict__`` catches both a dropped ``__slots__`` and a
+new un-slotted base class.
+"""
+
+import pytest
+
+from repro.analysis.config import ATNConfig
+from repro.analysis.dfa_model import DFA, DFAState
+from repro.analysis.semctx import PredAnd, PredLeaf, PredOr
+from repro.atn.states import (
+    ATNState,
+    BasicState,
+    DecisionState,
+    RuleStartState,
+    RuleStopState,
+)
+from repro.atn.transitions import (
+    ActionTransition,
+    AtomTransition,
+    EpsilonTransition,
+    Predicate,
+    PredicateTransition,
+    RuleTransition,
+    SemanticAction,
+    SetTransition,
+    Transition,
+)
+from repro.util.intervals import IntervalSet
+from repro.lexgen.dfa import LexerDFAState
+from repro.runtime.token import Token
+from repro.tables.lexer import LexerTable
+from repro.tables.lookahead import compile_decision_table
+from repro.tables.pool import SemCtxPool
+from repro.tables.tableset import TableSet
+
+
+def _instances():
+    """One live instance of every class the prediction/lexing hot paths
+    allocate or chase attributes on."""
+    basic = BasicState(0, "r")
+    stop = RuleStopState(3, "r")
+    pred = Predicate(code="True")
+    synpred = Predicate(synpred="synpred1")
+    leaf = PredLeaf(pred)
+    pool = SemCtxPool()
+    dfa = DFA(0, "r", 2)
+    state = dfa.new_state()
+    state.is_accept = True
+    state.predicted_alt = 1
+    dfa.start = state
+    table = compile_decision_table(dfa, pool)
+    lexer_state = LexerDFAState(0)
+    yield basic
+    yield stop
+    yield ATNState(1, "r")
+    yield RuleStartState(2, "r")
+    yield DecisionState(4, "r", "block")
+    yield Transition(basic)
+    yield EpsilonTransition(basic)
+    yield AtomTransition(basic, 5)
+    yield SetTransition(basic, IntervalSet.of(5, 7))
+    yield RuleTransition(basic, "r", stop)
+    yield PredicateTransition(basic, pred)
+    yield ActionTransition(basic, SemanticAction("pass"))
+    yield pred
+    yield synpred
+    yield SemanticAction("pass")
+    yield leaf
+    yield PredAnd([leaf, PredLeaf(synpred)])
+    yield PredOr([leaf, PredLeaf(synpred)])
+    yield ATNConfig(basic, 1)
+    yield DFAState(0)
+    yield Token(5, "x")
+    yield lexer_state
+    yield pool
+    yield table
+    yield LexerTable(0, 1, (0, 0), (), (), (), (-1,), ())
+    yield TableSet(pool, [table])
+
+
+@pytest.mark.parametrize("instance", list(_instances()),
+                         ids=lambda i: type(i).__name__)
+def test_no_instance_dict(instance):
+    assert not hasattr(instance, "__dict__"), (
+        "%s grew a __dict__ — a __slots__ declaration is missing "
+        "somewhere in its MRO" % type(instance).__name__)
+
+
+def test_slotted_classes_reject_rogue_attributes():
+    """The flip side of the same guarantee: typo'd attribute writes fail
+    loudly instead of silently creating new instance state."""
+    token = Token(5, "x")
+    with pytest.raises(AttributeError):
+        token.typo_attribute = 1
+    state = DFAState(0)
+    with pytest.raises(AttributeError):
+        state.typo_attribute = 1

@@ -1,0 +1,80 @@
+"""Equivalence sweep: flat execution tables vs the object-graph reference.
+
+For every grammar in the paper suite this proves the three properties
+the flat-table refactor rests on:
+
+1. **Lossless representation** — every decision's compiled
+   :class:`~repro.tables.lookahead.DecisionTable` decompiles to a DFA
+   whose serialized form is bit-identical to the analyzer's original.
+2. **Classification parity** — the shape queries driving decision
+   classification (``is_cyclic`` / ``fixed_k`` / ``uses_backtracking``)
+   answer identically on both representations, so a warm-started record
+   (table only, DFA never materialized) classifies exactly like a
+   cold-compiled one.
+3. **Prediction parity** — the table-walking parser and the
+   object-graph interpreter (``ParserOptions(use_tables=False)``, the
+   retained reference implementation) choose identical alternatives,
+   shown by identical parse trees and profiler event counts on the
+   bundled sample and a generated workload.
+"""
+
+import pytest
+
+from repro.analysis.decisions import DecisionRecord
+from repro.grammars import PAPER_ORDER, load
+from repro.runtime.parser import ParserOptions
+from repro.runtime.profiler import DecisionProfiler
+
+
+@pytest.fixture(scope="module", params=PAPER_ORDER)
+def bench(request):
+    return load(request.param)
+
+
+@pytest.fixture(scope="module")
+def host(bench):
+    return bench.compile()
+
+
+class TestRepresentationEquivalence:
+    def test_every_decision_is_lossless(self, host):
+        for record in host.analysis.records:
+            assert record.table.equivalent_to(record.dfa), (
+                "decision %d in %s round-trips lossily"
+                % (record.decision, record.rule_name))
+
+    def test_shape_queries_agree(self, host):
+        for record in host.analysis.records:
+            dfa, table = record.dfa, record.table
+            assert table.is_cyclic() == dfa.is_cyclic(), record.decision
+            assert table.fixed_k() == dfa.fixed_k(), record.decision
+            assert table.uses_backtracking() == dfa.uses_backtracking(), \
+                record.decision
+
+    def test_warm_record_classifies_identically(self, host):
+        """A record rebuilt from the table alone (the warm-start path —
+        no DFA ever decompiled) must land in the same category with the
+        same fixed k."""
+        for record in host.analysis.records:
+            warm = DecisionRecord.from_table(
+                record.decision, record.rule_name, record.kind, record.table)
+            assert warm.category == record.category, record.decision
+            assert warm.fixed_k == record.fixed_k, record.decision
+
+
+class TestPredictionEquivalence:
+    def _parse_both(self, host, text):
+        trees, events = [], []
+        for use_tables in (True, False):
+            profiler = DecisionProfiler()
+            opts = ParserOptions(profiler=profiler, use_tables=use_tables)
+            trees.append(host.parse(text, options=opts))
+            events.append(profiler.total_events)
+        assert trees[0].to_sexpr() == trees[1].to_sexpr()
+        assert events[0] == events[1]
+
+    def test_sample_parses_identically(self, host, bench):
+        self._parse_both(host, bench.sample)
+
+    def test_generated_workload_parses_identically(self, host, bench):
+        self._parse_both(host, bench.generate_program(6, seed=3))

@@ -17,12 +17,10 @@ import repro
 from repro.runtime.parser import LLStarParser, ParserOptions
 from repro.runtime.streaming import StreamingTokenStream
 from repro.runtime.telemetry import (
-    CacheEvent,
     Histogram,
     MetricsRegistry,
     ParseTelemetry,
     PredictEvent,
-    RecoveryEvent,
 )
 
 SIMPLE = r"""

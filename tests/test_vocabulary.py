@@ -1,6 +1,5 @@
 """Token vocabulary: allocation, literals, display names."""
 
-import pytest
 
 from repro.runtime.token import EOF, INVALID_TYPE, Token, Vocabulary
 
