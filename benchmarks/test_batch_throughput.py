@@ -1,0 +1,147 @@
+"""Corpus throughput of the batch engine + the lexer fast path.
+
+One results artifact, ``results/batch_throughput.txt``, with two tables:
+
+* **Corpus scaling** — the largest suite grammar parses a generated
+  corpus through :class:`repro.batch.BatchEngine` at 1, 2, and 4
+  workers (each worker warm-started once from the shipped artifact,
+  never re-analyzing), reporting files/s and tokens/s.  A per-file
+  *cold pipeline* baseline (compile + parse per file, what a shell loop
+  around ``llstar parse`` would do) shows what the warm-artifact
+  amortization alone buys.  Worker scaling is hardware-gated: the
+  scaling assertion only applies when the machine actually has >= 4
+  CPUs (the table title records the CPU count).
+* **Lexer fast path** — tokenizing an ASCII-dominant program with the
+  alphabet-compressed class walk vs the interval-bisect walk; the fast
+  path must win.
+"""
+
+import os
+import time
+
+from repro.api import compile_grammar
+from repro.batch import BatchEngine
+from repro.grammars import PAPER_ORDER, load
+
+from conftest import RESULTS_DIR, emit_table
+
+CORPUS_FILES = 16
+UNITS_PER_FILE = 60
+LEXER_REPS = 5
+COLD_BASELINE_FILES = 2
+
+
+def _largest_grammar():
+    return max((load(name) for name in PAPER_ORDER),
+               key=lambda bench: bench.grammar_lines())
+
+
+def _corpus(bench):
+    return [("file%02d.src" % i,
+             bench.generate_program(UNITS_PER_FILE, seed=100 + i))
+            for i in range(CORPUS_FILES)]
+
+
+def _measure_corpus(bench, corpus):
+    """Batch runs at 1/2/4 workers plus the cold per-file baseline."""
+    rows = []
+    reports = {}
+    for jobs in (1, 2, 4):
+        engine = BatchEngine(bench.grammar_text, jobs=jobs)
+        report = engine.run(corpus)
+        assert report.ok_count == len(corpus), report.summary()
+        reports[jobs] = report
+        rows.append(("batch jobs=%d" % jobs, len(corpus),
+                     report.total_tokens, "%.3fs" % report.wall_seconds,
+                     "%.1f" % report.files_per_second,
+                     "%.0f" % report.tokens_per_second,
+                     "%.2fx" % (reports[1].wall_seconds
+                                / report.wall_seconds)))
+
+    # Cold pipeline baseline: what parsing a corpus costs when every file
+    # pays for static analysis again (measured on a few files, scaled).
+    cold_started = time.perf_counter()
+    for _, text in corpus[:COLD_BASELINE_FILES]:
+        host = compile_grammar(bench.grammar_text)
+        host.parse(text)
+    cold_per_file = (time.perf_counter() - cold_started) / COLD_BASELINE_FILES
+    cold_total = cold_per_file * len(corpus)
+    rows.append(("cold compile/file", len(corpus),
+                 reports[1].total_tokens, "%.3fs (est)" % cold_total,
+                 "%.1f" % (len(corpus) / cold_total),
+                 "%.0f" % (reports[1].total_tokens / cold_total),
+                 "%.2fx" % (reports[1].wall_seconds / cold_total)))
+    return rows, reports, cold_total
+
+
+def _measure_lexer(bench, host):
+    """Best-of-REPS tokenize, class walk vs bisect walk, interleaved."""
+    spec = host.lexer_spec
+    program = bench.generate_program(UNITS_PER_FILE * 4, seed=11)
+    assert all(ord(c) < 128 for c in program)  # ASCII-dominant corpus
+
+    best = {"classes": float("inf"), "bisect": float("inf")}
+    counts = {}
+    for _ in range(LEXER_REPS):
+        for key, use_classes in (("classes", True), ("bisect", False)):
+            started = time.perf_counter()
+            tokens = list(spec.tokenizer(program,
+                                         use_char_classes=use_classes))
+            best[key] = min(best[key], time.perf_counter() - started)
+            counts[key] = len(tokens)
+    assert counts["classes"] == counts["bisect"]
+
+    chars = len(program)
+    rows = [
+        ("interval bisect", chars, counts["bisect"],
+         "%.4fs" % best["bisect"], "%.0f" % (chars / best["bisect"]), ""),
+        ("class-compressed", chars, counts["classes"],
+         "%.4fs" % best["classes"], "%.0f" % (chars / best["classes"]),
+         "%.2fx" % (best["bisect"] / best["classes"])),
+    ]
+    return rows, best, chars
+
+
+def test_batch_throughput(paper_names):
+    bench = _largest_grammar()
+    corpus = _corpus(bench)
+    cpus = os.cpu_count() or 1
+
+    corpus_rows, reports, cold_total = _measure_corpus(bench, corpus)
+    lexer_rows, lexer_best, chars = _measure_lexer(bench, bench.compile())
+
+    emit_table(
+        "batch_throughput",
+        "Corpus throughput, %s grammar, %d files x %d units (%d CPUs)"
+        % (paper_names[bench.name], CORPUS_FILES, UNITS_PER_FILE, cpus),
+        ("Configuration", "Files", "Tokens", "Wall", "Files/s", "Tokens/s",
+         "vs 1 worker"),
+        corpus_rows)
+    lexer_text = emit_table(
+        "batch_throughput_lexer",
+        "Tokenizer walk, %s grammar, %d chars (best of %d)"
+        % (paper_names[bench.name], chars, LEXER_REPS),
+        ("Walk", "Chars", "Tokens", "Wall", "Chars/s", "Speedup"),
+        lexer_rows)
+    # Both tables belong to one artifact: append the lexer table to the
+    # corpus-scaling file and drop the intermediate.
+    with open(os.path.join(RESULTS_DIR, "batch_throughput.txt"), "a") as f:
+        f.write("\n" + lexer_text + "\n")
+    os.remove(os.path.join(RESULTS_DIR, "batch_throughput_lexer.txt"))
+
+    # Warm artifacts must beat recompiling per file decisively.
+    assert reports[1].wall_seconds < cold_total / 2, (
+        "batch with warm artifacts should be >= 2x the cold per-file "
+        "pipeline (batch %.3fs vs cold %.3fs)"
+        % (reports[1].wall_seconds, cold_total))
+    # The ASCII class walk must beat the bisect walk outright.
+    assert lexer_best["classes"] < lexer_best["bisect"], (
+        "alphabet-compressed walk must beat the bisect walk "
+        "(%.4fs vs %.4fs)" % (lexer_best["classes"], lexer_best["bisect"]))
+    # Worker scaling is a hardware question: assert only when the cores
+    # exist to scale onto.
+    if cpus >= 4:
+        scaling = reports[1].wall_seconds / reports[4].wall_seconds
+        assert scaling >= 2.0, (
+            "4 workers on %d CPUs should be >= 2x 1 worker, got %.2fx"
+            % (cpus, scaling))

@@ -1,0 +1,18 @@
+// Corpus grammar for the batch-parsing demo and the CI batch smoke job:
+// assignment statements over arithmetic expressions.
+grammar BatchCalc;
+
+program : stmt+ ;
+
+stmt : ID '=' expr ';' ;
+
+expr : term (('+' | '-') term)* ;
+
+term : factor (('*' | '/') factor)* ;
+
+factor : ID | INT | '(' expr ')' ;
+
+ID  : [a-z] [a-z0-9_]* ;
+INT : [0-9]+ ;
+WS  : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '#' ~[\n]* -> skip ;

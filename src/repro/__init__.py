@@ -40,6 +40,13 @@ Artifact cache (:mod:`repro.cache`):
     to a versioned on-disk store; later compiles of the same grammar
     warm-start from disk and skip static analysis entirely.
 
+Batch parsing (:mod:`repro.batch`):
+    :class:`BatchEngine` parses a corpus across a process pool whose
+    workers warm-start once from the cache or a shipped table payload;
+    each input is budget-isolated, and per-worker metrics/profiles fold
+    into one :class:`BatchReport`.  :func:`parse_corpus` is the
+    one-call form.
+
 >>> import repro
 >>> host = repro.compile_grammar(r'''
 ...     grammar Demo;
@@ -79,8 +86,9 @@ from repro.grammar import (
     erase_syntactic_predicates,
     eliminate_left_recursion,
 )
-from repro.api import compile_grammar, ParserHost
+from repro.api import compile_grammar, host_from_artifact, ParserHost
 from repro.analysis import analyze, AnalysisOptions, AnalysisResult
+from repro.batch import BatchEngine, BatchReport, BatchResult, parse_corpus
 from repro import cache
 
 __version__ = "1.0.0"
@@ -106,8 +114,13 @@ __all__ = [
     "apply_peg_mode",
     "erase_syntactic_predicates",
     "eliminate_left_recursion",
+    "BatchEngine",
+    "BatchReport",
+    "BatchResult",
     "cache",
     "compile_grammar",
+    "host_from_artifact",
+    "parse_corpus",
     "ParserHost",
     "analyze",
     "AnalysisOptions",

@@ -161,6 +161,25 @@ def _host_from_payload(payload: dict, source: str, name: Optional[str],
     return host
 
 
+def host_from_artifact(payload: dict, source: str, name: Optional[str] = None,
+                       options: Optional[AnalysisOptions] = None,
+                       rewrite_left_recursion: bool = True,
+                       strict: bool = True) -> ParserHost:
+    """Warm-start a :class:`ParserHost` from an in-memory artifact payload
+    (the dict :func:`repro.cache.artifact_to_dict` builds) without
+    touching disk or re-running :class:`DecisionAnalyzer`.
+
+    This is how :mod:`repro.batch` pool workers boot: the parent process
+    compiles (or cache-loads) the grammar once, ships the serialized
+    payload to each worker's initializer, and every worker rebuilds the
+    identical execution tables from it.  Raises on any payload/grammar
+    inconsistency — an in-memory payload, unlike an on-disk cache entry,
+    has no cold-compile fallback to hide behind.
+    """
+    return _host_from_payload(payload, source, name, options,
+                              rewrite_left_recursion, strict)
+
+
 def compile_grammar(source, name: Optional[str] = None,
                     options: Optional[AnalysisOptions] = None,
                     rewrite_left_recursion: bool = True,

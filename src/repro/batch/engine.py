@@ -1,0 +1,304 @@
+"""The batch engine: chunked corpus dispatch over warm worker processes.
+
+Lifecycle of one :meth:`BatchEngine.run`:
+
+1. The parent compiles the grammar once (through the artifact cache when
+   ``cache_dir`` is set, so the analysis is also persisted for the next
+   run) and serializes the compiled artifact.
+2. A ``ProcessPoolExecutor`` starts ``jobs`` workers, each warm-started
+   by :func:`repro.batch.worker.initialize_worker` — no worker ever runs
+   static analysis.
+3. Inputs are dispatched in chunks, with at most
+   ``inflight_per_worker x jobs`` chunks submitted at a time
+   (backpressure: a huge corpus streams through bounded memory instead
+   of materializing every future up front).
+4. Each chunk returns its :class:`BatchResult` rows plus a chunk-local
+   metrics registry and profiler; the parent folds them into the
+   corpus-level :class:`BatchReport` as chunks complete, preserving
+   input order in the final result list.
+
+``jobs=0`` runs the same chunk code inline in the parent process —
+deterministic, pool-free execution for debugging and tests.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.batch.worker import (
+    WorkerConfig,
+    WorkerContext,
+    initialize_worker,
+    run_chunk,
+)
+from repro.runtime.budget import ParserBudget
+from repro.runtime.profiler import DecisionProfiler, ProfileReport
+from repro.runtime.telemetry import MetricsRegistry
+
+
+class BatchResult:
+    """Outcome of one corpus input.
+
+    ``ok`` is False when the input failed to lex/parse or blew its
+    budget; ``error_type`` then names the exception class
+    (``BudgetExceededError``, ``NoViableAltError``, ...) so corpus-level
+    tooling can bucket failures without string-matching messages.
+    """
+
+    __slots__ = ("input_id", "ok", "error_type", "error", "tokens",
+                 "elapsed", "worker_pid")
+
+    def __init__(self, input_id: str, ok: bool, error_type: Optional[str],
+                 error: Optional[str], tokens: int, elapsed: float,
+                 worker_pid: int):
+        self.input_id = input_id
+        self.ok = ok
+        self.error_type = error_type
+        self.error = error
+        self.tokens = tokens
+        self.elapsed = elapsed
+        self.worker_pid = worker_pid
+
+    def to_dict(self) -> dict:
+        return {"input": self.input_id, "ok": self.ok,
+                "error_type": self.error_type, "error": self.error,
+                "tokens": self.tokens, "elapsed": self.elapsed,
+                "worker_pid": self.worker_pid}
+
+    def __repr__(self):
+        status = "ok" if self.ok else "FAILED(%s)" % self.error_type
+        return "BatchResult(%s %s, %d tokens, %.4fs)" % (
+            self.input_id, status, self.tokens, self.elapsed)
+
+
+class BatchReport:
+    """Corpus-level aggregate: ordered results + merged instruments."""
+
+    def __init__(self, results: List[BatchResult], metrics: MetricsRegistry,
+                 profiler: DecisionProfiler, wall_seconds: float, jobs: int,
+                 chunks: int):
+        self.results = results
+        self.metrics = metrics
+        self.profiler = profiler
+        self.wall_seconds = wall_seconds
+        self.jobs = jobs
+        self.chunks = chunks
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> List[BatchResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(r.tokens for r in self.results)
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.total_tokens / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def files_per_second(self) -> float:
+        return self.total / self.wall_seconds if self.wall_seconds else 0.0
+
+    def profile_report(self, analysis=None) -> ProfileReport:
+        """Paper-style Table 3/4 aggregates over the whole corpus."""
+        return self.profiler.report(analysis)
+
+    def to_json(self) -> dict:
+        return {
+            "inputs": self.total,
+            "ok": self.ok_count,
+            "failed": self.total - self.ok_count,
+            "jobs": self.jobs,
+            "chunks": self.chunks,
+            "wall_seconds": self.wall_seconds,
+            "total_tokens": self.total_tokens,
+            "tokens_per_second": self.tokens_per_second,
+            "files_per_second": self.files_per_second,
+            "results": [r.to_dict() for r in self.results],
+            "metrics": self.metrics.to_json(),
+        }
+
+    def summary(self) -> str:
+        lines = ["parsed %d/%d inputs ok in %.3fs (%d jobs, %d chunks)"
+                 % (self.ok_count, self.total, self.wall_seconds, self.jobs,
+                    self.chunks),
+                 "throughput: %.0f tokens/s, %.1f files/s (%d tokens)"
+                 % (self.tokens_per_second, self.files_per_second,
+                    self.total_tokens)]
+        for failure in self.failures:
+            lines.append("  FAILED %s: [%s] %s"
+                         % (failure.input_id, failure.error_type, failure.error))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "BatchReport(%d/%d ok, %.0f tok/s)" % (
+            self.ok_count, self.total, self.tokens_per_second)
+
+
+class BatchEngine:
+    """Parses corpora of inputs against one grammar over a worker pool.
+
+    ``jobs``
+        Worker processes (default ``os.cpu_count()``); ``0`` runs inline
+        in the parent, with identical results and aggregation.
+    ``chunk_size``
+        Inputs per dispatched chunk (default: corpus size balanced over
+        ``4 x jobs`` chunks, clamped to [1, 32]).
+    ``inflight_per_worker``
+        Backpressure window: at most ``jobs x inflight_per_worker``
+        chunks are in flight at once.
+    ``budget`` / ``recover`` / ``rule_name``
+        Applied per input inside the workers; a
+        :class:`~repro.exceptions.BudgetExceededError` or
+        :class:`~repro.exceptions.RecognitionError` on one input fails
+        only that input's :class:`BatchResult`.
+    ``cache_dir``
+        Compile through the artifact cache; workers then warm-start from
+        disk instead of receiving the payload in their initializer.
+    """
+
+    def __init__(self, grammar_text: str, name: Optional[str] = None,
+                 options=None, jobs: Optional[int] = None,
+                 chunk_size: Optional[int] = None,
+                 inflight_per_worker: int = 2,
+                 rule_name: Optional[str] = None,
+                 budget: Optional[ParserBudget] = None,
+                 recover: bool = False, use_tables: bool = True,
+                 cache_dir: Optional[str] = None,
+                 rewrite_left_recursion: bool = True, strict: bool = True,
+                 parallel: Optional[int] = None):
+        from repro.api import compile_grammar
+
+        if jobs is not None and jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = inline)")
+        if inflight_per_worker < 1:
+            raise ValueError("inflight_per_worker must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 or None")
+        self.jobs = (os.cpu_count() or 1) if jobs is None else jobs
+        self.chunk_size = chunk_size
+        self.inflight_per_worker = inflight_per_worker
+        # Compile once in the parent; with a cache_dir this also persists
+        # the artifact the workers will warm-start from.
+        self.host = compile_grammar(
+            grammar_text, name=name, options=options,
+            rewrite_left_recursion=rewrite_left_recursion, strict=strict,
+            cache_dir=cache_dir, parallel=parallel)
+        payload = None
+        if cache_dir is None:
+            from repro.cache import artifact_to_dict, grammar_fingerprint
+
+            payload = artifact_to_dict(
+                self.host.grammar, self.host.analysis, self.host.lexer_spec,
+                grammar_fingerprint(grammar_text, name))
+        self._config = WorkerConfig(
+            grammar_text, name, options, rewrite_left_recursion, strict,
+            cache_dir, payload, rule_name, budget, recover, use_tables)
+
+    # -- corpus preparation ----------------------------------------------------
+
+    def _chunks(self, items: Sequence[Tuple[str, str]]) -> List[List[Tuple[str, str]]]:
+        size = self.chunk_size
+        if size is None:
+            workers = max(1, self.jobs)
+            size = max(1, min(32, -(-len(items) // (workers * 4))))
+        return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, inputs: Iterable[Tuple[str, str]]) -> BatchReport:
+        """Parse every ``(input_id, text)`` pair; returns the corpus report."""
+        items = [(str(input_id), text) for input_id, text in inputs]
+        chunks = self._chunks(items)
+        started = time.perf_counter()
+        if self.jobs == 0:
+            outcomes = self._run_inline(chunks)
+        else:
+            outcomes = self._run_pool(chunks)
+        wall = time.perf_counter() - started
+        return self._aggregate(outcomes, chunks, wall)
+
+    def run_paths(self, paths: Iterable[str]) -> BatchReport:
+        """Parse files by path (the path is the input id)."""
+        corpus = []
+        for path in paths:
+            with open(path) as f:
+                corpus.append((path, f.read()))
+        return self.run(corpus)
+
+    def _run_inline(self, chunks):
+        context = WorkerContext(self._config, host=self.host)
+        return {i: context.run_chunk(chunk) for i, chunk in enumerate(chunks)}
+
+    def _run_pool(self, chunks):
+        outcomes: Dict[int, tuple] = {}
+        window = self.jobs * self.inflight_per_worker
+        with ProcessPoolExecutor(max_workers=self.jobs,
+                                 initializer=initialize_worker,
+                                 initargs=(self._config,)) as pool:
+            pending: Dict[object, int] = {}
+
+            def drain(done_set):
+                for future in done_set:
+                    index = pending.pop(future)
+                    try:
+                        outcomes[index] = future.result()
+                    except Exception as e:  # worker/chunk-level loss
+                        outcomes[index] = self._failed_chunk(chunks[index], e)
+
+            for index, chunk in enumerate(chunks):
+                if len(pending) >= window:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    drain(done)
+                try:
+                    pending[pool.submit(run_chunk, chunk)] = index
+                except RuntimeError as e:  # pool broke mid-corpus
+                    outcomes[index] = self._failed_chunk(chunk, e)
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                drain(done)
+        return outcomes
+
+    @staticmethod
+    def _failed_chunk(chunk, error):
+        """Chunk-level loss (worker crash, broken pool): fail each input
+        of the chunk individually so the corpus accounting stays exact."""
+        results = [BatchResult(input_id, ok=False,
+                               error_type=type(error).__name__,
+                               error=str(error) or type(error).__name__,
+                               tokens=0, elapsed=0.0, worker_pid=-1)
+                   for input_id, _ in chunk]
+        return results, MetricsRegistry(), DecisionProfiler()
+
+    def _aggregate(self, outcomes, chunks, wall: float) -> BatchReport:
+        results: List[BatchResult] = []
+        metrics = MetricsRegistry()
+        profiler = DecisionProfiler()
+        for index in range(len(chunks)):
+            chunk_results, chunk_metrics, chunk_profiler = outcomes[index]
+            results.extend(chunk_results)
+            metrics.merge(chunk_metrics)
+            profiler.merge(chunk_profiler)
+        metrics.gauge("llstar_batch_workers", "worker processes").set(self.jobs)
+        metrics.counter("llstar_batch_chunks_total",
+                        "chunks dispatched").inc(len(chunks))
+        return BatchReport(results, metrics, profiler, wall, self.jobs,
+                           len(chunks))
+
+
+def parse_corpus(grammar_text: str, inputs: Iterable[Tuple[str, str]],
+                 **engine_kwargs) -> BatchReport:
+    """One-shot convenience: build a :class:`BatchEngine` and run it."""
+    return BatchEngine(grammar_text, **engine_kwargs).run(inputs)

@@ -1,0 +1,156 @@
+"""Pool-worker half of the batch engine.
+
+A worker process warm-starts exactly once: the pool initializer builds
+one :class:`~repro.api.ParserHost` per process — from the artifact cache
+directory when the engine has one, otherwise from the serialized
+artifact payload shipped inside :class:`WorkerConfig` — and every chunk
+the worker receives parses against that host.  Static analysis
+(:class:`~repro.analysis.construction.DecisionAnalyzer`) never runs in a
+worker; a batch's analysis cost is paid once, in the parent.
+
+Chunk results travel back as plain picklable values: a list of
+:class:`~repro.batch.engine.BatchResult` rows plus the chunk's
+:class:`~repro.runtime.telemetry.MetricsRegistry` and
+:class:`~repro.runtime.profiler.DecisionProfiler`, which the parent
+merges into the corpus-level report.  Budget- or syntax-level failures
+are caught *per input*: one pathological file fails its own row, never
+the chunk or the batch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import LLStarError
+from repro.runtime.budget import ParserBudget
+from repro.runtime.profiler import DecisionProfiler
+from repro.runtime.telemetry import LATENCY_BUCKETS, ParseTelemetry
+
+
+class WorkerConfig:
+    """Everything a worker needs to warm-start, in picklable form.
+
+    Exactly one of ``cache_dir`` / ``payload`` drives the warm start:
+    with ``cache_dir`` the worker loads the artifact the parent already
+    saved to the PR-1 store; otherwise the parent ships the serialized
+    artifact dict directly.  Either way the worker never analyzes.
+    """
+
+    __slots__ = ("grammar_text", "name", "options", "rewrite_left_recursion",
+                 "strict", "cache_dir", "payload", "rule_name", "budget",
+                 "recover", "use_tables")
+
+    def __init__(self, grammar_text: str, name: Optional[str],
+                 options, rewrite_left_recursion: bool, strict: bool,
+                 cache_dir: Optional[str], payload: Optional[dict],
+                 rule_name: Optional[str], budget: Optional[ParserBudget],
+                 recover: bool, use_tables: bool):
+        self.grammar_text = grammar_text
+        self.name = name
+        self.options = options
+        self.rewrite_left_recursion = rewrite_left_recursion
+        self.strict = strict
+        self.cache_dir = cache_dir
+        self.payload = payload
+        self.rule_name = rule_name
+        self.budget = budget
+        self.recover = recover
+        self.use_tables = use_tables
+
+
+class WorkerContext:
+    """One process's warm state: the host plus per-chunk instrument set."""
+
+    def __init__(self, config: WorkerConfig, host=None):
+        from repro.api import compile_grammar, host_from_artifact
+
+        self.config = config
+        if host is not None:
+            self.host = host
+        elif config.cache_dir is not None:
+            self.host = compile_grammar(
+                config.grammar_text, name=config.name, options=config.options,
+                rewrite_left_recursion=config.rewrite_left_recursion,
+                strict=config.strict, cache_dir=config.cache_dir)
+        else:
+            self.host = host_from_artifact(
+                config.payload, config.grammar_text, name=config.name,
+                options=config.options,
+                rewrite_left_recursion=config.rewrite_left_recursion,
+                strict=config.strict)
+
+    def run_chunk(self, chunk: Sequence[Tuple[str, str]]):
+        """Parse one chunk of ``(input_id, text)`` pairs.
+
+        Returns ``(results, metrics, profiler)``; the registry and
+        profiler cover exactly this chunk, so the parent's merge over all
+        chunks is the corpus total.
+        """
+        from repro.batch.engine import BatchResult
+        from repro.runtime.parser import ParserOptions
+
+        config = self.config
+        host = self.host
+        telemetry = ParseTelemetry(capture_events=False)
+        profiler = DecisionProfiler()
+        input_seconds = telemetry.metrics.histogram(
+            "llstar_batch_input_seconds", "per-input parse latency",
+            buckets=LATENCY_BUCKETS)
+        ok_inputs = telemetry.metrics.counter(
+            "llstar_batch_inputs_total", "corpus inputs by outcome",
+            labels={"status": "ok"})
+        failed_inputs = telemetry.metrics.counter(
+            "llstar_batch_inputs_total", "corpus inputs by outcome",
+            labels={"status": "failed"})
+        tokens_total = telemetry.metrics.counter(
+            "llstar_batch_tokens_total", "tokens lexed across the corpus")
+        pid = os.getpid()
+        results: List[BatchResult] = []
+        for input_id, text in chunk:
+            started = time.perf_counter()
+            tokens = 0
+            try:
+                stream = host.tokenize(text)
+                tokens = max(0, len(stream.tokens()) - 1)  # minus EOF
+                parser = host.parser(stream, options=ParserOptions(
+                    profiler=profiler, telemetry=telemetry,
+                    budget=config.budget, recover=config.recover,
+                    use_tables=config.use_tables))
+                parser.parse(config.rule_name)
+                errors = len(parser.errors)
+                result = BatchResult(
+                    input_id, ok=not errors,
+                    error_type="RecognitionError" if errors else None,
+                    error=("%d recovered syntax error(s); first: %s"
+                           % (errors, parser.errors[0]) if errors else None),
+                    tokens=tokens, elapsed=time.perf_counter() - started,
+                    worker_pid=pid)
+            except (LLStarError, RecursionError) as e:
+                result = BatchResult(
+                    input_id, ok=False, error_type=type(e).__name__,
+                    error=str(e) or type(e).__name__, tokens=tokens,
+                    elapsed=time.perf_counter() - started, worker_pid=pid)
+            input_seconds.observe(result.elapsed)
+            tokens_total.inc(result.tokens)
+            (ok_inputs if result.ok else failed_inputs).inc()
+            results.append(result)
+        return results, telemetry.metrics, profiler
+
+
+#: Per-process singleton installed by the pool initializer.
+_CONTEXT: Optional[WorkerContext] = None
+
+
+def initialize_worker(config: WorkerConfig) -> None:
+    """``ProcessPoolExecutor`` initializer: warm-start this process."""
+    global _CONTEXT
+    _CONTEXT = WorkerContext(config)
+
+
+def run_chunk(chunk: Sequence[Tuple[str, str]]):
+    """Top-level (picklable) chunk entry point for pool submission."""
+    if _CONTEXT is None:
+        raise RuntimeError("batch worker used before initialize_worker ran")
+    return _CONTEXT.run_chunk(chunk)

@@ -3,18 +3,29 @@
 Longest match wins; ties break by rule priority (implicit literals
 first, then lexer-rule definition order).  ``-> skip`` drops the token;
 ``-> channel(HIDDEN)`` / ``-> hidden`` routes it off the parser channel.
+
+The scan loop is alphabet-compressed for ASCII (the dominant case in
+real corpora): :meth:`~repro.tables.lexer.LexerTable.ascii_index` maps a
+codepoint to its equivalence class and the state's dense class row to
+the target, two array indexes per character.  Codepoints >= 128 fall
+back to the interval bisect, and ``use_char_classes=False`` forces the
+bisect walk everywhere (the reference path the fast path is checked
+against in ``tests/test_lexer_fastpath.py``).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 from repro.exceptions import LexerError
 from repro.lexgen.dfa import LexerDFA
 from repro.runtime.char_stream import CharStream
 from repro.runtime.token import DEFAULT_CHANNEL, HIDDEN_CHANNEL, Token, Vocabulary
-from repro.tables.lexer import LexerTable, compile_lexer_table
+from repro.tables.lexer import ASCII_LIMIT, LexerTable, compile_lexer_table
+
+#: Channel slot in the accept dispatch marking a ``-> skip`` rule.
+_SKIP_CHANNEL = -1
 
 
 class LexerSpec:
@@ -30,10 +41,11 @@ class LexerSpec:
         self.dfa = dfa
         self.vocabulary = vocabulary
         self._table = table
-        # Token type per accepts-pool index, resolved on first use (the
-        # vocabulary lookup involves string dispatch; once per rule, not
-        # once per token).
-        self._accept_types: Dict[int, int] = {}
+        # (token type, channel) per accepts-pool index; channel -1 means
+        # the rule is skipped.  Resolved once per spec, so the hot loop
+        # does one tuple index per token instead of a method call, a dict
+        # probe, and a commands scan.
+        self._dispatch: Optional[Tuple[Tuple[int, int], ...]] = None
 
     @property
     def table(self) -> LexerTable:
@@ -41,15 +53,29 @@ class LexerSpec:
             self._table = compile_lexer_table(self.dfa)
         return self._table
 
-    def _accept_type(self, accept_index: int) -> int:
-        t = self._accept_types.get(accept_index)
-        if t is None:
-            t = self.token_type_for(self.table.accepts[accept_index][1])
-            self._accept_types[accept_index] = t
-        return t
+    @property
+    def accept_dispatch(self) -> Tuple[Tuple[int, int], ...]:
+        """``(token_type, channel)`` per accept-pool index (channel -1 for
+        ``-> skip``), aligned with ``table.accepts``."""
+        dispatch = self._dispatch
+        if dispatch is None:
+            entries = []
+            for _, name, commands in self.table.accepts:
+                channel = DEFAULT_CHANNEL
+                for cmd in commands:
+                    if cmd == "skip":
+                        channel = _SKIP_CHANNEL
+                        break
+                    if cmd == "hidden" or cmd == "channel(HIDDEN)":
+                        channel = HIDDEN_CHANNEL
+                entries.append((self.token_type_for(name), channel))
+            dispatch = self._dispatch = tuple(entries)
+        return dispatch
 
-    def tokenizer(self, text: str, name: str = "<input>") -> "DFATokenizer":
-        return DFATokenizer(self, CharStream(text, name))
+    def tokenizer(self, text: str, name: str = "<input>",
+                  use_char_classes: bool = True) -> "DFATokenizer":
+        return DFATokenizer(self, CharStream(text, name),
+                            use_char_classes=use_char_classes)
 
     def tokenize(self, text: str, include_hidden: bool = False):
         """All tokens for ``text`` (skipped rules never appear)."""
@@ -72,9 +98,11 @@ class LexerSpec:
 class DFATokenizer:
     """Iterator of Tokens over a char stream, driven by the lexer DFA."""
 
-    def __init__(self, spec: LexerSpec, stream: CharStream):
+    def __init__(self, spec: LexerSpec, stream: CharStream,
+                 use_char_classes: bool = True):
         self.spec = spec
         self.stream = stream
+        self.use_char_classes = use_char_classes
         self._emitted_eof = False
 
     def __iter__(self) -> Iterator[Token]:
@@ -93,9 +121,11 @@ class DFATokenizer:
     def next_token(self) -> Optional[Token]:
         """Scan one token; None for skipped rules; EOF token at end.
 
-        The maximal-munch loop walks the flat lexer table: one
-        ``bisect_right`` probe over the state's sorted interval row per
-        character, all array indexing, no per-character allocation.
+        The maximal-munch loop walks the flat lexer table: for ASCII,
+        two array indexes per character (equivalence class, then the
+        state's dense class row); otherwise one ``bisect_right`` probe
+        over the state's sorted interval row.  All array indexing, no
+        per-character allocation.
         """
         stream = self.stream
         if stream.at_eof:
@@ -116,35 +146,52 @@ class DFATokenizer:
         index = start_index
         text = stream.text
         n = len(text)
-        while index < n:
-            cp = ord(text[index])
-            lo = edge_index[state]
-            i = bisect_right(edge_lo, cp, lo, edge_index[state + 1]) - 1
-            if i < lo or cp > edge_hi[i]:
-                break
-            state = edge_targets[i]
-            index += 1
-            ai = accept_idx[state]
-            if ai >= 0:
-                last_end = index
-                last_accept = ai
+        if self.use_char_classes:
+            class_of, class_rows = table.ascii_index()
+            while index < n:
+                cp = ord(text[index])
+                if cp < ASCII_LIMIT:
+                    target = class_rows[state][class_of[cp]]
+                    if target < 0:
+                        break
+                else:
+                    lo = edge_index[state]
+                    i = bisect_right(edge_lo, cp, lo, edge_index[state + 1]) - 1
+                    if i < lo or cp > edge_hi[i]:
+                        break
+                    target = edge_targets[i]
+                state = target
+                index += 1
+                ai = accept_idx[state]
+                if ai >= 0:
+                    last_end = index
+                    last_accept = ai
+        else:
+            while index < n:
+                cp = ord(text[index])
+                lo = edge_index[state]
+                i = bisect_right(edge_lo, cp, lo, edge_index[state + 1]) - 1
+                if i < lo or cp > edge_hi[i]:
+                    break
+                state = edge_targets[i]
+                index += 1
+                ai = accept_idx[state]
+                if ai >= 0:
+                    last_end = index
+                    last_accept = ai
 
         if last_accept < 0:
             line, col = stream.line_column(start_index)
             raise LexerError(text[start_index], line, col, start_index)
 
-        commands = table.accepts[last_accept][2]
+        token_type, channel = spec.accept_dispatch[last_accept]
         end_index = last_end
         stream.seek(end_index)
-        if "skip" in commands:
+        if channel == _SKIP_CHANNEL:
             return None
-        channel = DEFAULT_CHANNEL
-        for cmd in commands:
-            if cmd == "hidden" or cmd == "channel(HIDDEN)":
-                channel = HIDDEN_CHANNEL
         line, col = stream.line_column(start_index)
         return Token(
-            spec._accept_type(last_accept),
+            token_type,
             text[start_index:end_index],
             line=line,
             column=col,

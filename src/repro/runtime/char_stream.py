@@ -22,7 +22,14 @@ class CharStream:
         self.text = text
         self.name = name
         self.index = 0
-        self._nl_offsets = [i for i, ch in enumerate(text) if ch == "\n"]
+        # str.find runs the scan in C; a per-character comprehension costs
+        # Python bytecode for every character of every input.
+        offsets = []
+        pos = text.find("\n")
+        while pos != -1:
+            offsets.append(pos)
+            pos = text.find("\n", pos + 1)
+        self._nl_offsets = offsets
 
     # -- core accessors --------------------------------------------------
 

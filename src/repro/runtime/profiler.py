@@ -44,6 +44,16 @@ class DecisionStats:
             if backtrack_depth > self.max_backtrack_depth:
                 self.max_backtrack_depth = backtrack_depth
 
+    def merge(self, other: "DecisionStats") -> None:
+        """Fold another run's counters for the same decision into this one."""
+        self.events += other.events
+        self.sum_depth += other.sum_depth
+        self.max_depth = max(self.max_depth, other.max_depth)
+        self.backtrack_events += other.backtrack_events
+        self.sum_backtrack_depth += other.sum_backtrack_depth
+        self.max_backtrack_depth = max(self.max_backtrack_depth,
+                                       other.max_backtrack_depth)
+
     @property
     def avg_depth(self) -> float:
         return self.sum_depth / self.events if self.events else 0.0
@@ -99,6 +109,38 @@ class DecisionProfiler:
     def record_degradation(self, event: DegradationEvent) -> None:
         with self._lock:
             self.degradations.append(event)
+
+    def merge(self, other: "DecisionProfiler") -> None:
+        """Fold another profiler's aggregates into this one.
+
+        The corpus-aggregation half of :mod:`repro.batch`: each pool
+        worker profiles its own inputs and the parent merges the
+        (pickled) profilers into one corpus-level report.  Per-decision
+        stats sum (maxima take the max) and degradation events append;
+        ``other`` is left untouched.
+        """
+        with self._lock:
+            for decision, theirs in sorted(other.stats.items()):
+                stats = self.stats.get(decision)
+                if stats is None:
+                    stats = self.stats[decision] = DecisionStats(decision)
+                stats.merge(theirs)
+            self.total_events += other.total_events
+            self.degradations.extend(other.degradations)
+
+    # A profiler crosses process boundaries when batch workers return
+    # their per-chunk aggregates; the lock is per-process state, so it is
+    # dropped on pickle and recreated fresh on load.
+
+    def __getstate__(self):
+        return {"stats": self.stats, "total_events": self.total_events,
+                "degradations": self.degradations}
+
+    def __setstate__(self, state):
+        self.stats = state["stats"]
+        self.total_events = state["total_events"]
+        self.degradations = state["degradations"]
+        self._lock = threading.Lock()
 
     def reset(self) -> None:
         with self._lock:

@@ -223,6 +223,10 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another worker's count into this one (sum)."""
+        self.value += other.value
+
     def sample(self) -> dict:
         return {"labels": self.labels, "value": self.value}
 
@@ -246,6 +250,11 @@ class Gauge:
     def track_max(self, value) -> None:
         if value > self.value:
             self.value = value
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another worker's gauge into this one.  Every gauge this
+        runtime exports is a high-water mark, so merge takes the max."""
+        self.track_max(other.value)
 
     def sample(self) -> dict:
         return {"labels": self.labels, "value": self.value}
@@ -295,6 +304,20 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another worker's histogram into this one: bucket counts,
+        sum, and count add; max takes the max.  Bucket bounds must match
+        exactly — merging across layouts would silently misbucket."""
+        if other.bounds != self.bounds:
+            raise ValueError("histogram %r bucket bounds differ: %r vs %r"
+                             % (self.name, self.bounds, other.bounds))
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.sum += other.sum
+        self.count += other.count
+        if other.max > self.max:
+            self.max = other.max
 
     def cumulative(self) -> List[Tuple[float, int]]:
         """``(le, cumulative count)`` pairs, Prometheus-style."""
@@ -368,6 +391,29 @@ class MetricsRegistry:
                   labels: Optional[dict] = None,
                   buckets: Tuple[float, ...] = K_BUCKETS) -> Histogram:
         return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one, instance by instance.
+
+        This is the corpus-aggregation primitive behind
+        :mod:`repro.batch`: every pool worker fills its own registry and
+        the parent merges the snapshots into one corpus-level registry.
+        Counters and histograms sum; gauges (all high-water marks here)
+        take the max; a name registered under a different metric type (or
+        a histogram with different bucket bounds) raises ``ValueError``
+        rather than aggregating apples into oranges.  ``other`` is left
+        untouched.
+        """
+        for (name, _), metric in sorted(other._metrics.items(),
+                                        key=lambda kv: kv[0]):
+            cls, help_text = other._meta[name]
+            kwargs = {}
+            if isinstance(metric, Histogram):
+                kwargs["buckets"] = metric.bounds[:-1]  # drop implicit +Inf
+            mine = self._get(cls, name, help_text, metric.labels, **kwargs)
+            mine.merge(metric)
 
     # -- introspection ---------------------------------------------------------
 

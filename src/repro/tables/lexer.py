@@ -9,24 +9,39 @@ character intervals instead of token types:
 * ``accept_idx[s]`` indexes the deduplicated ``accepts`` pool of
   ``(priority, rule_name, commands)`` labels, -1 for non-accept states.
 
-The tokenizer's maximal-munch loop walks these arrays directly (one
-:func:`~repro.tables.ranges.find_interval_index` probe per character);
+The tokenizer's maximal-munch loop walks these arrays directly;
 :meth:`LexerTable.to_lexer_dfa` reconstructs the object model losslessly
 for diagnostics and the v1-artifact upgrade path.
+
+For the ASCII range — which dominates real source corpora — the interval
+bisect per character is replaced by alphabet compression:
+:meth:`LexerTable.ascii_index` derives (lazily, mirroring
+:meth:`~repro.tables.lookahead.DecisionTable.execution_index`) codepoint
+*equivalence classes* from the union of all interval boundaries below
+128.  Two ASCII codepoints land in the same class exactly when every
+state moves them to the same target, so the tokenizer does two array
+indexes per character (``class_of[cp]``, then the state's dense class
+row) instead of a ``bisect_right``; codepoints >= 128 keep the interval
+bisect.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import List, Optional, Tuple
 
 from repro.tables.ranges import find_interval_index
+
+#: Exclusive upper bound of the alphabet-compressed fast path: dense
+#: class tables cover codepoints < 128, everything above bisects ranges.
+ASCII_LIMIT = 128
 
 
 class LexerTable:
     """Flat form of a whole lexer DFA."""
 
     __slots__ = ("start", "n_states", "edge_index", "edge_lo", "edge_hi",
-                 "edge_targets", "accept_idx", "accepts")
+                 "edge_targets", "accept_idx", "accepts", "_ascii")
 
     def __init__(self, start: int, n_states: int,
                  edge_index: Tuple[int, ...], edge_lo: Tuple[int, ...],
@@ -41,6 +56,52 @@ class LexerTable:
         self.edge_targets = edge_targets
         self.accept_idx = accept_idx
         self.accepts = accepts
+        self._ascii = None  # lazily derived class index, never serialized
+
+    def ascii_index(self):
+        """Derived alphabet-compressed index for the ASCII fast path:
+        ``(class_of, class_rows)``.
+
+        ``class_of[cp]`` maps each codepoint < 128 to its equivalence
+        class: the elementary intervals cut by every edge boundary in the
+        table, so all codepoints of one class take the same transition in
+        *every* state.  ``class_rows[s][c]`` is state ``s``'s target for
+        class ``c`` (-1 when stuck).  Two array indexes replace the
+        per-character interval bisect; built once per table on first
+        tokenize, and the CSR arrays stay the stored form.
+        """
+        index = self._ascii
+        if index is None:
+            # Every lo (and hi+1) below the limit starts a new elementary
+            # interval; 0 and the limit itself bound the class universe.
+            marks = {0, ASCII_LIMIT}
+            for lo, hi in zip(self.edge_lo, self.edge_hi):
+                if lo < ASCII_LIMIT:
+                    marks.add(lo)
+                if hi < ASCII_LIMIT - 1:
+                    marks.add(hi + 1)
+            marks = sorted(marks)
+            n_classes = len(marks) - 1
+            class_of = []
+            for c in range(n_classes):
+                class_of.extend([c] * (marks[c + 1] - marks[c]))
+            rows: List[Tuple[int, ...]] = []
+            for s in range(self.n_states):
+                row = [-1] * n_classes
+                for e in range(self.edge_index[s], self.edge_index[s + 1]):
+                    lo = self.edge_lo[e]
+                    if lo >= ASCII_LIMIT:
+                        break  # row intervals are sorted: the rest are non-ASCII
+                    hi = min(self.edge_hi[e], ASCII_LIMIT - 1)
+                    target = self.edge_targets[e]
+                    # [lo, hi] is a union of elementary classes by construction.
+                    c = bisect_left(marks, lo)
+                    while marks[c] <= hi:
+                        row[c] = target
+                        c += 1
+                rows.append(tuple(row))
+            index = self._ascii = (tuple(class_of), tuple(rows))
+        return index
 
     def next_state(self, state: int, codepoint: int) -> int:
         """Target state for one character, or -1 (stuck).  The tokenizer

@@ -5,6 +5,7 @@ Subcommands::
     llstar analyze  grammar.g [--max-k N] [--dot DIR]
     llstar parse    grammar.g input.txt [--rule R] [--tree] [--trace]
                     [--metrics-out FILE]
+    llstar batch    grammar.g inputs... [--jobs N] [--metrics-out FILE]
     llstar profile  grammar.g input.txt [--rule R] [--json]
                     [--metrics-out FILE]
     llstar codegen  grammar.g [-o parser.py] [--class-name NAME]
@@ -12,7 +13,10 @@ Subcommands::
 
 ``analyze`` prints a Table-1-style decision summary; ``profile`` replays
 an input under the profiler + telemetry and prints the Table-3/4 runtime
-statistics.  ``--metrics-out`` exports the telemetry registry (DFA hit
+statistics.  ``batch`` parses a whole corpus over a pool of worker
+processes, each warm-started once from the compiled artifact (see
+:mod:`repro.batch`), and reports aggregate throughput plus merged
+metrics.  ``--metrics-out`` exports the telemetry registry (DFA hit
 rate, realized-k histogram, cache/recovery counters) as JSON, or as
 Prometheus text when the file ends in ``.prom`` (override with
 ``--metrics-format``).
@@ -76,6 +80,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--recover", action="store_true",
                    help="recover from syntax errors and report them all "
                         "(exit status stays nonzero)")
+    add_metrics(p)
+
+    p = sub.add_parser("batch",
+                       help="parse a corpus of files over a worker pool")
+    add_common(p)
+    p.add_argument("inputs", nargs="+", help="input files (the corpus)")
+    p.add_argument("--rule", help="start rule (default: first parser rule)")
+    p.add_argument("--jobs", type=int, metavar="N",
+                   help="worker processes (default: CPU count; 0 = inline)")
+    p.add_argument("--chunk-size", type=int, metavar="C",
+                   help="inputs per dispatched chunk (default: balanced)")
+    p.add_argument("--recover", action="store_true",
+                   help="recover from syntax errors per input instead of "
+                        "failing the input at the first error")
+    p.add_argument("--deadline", type=float, metavar="S",
+                   help="per-input wall-clock budget in seconds")
+    p.add_argument("--defensive", action="store_true",
+                   help="apply the full defensive per-input budget "
+                        "(steps, depth, recoveries, 10s deadline)")
+    p.add_argument("--json", action="store_true",
+                   help="print the corpus report as one JSON document")
     add_metrics(p)
 
     p = sub.add_parser("profile", help="parse and report decision statistics")
@@ -146,7 +171,9 @@ def _telemetry_for(args):
     return None
 
 
-def _write_metrics(telemetry: ParseTelemetry, args) -> None:
+def _write_metrics(telemetry, args) -> None:
+    """``telemetry`` is anything exporting ``to_prometheus`` and
+    ``to_json_text`` — a ParseTelemetry or a bare MetricsRegistry."""
     path = args.metrics_out
     if not path:
         return
@@ -211,6 +238,34 @@ def cmd_parse(args) -> int:
     if not args.tree:
         print("ok")
     return 0
+
+
+def cmd_batch(args) -> int:
+    from repro.batch import BatchEngine
+    from repro.runtime.budget import ParserBudget
+
+    with open(args.grammar) as f:
+        text = f.read()
+    budget = None
+    if args.defensive:
+        budget = ParserBudget.defensive(args.deadline or 10.0)
+    elif args.deadline is not None:
+        budget = ParserBudget(deadline_seconds=args.deadline)
+    engine = BatchEngine(
+        text,
+        options=AnalysisOptions(max_recursion_depth=args.max_recursion),
+        jobs=args.jobs, chunk_size=args.chunk_size, rule_name=args.rule,
+        budget=budget, recover=args.recover, cache_dir=args.cache,
+        parallel=args.parallel)
+    report = engine.run_paths(args.inputs)
+    if args.metrics_out:
+        # MetricsRegistry exports the same way ParseTelemetry does.
+        _write_metrics(report.metrics, args)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 1 if report.failures else 0
 
 
 def cmd_profile(args) -> int:
@@ -316,6 +371,7 @@ _COMMANDS = {
     "report": cmd_report,
     "explain": cmd_explain,
     "analyze": cmd_analyze,
+    "batch": cmd_batch,
     "parse": cmd_parse,
     "profile": cmd_profile,
     "sets": cmd_sets,

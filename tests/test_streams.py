@@ -46,6 +46,24 @@ class TestCharStream:
         s = CharStream("hello world")
         assert s.substring(6, 11) == "world"
 
+    @pytest.mark.parametrize("text", [
+        "", "\n", "no newline", "\n\n\n", "a\nb", "\nleading", "trailing\n",
+        "mixed\r\nwindows\nunix\n", "x" * 500 + "\n" + "y" * 500,
+    ])
+    def test_nl_offsets_match_reference_scan(self, text):
+        # the str.find-based builder must agree with the per-char scan
+        s = CharStream(text)
+        assert s._nl_offsets == [i for i, ch in enumerate(text) if ch == "\n"]
+
+    @given(st.text(alphabet="ab\n\r", max_size=200), st.integers(0, 200))
+    def test_line_column_consistent_with_offsets(self, text, index):
+        s = CharStream(text)
+        index = min(index, len(text))
+        line, col = s.line_column(index)
+        assert line == text[:index].count("\n") + 1
+        line_start = text.rfind("\n", 0, index) + 1
+        assert col == index - line_start
+
 
 def _toks(*texts, channel=DEFAULT_CHANNEL):
     return [Token(i + 1, t, channel=channel) for i, t in enumerate(texts)]
