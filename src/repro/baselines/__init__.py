@@ -16,7 +16,7 @@
 
 from repro.baselines.packrat import PackratParser, PackratStats
 from repro.baselines.earley import EarleyParser
-from repro.baselines.llk import FixedKAnalyzer, FixedKResult
+from repro.baselines.llk import FixedKAnalyzer, FixedKResult, LLkParser, llk_viability
 
 __all__ = [
     "PackratParser",
@@ -24,4 +24,6 @@ __all__ = [
     "EarleyParser",
     "FixedKAnalyzer",
     "FixedKResult",
+    "LLkParser",
+    "llk_viability",
 ]

@@ -194,3 +194,207 @@ class FixedKAnalyzer:
                                 PredicateTransition)):
                 self._explore(config.with_state(t.target), prefix, k, repeats,
                               out, busy)
+
+
+# -- strict LL(k) parsing ----------------------------------------------------------
+
+
+def llk_viability(analysis, max_k: int = 8) -> Optional[str]:
+    """None when the grammar qualifies for pure LL(k) parsing, else the
+    first disqualifying reason (cyclic/backtracking decisions, k above
+    ``max_k``, predicates, parameterised rules)."""
+    from repro.analysis.decisions import FIXED
+    from repro.grammar import ast
+
+    grammar = analysis.grammar
+    for rule in grammar.parser_rules:
+        if rule.params:
+            return "rule %s is parameterised" % rule.name
+        for el in rule.walk_elements():
+            if isinstance(el, (ast.SemanticPredicate, ast.SyntacticPredicate)):
+                return "rule %s uses predicates" % rule.name
+    for decision, record in enumerate(analysis.records):
+        if record.category != FIXED:
+            return "decision %d (%s) is %s" % (
+                decision, record.rule_name, record.category)
+        if record.fixed_k is None or record.fixed_k > max_k:
+            return "decision %d (%s) needs k=%s > max_k=%d" % (
+                decision, record.rule_name, record.fixed_k, max_k)
+    return None
+
+
+class LLkParser:
+    """Strict LL(k) *parser*: k-tuple dispatch, no DFA, no backtracking.
+
+    The classical baseline the paper positions LL(*) against: every
+    decision is resolved by one probe of an exact FIRST_k tuple table
+    (:class:`FixedKAnalyzer` output), so the grammar must be LL(k) for
+    some fixed k per decision — :func:`llk_viability` reports why a
+    grammar is not, and the constructor raises
+    :class:`~repro.exceptions.GrammarError` for disqualified grammars.
+
+    Produces the same :class:`~repro.runtime.trees.RuleNode` /
+    :class:`~repro.runtime.trees.TokenNode` trees as the interpreter and
+    generated parsers (same rule-invocation shape, same loop semantics as
+    :mod:`repro.codegen.python_target`), so differential comparison can
+    use ``to_sexpr()`` digests directly.
+    """
+
+    def __init__(self, analysis, max_k: int = 8):
+        from repro.exceptions import GrammarError
+
+        reason = llk_viability(analysis, max_k)
+        if reason is not None:
+            raise GrammarError("grammar %s is not LL(k<=%d): %s"
+                               % (analysis.grammar.name, max_k, reason))
+        self.analysis = analysis
+        self.grammar = analysis.grammar
+        self.atn = analysis.atn
+        self.max_k = max_k
+        analyzer = FixedKAnalyzer(self.atn, start_rule=self.grammar.start_rule)
+        self._tables: Dict[int, Tuple[int, Dict[Tuple[int, ...], int]]] = {}
+        for decision, record in enumerate(analysis.records):
+            k = record.fixed_k
+            result = analyzer.lookahead(decision, k)
+            if result.truncated:
+                raise GrammarError(
+                    "decision %d: FIRST_%d enumeration truncated" % (decision, k))
+            table: Dict[Tuple[int, ...], int] = {}
+            for alt in sorted(result.per_alt_tuples):
+                for word in result.per_alt_tuples[alt]:
+                    other = table.setdefault(word, alt)
+                    if other != alt:
+                        raise GrammarError(
+                            "decision %d not LL(%d): %r predicts alts %d and %d"
+                            % (decision, k, word, other, alt))
+            self._tables[decision] = (k, table)
+        self._stream = None
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse(self, stream, rule_name: Optional[str] = None,
+              require_eof: bool = True):
+        """Parse a token stream (or token list) into a parse tree."""
+        from repro.exceptions import MismatchedTokenError
+        from repro.runtime.token_stream import ListTokenStream, TokenStream
+
+        if not isinstance(stream, TokenStream):
+            stream = ListTokenStream(stream)
+        self._stream = stream
+        rule_name = rule_name or self.grammar.start_rule
+        try:
+            root = self._rule(rule_name)
+            if require_eof and stream.la(1) != EOF:
+                raise MismatchedTokenError("EOF", stream.lt(1), stream.index,
+                                           rule_name=rule_name)
+        finally:
+            self._stream = None
+        return root
+
+    def recognize(self, stream, rule_name: Optional[str] = None,
+                  require_eof: bool = True) -> bool:
+        from repro.exceptions import RecognitionError
+
+        try:
+            self.parse(stream, rule_name, require_eof=require_eof)
+            return True
+        except RecognitionError:
+            return False
+
+    # -- descent -------------------------------------------------------------
+
+    def _rule(self, name: str):
+        from repro.runtime.trees import RuleNode
+
+        rule = self.grammar.rule(name)
+        node = RuleNode(name)
+        if rule.num_alternatives == 1:
+            alt = 1
+        else:
+            alt = self._predict(self.atn.decision_for_rule[name], name)
+            node.alt = alt
+        for el in rule.alternatives[alt - 1].elements:
+            self._element(el, node, name)
+        return node
+
+    def _predict(self, decision: int, rule_name: str) -> int:
+        from repro.exceptions import NoViableAltError
+
+        k, table = self._tables[decision]
+        word = tuple(self._stream.la(i) for i in range(1, k + 1))
+        alt = table.get(word)
+        if alt is None:
+            raise NoViableAltError(decision, self._stream.lt(1),
+                                   self._stream.index, rule_name=rule_name)
+        return alt
+
+    def _element(self, el, node, rule_name: str) -> None:
+        from repro.exceptions import GrammarError
+        from repro.grammar import ast
+
+        if isinstance(el, (ast.TokenRef, ast.Literal)):
+            self._match(self.grammar.token_type(el), node, rule_name)
+        elif isinstance(el, ast.RuleRef):
+            node.add(self._rule(el.name))
+        elif isinstance(el, ast.Sequence):
+            for sub in el.elements:
+                self._element(sub, node, rule_name)
+        elif isinstance(el, ast.Block):
+            if len(el.alternatives) == 1:
+                self._element(el.alternatives[0], node, rule_name)
+            else:
+                alt = self._predict(self.atn.decision_for_element[id(el)],
+                                    rule_name)
+                self._element(el.alternatives[alt - 1], node, rule_name)
+        elif isinstance(el, ast.Optional_):
+            if self._predict(self.atn.decision_for_element[id(el)],
+                             rule_name) == 1:
+                self._element(el.element, node, rule_name)
+        elif isinstance(el, ast.Star):
+            decision = self.atn.decision_for_element[id(el)]
+            while self._predict(decision, rule_name) == 1:
+                self._element(el.element, node, rule_name)
+        elif isinstance(el, ast.Plus):
+            decision = self.atn.decision_for_element[id(el)]
+            while True:
+                self._element(el.element, node, rule_name)
+                if self._predict(decision, rule_name) != 1:
+                    break
+        elif isinstance(el, ast.NotToken):
+            excluded = set()
+            for name in el.token_names:
+                if name.startswith("'"):
+                    excluded.add(self.grammar.vocabulary.type_of_literal(
+                        name[1:-1]))
+                else:
+                    excluded.add(self.grammar.vocabulary.type_of(name))
+            allowed = set(range(1, self.grammar.vocabulary.max_type + 1)) \
+                - excluded
+            self._match_any(allowed, node, rule_name)
+        elif isinstance(el, ast.Wildcard):
+            self._match_any(set(range(1, self.grammar.vocabulary.max_type + 1)),
+                            node, rule_name)
+        elif isinstance(el, (ast.Epsilon, ast.Action)):
+            pass
+        else:
+            raise GrammarError("LLkParser cannot execute %r" % el)
+
+    def _match(self, token_type: int, node, rule_name: str) -> None:
+        from repro.exceptions import MismatchedTokenError
+        from repro.runtime.trees import TokenNode
+
+        if self._stream.la(1) != token_type:
+            raise MismatchedTokenError(
+                self.grammar.vocabulary.name_of(token_type),
+                self._stream.lt(1), self._stream.index, rule_name=rule_name)
+        node.add(TokenNode(self._stream.consume()))
+
+    def _match_any(self, allowed, node, rule_name: str) -> None:
+        from repro.exceptions import MismatchedTokenError
+        from repro.runtime.trees import TokenNode
+
+        if self._stream.la(1) not in allowed:
+            raise MismatchedTokenError(
+                "one of %d token types" % len(allowed),
+                self._stream.lt(1), self._stream.index, rule_name=rule_name)
+        node.add(TokenNode(self._stream.consume()))

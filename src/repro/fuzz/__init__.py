@@ -1,0 +1,35 @@
+"""Grammar-driven fuzzing and cross-backend differential testing.
+
+* :mod:`repro.fuzz.generator` — seeded, coverage-guided sentence
+  generation from any compiled grammar (token streams + rendered text,
+  plus a mutation pass for recovery testing).
+* :mod:`repro.fuzz.differential` — the harness that parses every
+  generated sentence with every backend (interpreter, codegen, GLR,
+  Earley, packrat, strict LL(k)) and reports structured, minimized
+  :class:`~repro.fuzz.differential.Disagreement` records.
+
+CLI entry point: ``llstar fuzz`` (see :mod:`repro.tools.cli`).
+"""
+
+from repro.fuzz.differential import (
+    ALL_BACKENDS,
+    BackendResult,
+    DifferentialReport,
+    DifferentialRunner,
+    Disagreement,
+    run_suite,
+    tree_digest,
+)
+from repro.fuzz.generator import Sentence, SentenceGenerator
+
+__all__ = [
+    "ALL_BACKENDS",
+    "BackendResult",
+    "DifferentialReport",
+    "DifferentialRunner",
+    "Disagreement",
+    "Sentence",
+    "SentenceGenerator",
+    "run_suite",
+    "tree_digest",
+]

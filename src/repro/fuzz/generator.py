@@ -1,0 +1,482 @@
+"""Grammar-driven sentence generation.
+
+:class:`SentenceGenerator` walks a compiled grammar's rule AST and emits
+token sequences that are, by construction, derivable from the start rule
+(modulo predicates, which the walk ignores).  Three properties matter for
+the differential harness built on top of it:
+
+* **Seeded determinism** — sentence ``i`` of a generator seeded with
+  ``s`` is a pure function of ``(s, i)``; a :class:`Disagreement` report
+  quoting ``(grammar, seed, index)`` is exactly reproducible.
+* **Coverage steering** — alternative choice is weighted by
+  ``1 / (1 + hits)`` per choice point, so rarely-taken alternatives and
+  loop arms are pulled into the corpus instead of the walk collapsing
+  onto the highest-fanout rules.
+* **Bounded closure** — once the depth or token budget trips, the walk
+  switches to *closing mode*: every remaining choice takes the
+  min-cost alternative (shortest completion, precomputed by fixpoint),
+  optionals and stars are skipped, and plus-loops run once.  That makes
+  termination a structural guarantee rather than a retry loop.
+
+Sentences carry both the token-name sequence (always) and rendered
+source text (when every token has a lexer exemplar that survives a
+tokenize round-trip).  A seeded :meth:`SentenceGenerator.mutate` pass
+corrupts sentences for recovery testing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GrammarError, LLStarError
+from repro.grammar import ast
+from repro.runtime.token import EOF
+
+INF = float("inf")
+
+_PRINTABLE_LO, _PRINTABLE_HI = 33, 126  # complement universe for ~[...] sets
+
+
+class Sentence:
+    """One generated input: token names, optional text, provenance."""
+
+    __slots__ = ("grammar_name", "seed", "index", "token_names", "text",
+                 "mutations")
+
+    def __init__(self, grammar_name: str, seed: int, index: int,
+                 token_names: Tuple[str, ...], text: Optional[str] = None,
+                 mutations: Tuple[str, ...] = ()):
+        self.grammar_name = grammar_name
+        self.seed = seed
+        self.index = index
+        self.token_names = tuple(token_names)
+        self.text = text
+        self.mutations = tuple(mutations)
+
+    @property
+    def size(self) -> int:
+        return len(self.token_names)
+
+    @property
+    def mutated(self) -> bool:
+        return bool(self.mutations)
+
+    def to_dict(self) -> dict:
+        return {
+            "grammar": self.grammar_name,
+            "seed": self.seed,
+            "index": self.index,
+            "tokens": list(self.token_names),
+            "text": self.text,
+            "mutations": list(self.mutations),
+        }
+
+    def __repr__(self):
+        tag = " mutated" if self.mutations else ""
+        return "Sentence(%s seed=%d #%d, %d tokens%s)" % (
+            self.grammar_name, self.seed, self.index, self.size, tag)
+
+
+class SentenceGenerator:
+    """Seeded, coverage-guided derivation walker for one compiled grammar.
+
+    Parameters
+    ----------
+    host:
+        A :class:`repro.api.ParserHost` (compiled grammar).
+    seed:
+        Corpus seed.  Sentence ``i`` uses ``random.Random(seed * 1_000_003
+        + i)`` so individual sentences are independently reproducible.
+    max_depth:
+        Rule-invocation depth at which the walk switches to closing mode.
+    max_tokens:
+        Emitted-token count at which the walk switches to closing mode.
+    max_loop:
+        Iteration cap for ``*``/``+`` loops while the budget lasts.
+    """
+
+    def __init__(self, host, seed: int = 0, max_depth: int = 20,
+                 max_tokens: int = 200, max_loop: int = 2):
+        if max_depth < 1 or max_tokens < 1 or max_loop < 1:
+            raise ValueError("max_depth, max_tokens and max_loop must be >= 1")
+        self.host = host
+        self.grammar = host.grammar
+        self.seed = seed
+        self.max_depth = max_depth
+        self.max_tokens = max_tokens
+        self.max_loop = max_loop
+        self.coverage: Dict[str, Dict[int, int]] = {}
+        self._choice_keys = self._assign_choice_keys()
+        self._rule_cost = self._compute_rule_costs()
+        start = self.grammar.start_rule
+        if self._rule_cost.get(start, INF) == INF:
+            raise GrammarError(
+                "rule %s has no finite derivation; cannot generate" % start)
+        self._emittable = self._emittable_token_names()
+        self._exemplars: Dict[str, Optional[str]] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def generate(self, n: int, start_rule: Optional[str] = None) -> List[Sentence]:
+        return [self.sentence(i, start_rule) for i in range(n)]
+
+    def sentence(self, index: int, start_rule: Optional[str] = None) -> Sentence:
+        """Sentence ``index`` of this corpus — pure in ``(seed, index)``
+        up to coverage steering, which depends on generation order."""
+        rng = random.Random(self.seed * 1_000_003 + index)
+        out: List[str] = []
+        self._emit_rule(start_rule or self.grammar.start_rule, rng, out, 0)
+        names = tuple(out)
+        return Sentence(self.grammar.name, self.seed, index, names,
+                        text=self.render(names))
+
+    def mutate(self, sentence: Sentence, salt: int = 0,
+               min_ops: int = 1, max_ops: int = 3) -> Sentence:
+        """Corrupt a sentence with seeded token-level damage.
+
+        Returns a new :class:`Sentence` recording each applied operation
+        (``delete@3:ID`` style) so failures replay from the report alone.
+        """
+        rng = random.Random((self.seed * 1_000_003 + sentence.index) * 7919
+                            + salt + 1)
+        names = list(sentence.token_names)
+        ops: List[str] = []
+        for _ in range(rng.randint(min_ops, max_ops)):
+            if not names:
+                name = rng.choice(self._emittable or ["<EOF>"])
+                names.append(name)
+                ops.append("insert@0:%s" % name)
+                continue
+            op = rng.choice(("delete", "duplicate", "substitute", "swap",
+                             "truncate"))
+            i = rng.randrange(len(names))
+            if op == "delete":
+                ops.append("delete@%d:%s" % (i, names.pop(i)))
+            elif op == "duplicate":
+                names.insert(i, names[i])
+                ops.append("duplicate@%d:%s" % (i, names[i]))
+            elif op == "substitute" and self._emittable:
+                repl = rng.choice(self._emittable)
+                ops.append("substitute@%d:%s->%s" % (i, names[i], repl))
+                names[i] = repl
+            elif op == "swap" and len(names) >= 2:
+                j = rng.randrange(len(names) - 1)
+                names[j], names[j + 1] = names[j + 1], names[j]
+                ops.append("swap@%d" % j)
+            elif op == "truncate" and len(names) >= 2:
+                cut = rng.randrange(1, len(names))
+                ops.append("truncate@%d:-%d" % (cut, len(names) - cut))
+                del names[cut:]
+        names_t = tuple(names)
+        return Sentence(sentence.grammar_name, self.seed, sentence.index,
+                        names_t, text=self.render(names_t),
+                        mutations=tuple(ops))
+
+    def render(self, token_names: Sequence[str]) -> Optional[str]:
+        """Source text whose tokenization reproduces ``token_names``.
+
+        Returns None when any token lacks a lexer exemplar or the joined
+        text does not round-trip (keyword collisions, skip-channel
+        tokens, grammars without lexer rules).  The sentence is still
+        usable as a raw token stream in that case.
+        """
+        if self.host.lexer_spec is None:
+            return None
+        parts = []
+        for name in token_names:
+            lexeme = self._exemplar(name)
+            if lexeme is None:
+                return None
+            parts.append(lexeme)
+        text = " ".join(parts)
+        if self._token_types(text) != self._intended_types(token_names):
+            return None
+        return text
+
+    def coverage_report(self) -> Dict[str, Dict[int, int]]:
+        """Hit counts per choice point (rule or ``rule#n`` subposition)."""
+        return {k: dict(v) for k, v in self.coverage.items()}
+
+    # -- derivation walk ----------------------------------------------------
+
+    def _emit_rule(self, name: str, rng, out: List[str], depth: int) -> None:
+        rule = self.grammar.rule(name)
+        costs = [self._seq_cost(alt.elements) for alt in rule.alternatives]
+        if rule.num_alternatives == 1:
+            choice = 0
+        else:
+            choice = self._choose(self._choice_keys[id(rule)], costs, rng,
+                                  self._closing(out, depth))
+        for el in rule.alternatives[choice].elements:
+            self._emit(el, rng, out, depth)
+
+    def _emit(self, el: ast.Element, rng, out: List[str], depth: int) -> None:
+        closing = self._closing(out, depth)
+        if isinstance(el, ast.TokenRef):
+            out.append(el.name)
+        elif isinstance(el, ast.Literal):
+            out.append("'%s'" % el.text)
+        elif isinstance(el, ast.RuleRef):
+            self._emit_rule(el.name, rng, out, depth + 1)
+        elif isinstance(el, ast.Sequence):
+            for child in el.elements:
+                self._emit(child, rng, out, depth)
+        elif isinstance(el, ast.Block):
+            costs = [self._seq_cost(alt.elements) for alt in el.alternatives]
+            choice = self._choose(self._choice_keys[id(el)], costs, rng, closing)
+            self._emit(el.alternatives[choice], rng, out, depth)
+        elif isinstance(el, ast.Optional_):
+            arm = 0 if closing else self._choose(
+                self._choice_keys[id(el)], [0, self._el_cost(el.element)],
+                rng, closing)
+            if arm == 1:
+                self._emit(el.element, rng, out, depth)
+        elif isinstance(el, ast.Star):
+            reps = 0
+            if not closing:
+                arm = self._choose(self._choice_keys[id(el)],
+                                   [0, self._el_cost(el.element)], rng, closing)
+                if arm == 1:
+                    reps = rng.randint(1, self.max_loop)
+            for _ in range(reps):
+                self._emit(el.element, rng, out, depth)
+        elif isinstance(el, ast.Plus):
+            reps = 1
+            if not closing:
+                arm = self._choose(self._choice_keys[id(el)],
+                                   [0, self._el_cost(el.element)], rng, closing)
+                if arm == 1 and self.max_loop >= 2:
+                    reps = rng.randint(2, self.max_loop)
+            for _ in range(reps):
+                self._emit(el.element, rng, out, depth)
+        elif isinstance(el, ast.Wildcard):
+            if not self._emittable:
+                raise GrammarError("wildcard with no emittable tokens")
+            out.append(rng.choice(self._emittable))
+        elif isinstance(el, ast.NotToken):
+            allowed = self._not_token_choices(el)
+            if not allowed:
+                raise GrammarError("~(%s) excludes every emittable token"
+                                   % "|".join(el.token_names))
+            out.append(rng.choice(allowed))
+        elif isinstance(el, (ast.Epsilon, ast.Action, ast.SemanticPredicate,
+                             ast.SyntacticPredicate)):
+            return  # predicates/actions never consume input
+        else:  # pragma: no cover - new AST nodes must be handled explicitly
+            raise GrammarError("cannot generate from element %r" % el)
+
+    def _closing(self, out: List[str], depth: int) -> bool:
+        return depth >= self.max_depth or len(out) >= self.max_tokens
+
+    def _choose(self, key: str, costs: List[float], rng,
+                closing: bool) -> int:
+        hits = self.coverage.setdefault(key, {})
+        finite = [i for i, c in enumerate(costs) if c < INF]
+        if not finite:
+            raise GrammarError("choice %s has no finite alternative" % key)
+        if closing:
+            choice = min(finite, key=lambda i: (costs[i], i))
+        else:
+            weights = [1.0 / (1.0 + hits.get(i, 0)) if c < INF else 0.0
+                       for i, c in enumerate(costs)]
+            choice = rng.choices(range(len(costs)), weights=weights)[0]
+        hits[choice] = hits.get(choice, 0) + 1
+        return choice
+
+    # -- min-cost closure table --------------------------------------------
+
+    def _assign_choice_keys(self) -> Dict[int, str]:
+        keys: Dict[int, str] = {}
+        for rule in self.grammar.parser_rules:
+            keys[id(rule)] = "rule:%s" % rule.name
+            n = 0
+            for alt in rule.alternatives:
+                for el in alt.elements:
+                    for node in el.walk():
+                        if isinstance(node, (ast.Block, ast.Optional_,
+                                             ast.Star, ast.Plus)):
+                            keys[id(node)] = "%s#%d" % (rule.name, n)
+                            n += 1
+        return keys
+
+    def _compute_rule_costs(self) -> Dict[str, float]:
+        cost = {r.name: INF for r in self.grammar.parser_rules}
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.grammar.parser_rules:
+                best = min(self._seq_cost(alt.elements, cost)
+                           for alt in rule.alternatives)
+                if best < cost[rule.name]:
+                    cost[rule.name] = best
+                    changed = True
+        return cost
+
+    def _seq_cost(self, elements: Sequence[ast.Element],
+                  table: Optional[Dict[str, float]] = None) -> float:
+        return sum(self._el_cost(el, table) for el in elements)
+
+    def _el_cost(self, el: ast.Element,
+                 table: Optional[Dict[str, float]] = None) -> float:
+        table = self._rule_cost if table is None else table
+        if isinstance(el, (ast.TokenRef, ast.Literal, ast.Wildcard,
+                           ast.NotToken)):
+            return 1
+        if isinstance(el, ast.RuleRef):
+            return table.get(el.name, INF)
+        if isinstance(el, ast.Sequence):
+            return self._seq_cost(el.elements, table)
+        if isinstance(el, ast.Block):
+            return min(self._seq_cost(alt.elements, table)
+                       for alt in el.alternatives)
+        if isinstance(el, (ast.Optional_, ast.Star)):
+            return 0
+        if isinstance(el, ast.Plus):
+            return self._el_cost(el.element, table)
+        return 0  # Epsilon, Action, predicates
+
+    # -- token universe -----------------------------------------------------
+
+    def _emittable_token_names(self) -> List[str]:
+        """Token names valid for ``token_stream_from_types``, excluding
+        EOF and skip-channel lexer rules (they would vanish in text)."""
+        vocab = self.grammar.vocabulary
+        skip_names = {r.name for r in self.grammar.lexer_rules
+                      if "skip" in r.commands}
+        names = []
+        for t in range(1, vocab.max_type + 1):
+            name = vocab.name_of(t)
+            if name.strip("'") in skip_names or name in skip_names:
+                continue
+            names.append(name)
+        return names
+
+    def _not_token_choices(self, el: ast.NotToken) -> List[str]:
+        forbidden = set()
+        vocab = self.grammar.vocabulary
+        for name in el.token_names:
+            if name.startswith("'") and name.endswith("'"):
+                t = vocab.type_of_literal(name[1:-1])
+            else:
+                t = vocab.type_of(name)
+            if t is not None:
+                forbidden.add(t)
+        out = []
+        for name in self._emittable:
+            if name.startswith("'"):
+                t = vocab.type_of_literal(name[1:-1])
+            else:
+                t = vocab.type_of(name)
+            if t not in forbidden:
+                out.append(name)
+        return out
+
+    def _intended_types(self, token_names: Sequence[str]) -> Optional[List[int]]:
+        vocab = self.grammar.vocabulary
+        types = []
+        for name in token_names:
+            if name.startswith("'") and name.endswith("'") and len(name) >= 2:
+                t = vocab.type_of_literal(name[1:-1])
+            else:
+                t = vocab.type_of(name)
+            if t is None:
+                return None
+            types.append(t)
+        return types
+
+    def _token_types(self, text: str) -> Optional[List[int]]:
+        try:
+            stream = self.host.tokenize(text)
+        except LLStarError:
+            return None
+        return [t.type for t in stream.tokens() if t.type != EOF]
+
+    # -- lexeme exemplars ---------------------------------------------------
+
+    def _exemplar(self, name: str) -> Optional[str]:
+        if name in self._exemplars:
+            return self._exemplars[name]
+        lexeme = self._build_exemplar(name)
+        self._exemplars[name] = lexeme
+        return lexeme
+
+    def _build_exemplar(self, name: str) -> Optional[str]:
+        vocab = self.grammar.vocabulary
+        if name.startswith("'") and name.endswith("'") and len(name) >= 2:
+            text = name[1:-1]
+            expected = vocab.type_of_literal(text)
+            if expected is not None and self._token_types(text) == [expected]:
+                return text
+            return None
+        expected = vocab.type_of(name)
+        rule = self.grammar.rules.get(name)
+        if expected is None or rule is None or not rule.is_lexer_rule:
+            return None
+        if "skip" in rule.commands:
+            return None
+        for attempt in range(8):
+            rng = random.Random(expected * 131071 + attempt)
+            text = "".join(self._lexeme(ast.Sequence(alt.elements), rng, 0)
+                           for alt in [rule.alternatives[
+                               attempt % rule.num_alternatives]])
+            if text and self._token_types(text) == [expected]:
+                return text
+        return None
+
+    def _lexeme(self, el: ast.Element, rng, depth: int) -> str:
+        if isinstance(el, ast.Literal):
+            return el.text
+        if isinstance(el, ast.CharSet):
+            ivs = el.intervals
+            if el.negated:
+                ivs = ivs.complement(_PRINTABLE_LO, _PRINTABLE_HI)
+            pool = []
+            for ch in ivs:
+                if _PRINTABLE_LO <= ch <= _PRINTABLE_HI or ch in (9, 10, 13, 32):
+                    pool.append(ch)
+                if len(pool) >= 32:
+                    break
+            if not pool:
+                pool = [ivs.min()]
+            return chr(rng.choice(pool))
+        if isinstance(el, ast.CharRange):
+            return chr(rng.randint(ord(el.lo), ord(el.hi)))
+        if isinstance(el, ast.Wildcard):
+            return rng.choice("abcdefghijklmnopqrstuvwxyz")
+        if isinstance(el, ast.RuleRef):
+            sub = self.grammar.rules.get(el.name)
+            if sub is None:
+                return ""
+            alt = sub.alternatives[0 if depth > 8 else
+                                   rng.randrange(sub.num_alternatives)]
+            return "".join(self._lexeme(e, rng, depth + 1)
+                           for e in alt.elements)
+        if isinstance(el, ast.TokenRef):
+            # lexer-side reference to another lexer rule
+            sub = self.grammar.rules.get(el.name)
+            if sub is None:
+                return ""
+            alt = sub.alternatives[0 if depth > 8 else
+                                   rng.randrange(sub.num_alternatives)]
+            return "".join(self._lexeme(e, rng, depth + 1)
+                           for e in alt.elements)
+        if isinstance(el, ast.Sequence):
+            return "".join(self._lexeme(e, rng, depth) for e in el.elements)
+        if isinstance(el, ast.Block):
+            alt = el.alternatives[0 if depth > 8 else
+                                  rng.randrange(len(el.alternatives))]
+            return self._lexeme(alt, rng, depth + 1)
+        if isinstance(el, ast.Optional_):
+            if depth <= 8 and rng.random() < 0.4:
+                return self._lexeme(el.element, rng, depth + 1)
+            return ""
+        if isinstance(el, ast.Star):
+            reps = 0 if depth > 8 else rng.randint(0, 2)
+            return "".join(self._lexeme(el.element, rng, depth + 1)
+                           for _ in range(reps))
+        if isinstance(el, ast.Plus):
+            reps = 1 if depth > 8 else rng.randint(1, 2)
+            return "".join(self._lexeme(el.element, rng, depth + 1)
+                           for _ in range(reps))
+        return ""  # Epsilon, Action, predicates

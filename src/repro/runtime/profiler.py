@@ -117,8 +117,12 @@ class DecisionProfiler:
         worker profiles its own inputs and the parent merges the
         (pickled) profilers into one corpus-level report.  Per-decision
         stats sum (maxima take the max) and degradation events append;
-        ``other`` is left untouched.
+        ``other`` is left untouched.  Merging a profiler into itself
+        would double every aggregate (and self-deadlock on the lock), so
+        it raises ``ValueError``.
         """
+        if other is self:
+            raise ValueError("cannot merge a DecisionProfiler into itself")
         with self._lock:
             for decision, theirs in sorted(other.stats.items()):
                 stats = self.stats.get(decision)

@@ -404,8 +404,11 @@ class MetricsRegistry:
         take the max; a name registered under a different metric type (or
         a histogram with different bucket bounds) raises ``ValueError``
         rather than aggregating apples into oranges.  ``other`` is left
-        untouched.
+        untouched.  Merging a registry into itself would double every
+        counter and histogram, so it raises ``ValueError``.
         """
+        if other is self:
+            raise ValueError("cannot merge a MetricsRegistry into itself")
         for (name, _), metric in sorted(other._metrics.items(),
                                         key=lambda kv: kv[0]):
             cls, help_text = other._meta[name]

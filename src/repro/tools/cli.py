@@ -146,6 +146,41 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--grammars", nargs="*", metavar="NAME",
                    help="subset of suite grammars (default: all six)")
+
+    p = sub.add_parser("fuzz",
+                       help="generate sentences from a grammar and "
+                            "differentially parse them with every backend")
+    p.add_argument("grammar", nargs="?",
+                   help="path to a .g grammar file (or use --suite)")
+    p.add_argument("--suite", action="store_true",
+                   help="fuzz the built-in benchmark suite grammars")
+    p.add_argument("--grammars", nargs="*", metavar="NAME",
+                   help="subset of suite grammars with --suite")
+    p.add_argument("--n", type=int, default=100, metavar="N",
+                   help="sentences per grammar (default 100)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--max-depth", type=int, default=16, metavar="D",
+                   help="rule-depth budget before the generator closes "
+                        "derivations (default 16)")
+    p.add_argument("--max-tokens", type=int, default=120, metavar="T",
+                   help="token budget per sentence (default 120)")
+    p.add_argument("--backends", metavar="LIST",
+                   help="comma-separated backend subset (default: all of "
+                        "interp, interp-graph, codegen, llk, packrat, glr, "
+                        "earley)")
+    p.add_argument("--mutate", type=float, default=0.0, metavar="RATE",
+                   help="also corrupt RATE * N sentences for negative "
+                        "testing (default 0)")
+    p.add_argument("--jobs", type=int, default=0, metavar="N",
+                   help="worker processes for the batch cross-check "
+                        "(default 0 = inline)")
+    p.add_argument("--no-batch", action="store_true",
+                   help="skip the BatchEngine cross-check pass")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="report failing sentences without token-deletion "
+                        "minimization")
+    p.add_argument("--json", action="store_true",
+                   help="print one JSON document per run instead of text")
     return parser
 
 
@@ -367,8 +402,52 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz.differential import DifferentialRunner
+
+    if bool(args.grammar) == bool(args.suite):
+        print("error: pass exactly one of <grammar> or --suite",
+              file=sys.stderr)
+        return 2
+    backends = None
+    if args.backends:
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    targets = []
+    if args.suite:
+        from repro.grammars import PAPER_ORDER, load
+
+        for name in (args.grammars or PAPER_ORDER):
+            targets.append((name, load(name).grammar_text))
+    else:
+        with open(args.grammar) as f:
+            targets.append((None, f.read()))
+    reports = []
+    for name, text in targets:
+        runner = DifferentialRunner(text, name=name, backends=backends)
+        reports.append(runner.run_corpus(
+            n=args.n, seed=args.seed, max_depth=args.max_depth,
+            max_tokens=args.max_tokens, mutate=args.mutate,
+            minimize=not args.no_minimize, batch=not args.no_batch,
+            jobs=args.jobs))
+    if args.json:
+        print(json.dumps([r.to_json() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.summary())
+    failed = sum(len(r.disagreements) for r in reports)
+    if failed:
+        print("FAILED: %d disagreement(s) across %d grammar(s)"
+              % (failed, len(reports)), file=sys.stderr)
+        return 1
+    if not args.json:
+        print("ok: 0 disagreements across %d grammar(s), %d sentence(s)"
+              % (len(reports), sum(r.corpus_size for r in reports)))
+    return 0
+
+
 _COMMANDS = {
     "report": cmd_report,
+    "fuzz": cmd_fuzz,
     "explain": cmd_explain,
     "analyze": cmd_analyze,
     "batch": cmd_batch,

@@ -185,3 +185,110 @@ class TestFixedK:
         host = repro.compile_grammar("grammar G; s : A | A B ; A:'a'; B:'b';")
         fk = FixedKAnalyzer(host.analysis.atn, start_rule="s")
         assert fk.ll_k_for(0) == 2  # EOF vs 'b' at depth 2
+
+
+# -- boundary inputs across every baseline ---------------------------------------------
+
+
+NULLABLE = "grammar N; s : A* ; A : 'a' ;"
+NESTED = r"""
+    grammar D;
+    s : e ;
+    e : '(' e ')' | A ;
+    A : 'a' ;
+"""
+
+
+@pytest.fixture(scope="module")
+def nullable():
+    return repro.compile_grammar(NULLABLE)
+
+
+@pytest.fixture(scope="module")
+def nested():
+    return repro.compile_grammar(NESTED)
+
+
+class TestBaselineBoundaryInputs:
+    """Empty streams, single tokens, and max-depth nesting for every
+    baseline recognizer (GLR, Earley, packrat, LL(k)) — the boundary
+    shapes the happy-path tests above never touch."""
+
+    DEPTH = 100
+
+    def _recognizers(self, host, llk_ok=True):
+        from repro.baselines.glr import GLRParser
+        from repro.baselines.llk import LLkParser
+
+        parsers = [GLRParser(host.grammar), EarleyParser(host.grammar),
+                   PackratParser(host.grammar)]
+        if llk_ok:
+            parsers.append(LLkParser(host.analysis))
+        return parsers
+
+    def test_empty_stream_accepted_when_nullable(self, nullable):
+        for p in self._recognizers(nullable):
+            assert p.recognize(nullable.tokenize("")), type(p).__name__
+
+    def test_empty_stream_rejected_when_not_nullable(self, nested):
+        for p in self._recognizers(nested):
+            assert not p.recognize(nested.tokenize("")), type(p).__name__
+
+    def test_single_token_input(self, nullable, nested):
+        for p in self._recognizers(nullable):
+            assert p.recognize(nullable.tokenize("a")), type(p).__name__
+        for p in self._recognizers(nested):
+            assert p.recognize(nested.tokenize("a")), type(p).__name__
+
+    def test_max_depth_nesting(self, nested):
+        text = "(" * self.DEPTH + "a" + ")" * self.DEPTH
+        for p in self._recognizers(nested):
+            assert p.recognize(nested.tokenize(text)), type(p).__name__
+
+    def test_unbalanced_nesting_rejected(self, nested):
+        text = "(" * self.DEPTH + "a" + ")" * (self.DEPTH - 1)
+        for p in self._recognizers(nested):
+            assert not p.recognize(nested.tokenize(text)), type(p).__name__
+
+
+class TestLLkParser:
+    """The strict LL(k) parser: tree parity with the interpreter, typed
+    rejection of non-LL(k) grammars, k > 1 dispatch."""
+
+    def test_tree_matches_interpreter(self, nested):
+        from repro.baselines.llk import LLkParser
+
+        text = "((a))"
+        expected = nested.parse(text)
+        actual = LLkParser(nested.analysis).parse(nested.tokenize(text))
+        assert actual.to_sexpr() == expected.to_sexpr()
+
+    def test_k2_dispatch(self):
+        from repro.baselines.llk import LLkParser
+
+        host = repro.compile_grammar(
+            "grammar K2; s : A B | A C ; A:'a'; B:'b'; C:'c';")
+        p = LLkParser(host.analysis)
+        assert p.parse(host.tokenize("ab")).to_sexpr() == \
+            host.parse("ab").to_sexpr()
+        assert p.recognize(host.tokenize("ac"))
+        assert not p.recognize(host.tokenize("aa"))
+
+    def test_non_llk_grammar_raises_typed_error(self):
+        from repro.baselines.llk import LLkParser, llk_viability
+        from repro.exceptions import GrammarError
+
+        # A+ X | A+ Y needs unbounded lookahead (the paper's Section 2).
+        host = repro.compile_grammar(
+            "grammar NK; s : A+ X | A+ Y ; A:'a'; X:'x'; Y:'y';")
+        assert llk_viability(host.analysis) is not None
+        with pytest.raises(GrammarError):
+            LLkParser(host.analysis)
+
+    def test_mismatch_is_typed_recognition_error(self, nested):
+        from repro.baselines.llk import LLkParser
+        from repro.exceptions import RecognitionError
+
+        p = LLkParser(nested.analysis)
+        with pytest.raises(RecognitionError):
+            p.parse(nested.tokenize("(a"))

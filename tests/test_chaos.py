@@ -189,3 +189,40 @@ class TestErrorNodesMarkRepairSites:
         (error,) = parser.errors
         assert error.line == 1 and error.column == 2
         assert error.position == "1:2"
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_generator_mutation_recovery(name):
+    """Generator-driven corruption: seeded valid sentences damaged by the
+    fuzz mutation pass must recover under ``recover=True`` with
+    ErrorNode-marked trees — no leaked exceptions and no hiding behind
+    the budget deadline (every parse must finish within it)."""
+    from repro.fuzz.generator import SentenceGenerator
+
+    bench = load(name)
+    host = bench.compile()
+    gen = SentenceGenerator(host, seed=17, max_depth=10, max_tokens=50)
+    budget = ParserBudget.defensive(deadline_seconds=30.0)
+    corrupted = 0
+    for i, sentence in enumerate(gen.generate(12)):
+        damaged = gen.mutate(sentence, salt=i, max_ops=4)
+        stream = host.token_stream_from_types(damaged.token_names)
+        parser = host.parser(stream, options=ParserOptions(
+            recover=True, budget=budget))
+        try:
+            tree = parser.parse()
+        except BudgetExceededError:
+            pytest.fail("budget deadline dodge on %s (sentence %d, ops %s)"
+                        % (name, i, " ".join(damaged.mutations)))
+        except RecognitionError:
+            pytest.fail("recover=True leaked RecognitionError on %s "
+                        "(sentence %d, ops %s)"
+                        % (name, i, " ".join(damaged.mutations)))
+        if parser.errors:
+            assert tree is not None, \
+                "recovered parse lost its tree (%s #%d)" % (name, i)
+            assert tree.has_errors, \
+                "errors reported but no ErrorNode (%s #%d)" % (name, i)
+            corrupted += 1
+    # The sweep must actually exercise recovery, not just parse cleanly.
+    assert corrupted > 0, "no mutation corrupted %s's sentences" % name

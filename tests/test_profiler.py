@@ -217,3 +217,58 @@ class TestProfilerThreadSafety:
         for w in workers:
             w.join()
         assert len(profiler.degradations) == 2000
+
+
+class TestDecisionProfilerMergeEdgeCases:
+    """Degenerate merge shapes for the profiler fold: empty profilers on
+    either side, one-sided decisions, degradation append, self-merge."""
+
+    def test_empty_into_empty(self):
+        a, b = DecisionProfiler(), DecisionProfiler()
+        a.merge(b)
+        assert a.total_events == 0 and a.stats == {}
+
+    def test_empty_other_leaves_target_unchanged(self):
+        a, b = _fixture_profiler(), DecisionProfiler()
+        a.merge(b)
+        assert a.total_events == 5
+        assert sorted(a.stats) == [0, 1, 2]
+
+    def test_merge_into_empty_equals_source(self):
+        a, b = DecisionProfiler(), _fixture_profiler()
+        a.merge(b)
+        assert a.total_events == b.total_events
+        for decision, theirs in b.stats.items():
+            mine = a.stats[decision]
+            assert (mine.events, mine.sum_depth, mine.max_depth,
+                    mine.backtrack_events) == \
+                   (theirs.events, theirs.sum_depth, theirs.max_depth,
+                    theirs.backtrack_events)
+        a.record(9, 1)  # the copy is independent
+        assert 9 not in b.stats and b.total_events == 5
+
+    def test_one_sided_decisions_union(self):
+        a, b = DecisionProfiler(), DecisionProfiler()
+        a.record(0, 2)
+        b.record(7, 4)
+        a.merge(b)
+        assert sorted(a.stats) == [0, 7]
+        assert a.stats[7].events == 1 and a.total_events == 2
+
+    def test_degradations_append(self):
+        from repro.runtime.profiler import DegradationEvent
+
+        a, b = DecisionProfiler(), DecisionProfiler()
+        a.record_degradation(DegradationEvent(1, "s", "corrupt dfa"))
+        b.record_degradation(DegradationEvent(2, "t", "missing table"))
+        a.merge(b)
+        assert [e.decision for e in a.degradations] == [1, 2]
+        assert len(b.degradations) == 1
+
+    def test_merge_into_itself_raises(self):
+        import pytest
+
+        a = _fixture_profiler()
+        with pytest.raises(ValueError):
+            a.merge(a)
+        assert a.total_events == 5  # nothing doubled, no deadlock

@@ -317,3 +317,59 @@ class TestDegradationWiring:
         assert tel.metrics.value("llstar_degradations_total") == 1
         reasons = {e.reason for e in tel.events_by_kind("dfa-fallback")}
         assert "degraded" in reasons
+
+
+class TestMetricsRegistryMergeEdgeCases:
+    """Degenerate merge shapes the batch fold must survive: empty
+    registries on either side, metrics present in only one registry,
+    self-merge, and bucket-layout mismatches against default layouts."""
+
+    def test_empty_into_empty_is_a_noop(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.merge(b)
+        assert a.names() == []
+
+    def test_empty_other_leaves_target_unchanged(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        a.gauge("g").set(7)
+        a.histogram("h").observe(2)
+        a.merge(b)
+        assert a.value("c") == 3
+        assert a.value("g") == 7
+        assert a.get("h").count == 1
+
+    def test_single_sided_metrics_survive_both_directions(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("only_a").inc(1)
+        b.counter("only_b").inc(2)
+        b.histogram("h_only_b").observe(4)
+        a.merge(b)
+        assert a.value("only_a") == 1  # untouched by the merge
+        assert a.value("only_b") == 2  # copied over
+        assert a.get("h_only_b").count == 1
+        assert "only_a" not in b.names()  # other side never mutated
+
+    def test_merge_into_itself_raises(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(5)
+        with pytest.raises(ValueError):
+            a.merge(a)
+        assert a.value("c") == 5  # nothing double-counted
+
+    def test_default_vs_custom_bucket_layout_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(1)  # default K_BUCKETS layout
+        b.histogram("h", buckets=(1, 2, 3)).observe(1)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_custom_layout_absent_on_target_is_adopted_then_enforced(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("h", buckets=(1, 2, 3)).observe(2)
+        a.merge(b)
+        assert a.get("h").bounds == b.get("h").bounds
+        c = MetricsRegistry()
+        c.histogram("h", buckets=(10, 20)).observe(1)
+        with pytest.raises(ValueError):
+            a.merge(c)
