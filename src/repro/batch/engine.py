@@ -26,6 +26,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.batch.worker import (
@@ -79,13 +80,19 @@ class BatchReport:
 
     def __init__(self, results: List[BatchResult], metrics: MetricsRegistry,
                  profiler: DecisionProfiler, wall_seconds: float, jobs: int,
-                 chunks: int):
+                 chunks: int, pool_rebuilds: int = 0,
+                 degraded_to_inline: bool = False):
         self.results = results
         self.metrics = metrics
         self.profiler = profiler
         self.wall_seconds = wall_seconds
         self.jobs = jobs
         self.chunks = chunks
+        #: Times the worker pool died and was rebuilt mid-corpus.
+        self.pool_rebuilds = pool_rebuilds
+        #: True when pool failures exhausted the rebuild allowance and
+        #: the remaining chunks ran inline in the parent instead.
+        self.degraded_to_inline = degraded_to_inline
 
     @property
     def total(self) -> int:
@@ -126,6 +133,8 @@ class BatchReport:
             "total_tokens": self.total_tokens,
             "tokens_per_second": self.tokens_per_second,
             "files_per_second": self.files_per_second,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded_to_inline": self.degraded_to_inline,
             "results": [r.to_dict() for r in self.results],
             "metrics": self.metrics.to_json(),
         }
@@ -137,6 +146,11 @@ class BatchReport:
                  "throughput: %.0f tokens/s, %.1f files/s (%d tokens)"
                  % (self.tokens_per_second, self.files_per_second,
                     self.total_tokens)]
+        if self.pool_rebuilds:
+            lines.append("  pool died %d time(s) and was rebuilt%s"
+                         % (self.pool_rebuilds,
+                            "; finished inline (degraded)"
+                            if self.degraded_to_inline else ""))
         for failure in self.failures:
             lines.append("  FAILED %s: [%s] %s"
                          % (failure.input_id, failure.error_type, failure.error))
@@ -167,6 +181,13 @@ class BatchEngine:
     ``cache_dir``
         Compile through the artifact cache; workers then warm-start from
         disk instead of receiving the payload in their initializer.
+    ``max_pool_rebuilds``
+        How many times a broken pool (a worker killed mid-corpus) is
+        rebuilt and the lost chunks retried before the engine degrades
+        to inline execution for the remainder (default 1).
+    ``chaos``
+        Optional :class:`~repro.runtime.chaos.ServiceChaos` fault policy
+        applied per input in the workers (robustness testing).
     """
 
     def __init__(self, grammar_text: str, name: Optional[str] = None,
@@ -178,7 +199,8 @@ class BatchEngine:
                  recover: bool = False, use_tables: bool = True,
                  cache_dir: Optional[str] = None,
                  rewrite_left_recursion: bool = True, strict: bool = True,
-                 parallel: Optional[int] = None):
+                 parallel: Optional[int] = None,
+                 max_pool_rebuilds: int = 1, chaos=None):
         from repro.api import compile_grammar
 
         if jobs is not None and jobs < 0:
@@ -187,9 +209,12 @@ class BatchEngine:
             raise ValueError("inflight_per_worker must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 or None")
+        if max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
         self.jobs = (os.cpu_count() or 1) if jobs is None else jobs
         self.chunk_size = chunk_size
         self.inflight_per_worker = inflight_per_worker
+        self.max_pool_rebuilds = max_pool_rebuilds
         # Compile once in the parent; with a cache_dir this also persists
         # the artifact the workers will warm-start from.
         self.host = compile_grammar(
@@ -205,7 +230,8 @@ class BatchEngine:
                 grammar_fingerprint(grammar_text, name))
         self._config = WorkerConfig(
             grammar_text, name, options, rewrite_left_recursion, strict,
-            cache_dir, payload, rule_name, budget, recover, use_tables)
+            cache_dir, payload, rule_name, budget, recover, use_tables,
+            chaos=chaos)
 
     # -- corpus preparation ----------------------------------------------------
 
@@ -223,12 +249,13 @@ class BatchEngine:
         items = [(str(input_id), text) for input_id, text in inputs]
         chunks = self._chunks(items)
         started = time.perf_counter()
+        rebuilds, degraded = 0, False
         if self.jobs == 0:
             outcomes = self._run_inline(chunks)
         else:
-            outcomes = self._run_pool(chunks)
+            outcomes, rebuilds, degraded = self._run_pool(chunks)
         wall = time.perf_counter() - started
-        return self._aggregate(outcomes, chunks, wall)
+        return self._aggregate(outcomes, chunks, wall, rebuilds, degraded)
 
     def run_paths(self, paths: Iterable[str]) -> BatchReport:
         """Parse files by path (the path is the input id)."""
@@ -243,33 +270,75 @@ class BatchEngine:
         return {i: context.run_chunk(chunk) for i, chunk in enumerate(chunks)}
 
     def _run_pool(self, chunks):
+        """Pooled execution with crash tolerance.
+
+        A worker death breaks the whole ``ProcessPoolExecutor`` —
+        *every* in-flight future raises :class:`BrokenProcessPool`, not
+        just the chunk that was on the dead worker.  Rather than fail
+        those chunks (the pre-fix behaviour aborted the corpus), the
+        lost chunk indexes are collected and retried on a freshly built
+        pool, up to ``max_pool_rebuilds`` times; after that the engine
+        degrades to inline execution in the parent, where each input
+        still succeeds or fails individually with a typed error.
+        """
         outcomes: Dict[int, tuple] = {}
+        remaining = list(range(len(chunks)))
+        rebuilds, degraded = 0, False
+        while remaining:
+            remaining = self._pool_pass(chunks, remaining, outcomes)
+            if not remaining:
+                break
+            if rebuilds >= self.max_pool_rebuilds:
+                # The rebuilt pool died too: stop burning processes and
+                # finish the stragglers inline (reduced concurrency, but
+                # per-input isolation semantics are unchanged).
+                degraded = True
+                context = WorkerContext(self._config, host=self.host)
+                for index in remaining:
+                    outcomes[index] = context.run_chunk(chunks[index])
+                break
+            rebuilds += 1
+        return outcomes, rebuilds, degraded
+
+    def _pool_pass(self, chunks, indexes, outcomes):
+        """One pool lifetime: run ``indexes`` until done or the pool
+        breaks.  Returns the (ordered) chunk indexes lost to breakage."""
         window = self.jobs * self.inflight_per_worker
+        broken: List[int] = []
+        pool_dead = False
         with ProcessPoolExecutor(max_workers=self.jobs,
                                  initializer=initialize_worker,
                                  initargs=(self._config,)) as pool:
             pending: Dict[object, int] = {}
 
             def drain(done_set):
+                nonlocal pool_dead
                 for future in done_set:
                     index = pending.pop(future)
                     try:
                         outcomes[index] = future.result()
-                    except Exception as e:  # worker/chunk-level loss
+                    except BrokenProcessPool:
+                        broken.append(index)
+                        pool_dead = True
+                    except Exception as e:  # chunk-level loss
                         outcomes[index] = self._failed_chunk(chunks[index], e)
 
-            for index, chunk in enumerate(chunks):
-                if len(pending) >= window:
+            for index in indexes:
+                if not pool_dead and len(pending) >= window:
                     done, _ = wait(pending, return_when=FIRST_COMPLETED)
                     drain(done)
+                if pool_dead:
+                    broken.append(index)  # never submit to a dead pool
+                    continue
                 try:
-                    pending[pool.submit(run_chunk, chunk)] = index
-                except RuntimeError as e:  # pool broke mid-corpus
-                    outcomes[index] = self._failed_chunk(chunk, e)
+                    pending[pool.submit(run_chunk, chunks[index])] = index
+                except RuntimeError:  # pool broke between drain and submit
+                    broken.append(index)
+                    pool_dead = True
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 drain(done)
-        return outcomes
+        return sorted(broken)
 
     @staticmethod
     def _failed_chunk(chunk, error):
@@ -282,7 +351,8 @@ class BatchEngine:
                    for input_id, _ in chunk]
         return results, MetricsRegistry(), DecisionProfiler()
 
-    def _aggregate(self, outcomes, chunks, wall: float) -> BatchReport:
+    def _aggregate(self, outcomes, chunks, wall: float, rebuilds: int = 0,
+                   degraded: bool = False) -> BatchReport:
         results: List[BatchResult] = []
         metrics = MetricsRegistry()
         profiler = DecisionProfiler()
@@ -294,8 +364,15 @@ class BatchEngine:
         metrics.gauge("llstar_batch_workers", "worker processes").set(self.jobs)
         metrics.counter("llstar_batch_chunks_total",
                         "chunks dispatched").inc(len(chunks))
+        if rebuilds:
+            metrics.counter("llstar_batch_pool_rebuilds_total",
+                            "worker pools rebuilt after a crash").inc(rebuilds)
+        metrics.gauge("llstar_batch_pool_degraded",
+                      "1 when the corpus finished inline after repeated "
+                      "pool deaths").set(1 if degraded else 0)
         return BatchReport(results, metrics, profiler, wall, self.jobs,
-                           len(chunks))
+                           len(chunks), pool_rebuilds=rebuilds,
+                           degraded_to_inline=degraded)
 
 
 def parse_corpus(grammar_text: str, inputs: Iterable[Tuple[str, str]],

@@ -40,13 +40,13 @@ class WorkerConfig:
 
     __slots__ = ("grammar_text", "name", "options", "rewrite_left_recursion",
                  "strict", "cache_dir", "payload", "rule_name", "budget",
-                 "recover", "use_tables")
+                 "recover", "use_tables", "chaos")
 
     def __init__(self, grammar_text: str, name: Optional[str],
                  options, rewrite_left_recursion: bool, strict: bool,
                  cache_dir: Optional[str], payload: Optional[dict],
                  rule_name: Optional[str], budget: Optional[ParserBudget],
-                 recover: bool, use_tables: bool):
+                 recover: bool, use_tables: bool, chaos=None):
         self.grammar_text = grammar_text
         self.name = name
         self.options = options
@@ -58,6 +58,10 @@ class WorkerConfig:
         self.budget = budget
         self.recover = recover
         self.use_tables = use_tables
+        # Optional ServiceChaos fault policy (robustness testing): kills
+        # apply only in pool workers; inline contexts report them as
+        # typed WorkerCrashError rows instead of dying.
+        self.chaos = chaos
 
 
 class WorkerContext:
@@ -67,6 +71,10 @@ class WorkerContext:
         from repro.api import compile_grammar, host_from_artifact
 
         self.config = config
+        # Inline contexts receive the parent's host; only a real pool
+        # worker builds its own (and only a real worker may be killed by
+        # an injected fault — see run_chunk).
+        self.in_worker = host is None
         if host is not None:
             self.host = host
         elif config.cache_dir is not None:
@@ -111,6 +119,26 @@ class WorkerContext:
         for input_id, text in chunk:
             started = time.perf_counter()
             tokens = 0
+            if config.chaos is not None:
+                from repro.exceptions import WorkerCrashError
+                from repro.runtime.chaos import KILL
+
+                # In a pool worker a KILL fault hard-exits here (the
+                # parent sees BrokenProcessPool); inline it becomes a
+                # typed per-input failure instead.
+                fault = config.chaos.apply_before_parse(
+                    input_id, in_worker=self.in_worker)
+                if fault == KILL:
+                    error = WorkerCrashError(
+                        "injected worker-kill fault on input %s" % input_id)
+                    result = BatchResult(
+                        input_id, ok=False, error_type=type(error).__name__,
+                        error=str(error), tokens=0,
+                        elapsed=time.perf_counter() - started, worker_pid=pid)
+                    input_seconds.observe(result.elapsed)
+                    failed_inputs.inc()
+                    results.append(result)
+                    continue
             try:
                 stream = host.tokenize(text)
                 tokens = max(0, len(stream.tokens()) - 1)  # minus EOF

@@ -48,6 +48,13 @@ class CacheDiagnostic:
     counts as a hit.  ``orphan``: a ``.tmp`` spill from a writer that
     died between ``mkstemp`` and the atomic ``os.replace``; swept
     (age-bounded) on store init.
+
+    The serve layer's grammar registry reuses the same diagnostic type
+    for its in-memory artifact handling: ``evicted`` (a compiled host
+    was dropped to respect the registry's capacity bound) and
+    ``load-failed`` (a registered grammar could not be compiled/loaded;
+    the failure is cached so a stampede does not recompile a broken
+    grammar on every request).
     """
 
     CORRUPT = "corrupt"
@@ -55,6 +62,8 @@ class CacheDiagnostic:
     STALE = "stale"
     ORPHAN = "orphan-temp"
     UPGRADED = "schema-upgraded"
+    EVICTED = "evicted"
+    LOAD_FAILED = "load-failed"
 
     __slots__ = ("kind", "key", "detail")
 

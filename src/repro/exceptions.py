@@ -216,6 +216,20 @@ class BudgetExceededError(LLStarError):
                          % (resource, limit, detail))
 
 
+class WorkerCrashError(LLStarError):
+    """A parse was lost to process death rather than to its input.
+
+    Raised (or recorded as a typed per-input failure) when a pool worker
+    died mid-parse — whether from fault injection, an OOM kill, or a
+    segfaulting extension.  Like :class:`BudgetExceededError` it is a
+    resource event, not a recognition error: recovery never swallows it,
+    and the serve layer's circuit breaker counts it toward opening.
+    """
+
+    def __init__(self, detail: str = "worker process died mid-parse"):
+        super().__init__(detail)
+
+
 class ActionError(LLStarError):
     """An embedded grammar action or predicate raised while executing."""
 

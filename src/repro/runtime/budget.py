@@ -43,12 +43,19 @@ class ParserBudget:
         spins forever on some corrupted inputs).
     ``deadline_seconds``
         Wall-clock limit for the whole parse, measured from
-        ``parse()`` entry.
+        ``parse()`` entry (relative sugar for the common case).
+    ``deadline_at``
+        Absolute ``time.monotonic()`` timestamp the parse must finish
+        by.  Unlike ``deadline_seconds`` it does not restart at each
+        stage: a service can stamp one deadline at admission time and
+        propagate it through lex, parse, and recovery without
+        re-deriving a relative budget per stage.  When both are set the
+        parse honours whichever expires first.
     """
 
     __slots__ = ("max_dfa_steps", "max_backtrack_depth",
                  "max_synpred_invocations", "max_rule_depth",
-                 "max_recovery_attempts", "deadline_seconds")
+                 "max_recovery_attempts", "deadline_seconds", "deadline_at")
 
     def __init__(self,
                  max_dfa_steps: Optional[int] = None,
@@ -56,7 +63,8 @@ class ParserBudget:
                  max_synpred_invocations: Optional[int] = None,
                  max_rule_depth: Optional[int] = None,
                  max_recovery_attempts: Optional[int] = None,
-                 deadline_seconds: Optional[float] = None):
+                 deadline_seconds: Optional[float] = None,
+                 deadline_at: Optional[float] = None):
         for name, value in (("max_dfa_steps", max_dfa_steps),
                             ("max_backtrack_depth", max_backtrack_depth),
                             ("max_synpred_invocations", max_synpred_invocations),
@@ -72,6 +80,7 @@ class ParserBudget:
         self.max_rule_depth = max_rule_depth
         self.max_recovery_attempts = max_recovery_attempts
         self.deadline_seconds = deadline_seconds
+        self.deadline_at = deadline_at
 
     @classmethod
     def defensive(cls, deadline_seconds: Optional[float] = 10.0) -> "ParserBudget":
@@ -85,11 +94,49 @@ class ParserBudget:
                    max_recovery_attempts=8,
                    deadline_seconds=deadline_seconds)
 
-    def deadline_from_now(self) -> Optional[float]:
-        """Absolute monotonic deadline for a parse starting now."""
-        if self.deadline_seconds is None:
-            return None
-        return time.monotonic() + self.deadline_seconds
+    def deadline_from_now(self, now: Optional[float] = None) -> Optional[float]:
+        """Absolute monotonic deadline for a parse starting now.
+
+        Combines the relative ``deadline_seconds`` (counted from
+        ``now``) with the absolute ``deadline_at``; whichever expires
+        first wins.  ``None`` when the budget carries no deadline.
+        """
+        candidates = []
+        if self.deadline_seconds is not None:
+            if now is None:
+                now = time.monotonic()
+            candidates.append(now + self.deadline_seconds)
+        if self.deadline_at is not None:
+            candidates.append(self.deadline_at)
+        return min(candidates) if candidates else None
+
+    @property
+    def deadline_limit(self):
+        """Human-facing deadline bound for error messages: the relative
+        seconds when set, otherwise the absolute timestamp."""
+        if self.deadline_seconds is not None:
+            return self.deadline_seconds
+        return self.deadline_at
+
+    def with_deadline_at(self, deadline_at: float) -> "ParserBudget":
+        """A copy of this budget clamped by an absolute monotonic
+        deadline (keeps any tighter deadline already present).
+
+        This is the propagation primitive the serve layer uses: one
+        deadline is stamped at request admission and the same instant
+        bounds queue wait, lexing, parsing, and recovery — no stage
+        re-derives its own window.
+        """
+        if self.deadline_at is not None:
+            deadline_at = min(deadline_at, self.deadline_at)
+        return ParserBudget(
+            max_dfa_steps=self.max_dfa_steps,
+            max_backtrack_depth=self.max_backtrack_depth,
+            max_synpred_invocations=self.max_synpred_invocations,
+            max_rule_depth=self.max_rule_depth,
+            max_recovery_attempts=self.max_recovery_attempts,
+            deadline_seconds=self.deadline_seconds,
+            deadline_at=deadline_at)
 
     def __repr__(self):
         limits = ", ".join("%s=%s" % (n, getattr(self, n))

@@ -10,18 +10,25 @@ variants per grammar, that a recovering parse always terminates, raises
 only typed errors, and marks every repair with an
 :class:`~repro.runtime.trees.ErrorNode`.
 
-Two injection points:
+Three injection points:
 
 * :class:`ChaosTokenStream` — corrupts a lexed token sequence (drop,
   duplicate, substitute, truncate), modelling damage *between* lexer and
   parser;
 * :class:`ChaosCharStream` — corrupts raw text before lexing, modelling
-  damage on disk or in transit.
+  damage on disk or in transit;
+* :class:`ServiceChaos` — injects *service-layer* faults (worker kills,
+  slow parses, malformed request bytes) into the batch engine and the
+  ``llstar serve`` request path, so the robustness suite can assert the
+  system degrades instead of collapsing.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import random
+import time
 from typing import Iterable, List, Optional
 
 from repro.runtime.token import DEFAULT_CHANNEL, EOF, Token
@@ -177,3 +184,112 @@ class ChaosCharStream:
     def __repr__(self):
         return "ChaosCharStream(%d chars, %d faults)" % (
             len(self.text), len(self.events))
+
+
+# -- service-layer fault injection ---------------------------------------------------
+
+KILL = "worker-kill"
+SLOW = "slow-parse"
+MALFORM = "malformed-request"
+
+
+class ServiceChaos:
+    """Deterministic service-layer fault policy.
+
+    Unlike the stream corruptors above, which walk one seeded RNG over a
+    sequence, service faults must be *stable per request*: a chunk the
+    batch engine retries after a pool rebuild, or a request the serve
+    layer replays, must meet the same fault again (or provably not).  So
+    every decision hashes ``(seed, request_id)`` — order-independent,
+    process-independent, replayable.
+
+    ``kill_rate`` / ``slow_rate`` / ``malform_rate``
+        Probabilities (evaluated in that order from one hash draw) that
+        a given request id is assigned the fault.
+    ``kill_ids``
+        Request ids that *always* draw :data:`KILL` (deterministic
+        crash placement for targeted tests).
+    ``slow_seconds``
+        How long a :data:`SLOW` fault stalls.
+    ``armed``
+        Master switch; a disarmed policy injects nothing.  Tests flip it
+        off to model "faults clear" and assert recovery.
+
+    The object is picklable (plain attributes only) so it can ride into
+    pool workers inside a :class:`~repro.batch.worker.WorkerConfig` or a
+    serve :class:`~repro.serve.worker.ParseTask`.
+    """
+
+    __slots__ = ("seed", "kill_rate", "slow_rate", "malform_rate",
+                 "slow_seconds", "kill_ids", "armed")
+
+    def __init__(self, seed: int = 0, kill_rate: float = 0.0,
+                 slow_rate: float = 0.0, malform_rate: float = 0.0,
+                 slow_seconds: float = 0.05,
+                 kill_ids: Iterable[str] = (), armed: bool = True):
+        self.seed = seed
+        self.kill_rate = kill_rate
+        self.slow_rate = slow_rate
+        self.malform_rate = malform_rate
+        self.slow_seconds = slow_seconds
+        self.kill_ids = frozenset(kill_ids)
+        self.armed = armed
+
+    def _draw(self, request_id: str) -> float:
+        digest = hashlib.blake2b(
+            ("%d:%s" % (self.seed, request_id)).encode("utf-8"),
+            digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0 ** 64
+
+    def fault_for(self, request_id: str) -> Optional[str]:
+        """The fault (if any) assigned to this request id."""
+        if not self.armed:
+            return None
+        if request_id in self.kill_ids:
+            return KILL
+        roll = self._draw(request_id)
+        if roll < self.kill_rate:
+            return KILL
+        roll -= self.kill_rate
+        if roll < self.slow_rate:
+            return SLOW
+        roll -= self.slow_rate
+        if roll < self.malform_rate:
+            return MALFORM
+        return None
+
+    def apply_before_parse(self, request_id: str, in_worker: bool) -> Optional[str]:
+        """Execute the request's pre-parse fault, returning its kind.
+
+        A :data:`KILL` hard-exits the process — but only when
+        ``in_worker`` is true: killing is meaningful for pool workers
+        (the parent sees a broken pool and must rebuild or degrade),
+        while an inline executor reports it as a typed crash instead of
+        taking the whole service down with it.
+        """
+        fault = self.fault_for(request_id)
+        if fault == KILL and in_worker:
+            os._exit(1)
+        if fault == SLOW:
+            time.sleep(self.slow_seconds)
+        return fault
+
+    def corrupt_body(self, body: bytes, request_id: str) -> bytes:
+        """Deterministically damage request bytes (malformed-request
+        injection for transport-level tests): truncate, bit-flip, or
+        prepend garbage, chosen by the request hash."""
+        if not body:
+            return b"\x00garbage"
+        choice = int(self._draw("body:" + request_id) * 3)
+        if choice == 0:
+            return body[:max(1, len(body) // 2)]
+        if choice == 1:
+            cut = int(self._draw("flip:" + request_id) * len(body))
+            return body[:cut] + bytes([body[cut] ^ 0xFF]) + body[cut + 1:]
+        return b"\xff\xfe" + body
+
+    def __repr__(self):
+        rates = "kill=%.3f slow=%.3f malform=%.3f" % (
+            self.kill_rate, self.slow_rate, self.malform_rate)
+        return "ServiceChaos(seed=%d %s%s)" % (
+            self.seed, rates, "" if self.armed else " DISARMED")

@@ -436,7 +436,7 @@ class LLStarParser:
     def _check_deadline(self) -> None:
         if self._deadline is not None and time.monotonic() > self._deadline:
             raise BudgetExceededError(
-                "deadline", self.options.budget.deadline_seconds,
+                "deadline", self.options.budget.deadline_limit,
                 token=self.stream.lt(1), index=self.stream.index)
 
     # -- prediction ------------------------------------------------------------------------

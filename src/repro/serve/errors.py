@@ -1,0 +1,91 @@
+"""Typed service-level errors with HTTP status semantics.
+
+Every way a request can fail without being a parse result has a typed
+error here, each carrying the HTTP ``status`` it maps to and (for the
+backpressure family) a ``retry_after`` hint.  The transport layer turns
+any :class:`ServeError` into a well-formed JSON error response — the
+chaos suite's core invariant is that *no* request path ever produces an
+unhandled 500 or a hang, only these.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import LLStarError
+
+
+class ServeError(LLStarError):
+    """Base class for service-level failures (not parse outcomes)."""
+
+    status = 500
+    error_type = "ServeError"
+
+    def __init__(self, message: str, retry_after: Optional[float] = None):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+    def to_body(self) -> dict:
+        body = {"ok": False, "error_type": type(self).__name__,
+                "error": str(self)}
+        if self.retry_after is not None:
+            body["retry_after"] = round(self.retry_after, 3)
+        return body
+
+
+class BadRequestError(ServeError):
+    """The request itself was malformed (bad JSON, missing fields,
+    wrong types, unsupported method/route semantics)."""
+
+    status = 400
+
+
+class UnknownGrammarError(ServeError):
+    """The request named a grammar the registry does not know."""
+
+    status = 404
+
+
+class RequestTooLargeError(ServeError):
+    """The request body exceeded the configured byte ceiling."""
+
+    status = 413
+
+
+class GrammarLoadError(ServeError):
+    """A registered grammar failed to compile or load from the artifact
+    cache.  Deterministic (the grammar text is bad), so the registry
+    caches the failure and the breaker is *not* charged."""
+
+    status = 422
+
+
+class SheddingError(ServeError):
+    """Admission control refused the request: the bounded queue is full.
+
+    Maps to 429 with ``Retry-After`` — the client did nothing wrong,
+    the service is protecting its latency."""
+
+    status = 429
+
+
+class DrainingError(ServeError):
+    """The service is draining (SIGTERM received): no new work accepted,
+    in-flight requests are being finished."""
+
+    status = 503
+
+
+class CircuitOpenError(ServeError):
+    """The target grammar's circuit breaker is open: recent requests
+    against it kept crashing workers or blowing budgets, so the service
+    fails fast instead of queueing more doomed work."""
+
+    status = 503
+
+
+class ServiceUnavailableError(ServeError):
+    """A request was lost to infrastructure failure (worker crash with
+    no retry left, executor shutdown race)."""
+
+    status = 503

@@ -1,0 +1,198 @@
+"""Minimal asyncio HTTP/1.1 transport for :class:`ParseService`.
+
+The container ships no third-party HTTP stack, so this is a small,
+deliberately boring HTTP/1.1 server over ``asyncio.start_server``: parse
+a request line + headers, read a ``Content-Length`` body, dispatch to
+:meth:`ParseService.handle`, write one JSON (or Prometheus-text)
+response.  Keep-alive is supported; chunked transfer encoding and
+pipelining beyond what keep-alive implies are not.
+
+Robustness rules the chaos suite holds it to:
+
+* malformed HTTP or bodies over the limit produce a typed 4xx, never an
+  unhandled exception, never a silent hang;
+* per-read timeouts bound slowloris-style dribble;
+* :meth:`HttpServer.shutdown` stops accepting, drains in-flight parses
+  through the service's bounded drain, then closes lingering
+  connections — the SIGTERM path of ``llstar serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from typing import Optional, Set, Tuple
+
+from repro.serve.errors import BadRequestError, RequestTooLargeError
+from repro.serve.service import ParseService, Response
+
+REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+_MAX_HEADER_LINE = 8192
+_MAX_HEADERS = 64
+
+
+class HttpServer:
+    """One listening socket in front of one :class:`ParseService`."""
+
+    def __init__(self, service: ParseService, host: str = "127.0.0.1",
+                 port: int = 0, read_timeout: float = 10.0):
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; .port holds the bound port after start()
+        self.read_timeout = read_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self.connections_total = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def shutdown(self, drain_deadline: Optional[float] = None) -> bool:
+        """Graceful stop: close the listener, drain in-flight work
+        (bounded), then drop any idle keep-alive connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        drained = await self.service.drain(drain_deadline)
+        for writer in list(self._writers):
+            writer.close()
+        return drained
+
+    # -- request plumbing -------------------------------------------------------
+
+    async def _serve_client(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        self.connections_total += 1
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except (BadRequestError, RequestTooLargeError) as e:
+                    # Typed 4xx, then close: the framing is unreliable.
+                    await self._write(writer, "HTTP/1.1",
+                                      Response(e.status, e.to_body()),
+                                      keep_alive=False)
+                    return
+                except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                        ConnectionError):
+                    return  # idle keep-alive expiry / peer went away
+                if parsed is None:
+                    return  # clean close between requests
+                method, path, version, headers, body = parsed
+                response = await self.service.handle(method, path, body)
+                keep_alive = (version == "HTTP/1.1"
+                              and headers.get("connection", "") != "close"
+                              and self._server is not None)
+                try:
+                    await self._write(writer, version, response, keep_alive)
+                except ConnectionError:
+                    return
+                if not keep_alive:
+                    return
+        except asyncio.CancelledError:
+            # Connection torn down (shutdown closed the transport while
+            # we waited for the next request) — nobody awaits this task,
+            # so swallow instead of spamming the loop's exception hook.
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """One framed request, or None at clean EOF.  Raises typed
+        :class:`BadRequestError` / :class:`RequestTooLargeError` on any
+        framing problem."""
+        line = await asyncio.wait_for(reader.readline(), self.read_timeout)
+        if not line:
+            return None
+        if len(line) > _MAX_HEADER_LINE:
+            raise BadRequestError("request line too long")
+        try:
+            text = line.decode("latin-1").rstrip("\r\n")
+            method, path, version = text.split(" ", 2)
+        except ValueError:
+            raise BadRequestError("malformed request line") from None
+        if version not in ("HTTP/1.0", "HTTP/1.1"):
+            raise BadRequestError("unsupported protocol %r" % version)
+        headers = {}
+        while True:
+            if len(headers) > _MAX_HEADERS:
+                raise BadRequestError("too many headers")
+            line = await asyncio.wait_for(reader.readline(), self.read_timeout)
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise BadRequestError("connection closed mid-headers")
+            if len(line) > _MAX_HEADER_LINE:
+                raise BadRequestError("header line too long")
+            try:
+                name, value = line.decode("latin-1").split(":", 1)
+            except (UnicodeDecodeError, ValueError):
+                raise BadRequestError("malformed header line") from None
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+                if length < 0:
+                    raise ValueError
+            except ValueError:
+                raise BadRequestError(
+                    "invalid Content-Length %r"
+                    % headers["content-length"]) from None
+            # Reject oversized bodies before buffering them.
+            limit = self.service.config.max_body_bytes
+            if length > limit:
+                raise RequestTooLargeError(
+                    "declared body %d bytes exceeds limit %d" % (length, limit))
+            if length:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), self.read_timeout)
+        elif "transfer-encoding" in headers:
+            raise BadRequestError("chunked transfer encoding not supported; "
+                                  "send Content-Length")
+        return method, path, version, headers, body
+
+    async def _write(self, writer: asyncio.StreamWriter, version: str,
+                     response: Response, keep_alive: bool) -> None:
+        body = response.body_bytes()
+        reason = REASONS.get(response.status, "Unknown")
+        head = ["%s %d %s" % (version, response.status, reason),
+                "Content-Type: %s" % response.content_type,
+                "Content-Length: %d" % len(body),
+                "Connection: %s" % ("keep-alive" if keep_alive else "close")]
+        if response.retry_after is not None:
+            head.append("Retry-After: %d"
+                        % max(1, math.ceil(response.retry_after)))
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+
+
+async def serve_http(service: ParseService, host: str = "127.0.0.1",
+                     port: int = 0) -> Tuple[HttpServer, asyncio.Task]:
+    """Start a server and its accept loop; returns both so callers (CLI,
+    tests) can await/cancel the loop and call ``shutdown()``."""
+    server = HttpServer(service, host=host, port=port)
+    await server.start()
+    task = asyncio.ensure_future(server.serve_forever())
+    return server, task

@@ -1,0 +1,93 @@
+"""JSON-lines stdio transport: the same service without a socket.
+
+Each input line is one JSON request document; each output line is one
+JSON response envelope ``{"status": <http-ish code>, "body": {...}}``.
+The document's optional ``"op"`` field selects the route (``parse`` —
+the default — ``health``, ``ready``, ``metrics``, ``grammars``); parse
+documents carry the same fields as ``POST /parse``.
+
+:func:`handle_line` is the whole protocol and is directly unit-testable
+without pipes or subprocesses; :func:`serve_stdio` is the thin loop
+``llstar serve --stdio`` runs, reading stdin to EOF and then draining.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Optional, TextIO
+
+from repro.serve.service import ParseService
+
+#: op -> (method, path) for non-parse routes.
+_OPS = {
+    "health": ("GET", "/healthz"),
+    "ready": ("GET", "/readyz"),
+    "metrics": ("GET", "/metrics"),
+    "grammars": ("GET", "/grammars"),
+}
+
+
+async def handle_line(service: ParseService, line: str) -> Optional[str]:
+    """One request line -> one JSON response line (None for blank input).
+
+    Never raises: malformed lines come back as status-400 envelopes, the
+    same guarantee the HTTP transport gives.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        doc = json.loads(line)
+        if not isinstance(doc, dict):
+            raise ValueError("request line must be a JSON object")
+    except ValueError as e:
+        return json.dumps({"status": 400, "body": {
+            "ok": False, "error_type": "BadRequestError",
+            "error": "malformed request line: %s" % e}}, sort_keys=True)
+    op = doc.pop("op", "parse")
+    if op in _OPS:
+        method, path = _OPS[op]
+        response = await service.handle(method, path)
+    elif op == "parse":
+        body = json.dumps(doc).encode("utf-8")
+        response = await service.handle("POST", "/parse", body)
+    else:
+        return json.dumps({"status": 400, "body": {
+            "ok": False, "error_type": "BadRequestError",
+            "error": "unknown op %r (expected parse/health/ready/"
+                     "metrics/grammars)" % op}}, sort_keys=True)
+    envelope = {"status": response.status,
+                "body": (response.body if isinstance(response.body, dict)
+                         else {"text": str(response.body)})}
+    if response.retry_after is not None:
+        envelope["retry_after"] = response.retry_after
+    return json.dumps(envelope, sort_keys=True)
+
+
+async def serve_stdio(service: ParseService,
+                      input_stream: Optional[TextIO] = None,
+                      output_stream: Optional[TextIO] = None) -> int:
+    """Read request lines until EOF; returns the number served.
+
+    stdin is read through the default executor so a quiet terminal never
+    blocks the event loop (metrics/health ops stay responsive when this
+    transport is combined with the HTTP one).
+    """
+    stdin = input_stream if input_stream is not None else sys.stdin
+    stdout = output_stream if output_stream is not None else sys.stdout
+    loop = asyncio.get_running_loop()
+    served = 0
+    while True:
+        line = await loop.run_in_executor(None, stdin.readline)
+        if not line:
+            break
+        reply = await handle_line(service, line)
+        if reply is None:
+            continue
+        stdout.write(reply + "\n")
+        stdout.flush()
+        served += 1
+    await service.drain()
+    return served

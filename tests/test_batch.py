@@ -290,3 +290,54 @@ class TestBatchCli:
         # defensive budget allows depth 400; this input is fine
         assert code == 0
         assert "parsed 5/5" in capsys.readouterr().out
+
+
+class TestWorkerCrashRecovery:
+    """Worker death must cost at most the in-flight chunk retries, never
+    the corpus: rebuild the pool once, re-run what broke, and if the
+    rebuilt pool dies too, finish inline with typed per-input failures."""
+
+    def kill_chaos(self, *ids):
+        from repro.runtime.chaos import ServiceChaos
+
+        return ServiceChaos(kill_ids=set(ids))
+
+    @pytest.mark.chaos
+    def test_pool_kill_rebuilds_then_degrades_inline(self):
+        engine = BatchEngine(GRAMMAR, jobs=2, chunk_size=1,
+                             chaos=self.kill_chaos("in3"))
+        report = engine.run(GOOD)
+        assert report.total == len(GOOD)
+        assert report.ok_count == len(GOOD) - 1
+        assert [r.input_id for r in report.results] == [i for i, _ in GOOD]
+        (failure,) = report.failures
+        assert failure.input_id == "in3"
+        assert failure.error_type == "WorkerCrashError"
+        # One rebuild was attempted; the retried chunk met the same
+        # deterministic fault, so the run finished inline.
+        assert report.pool_rebuilds == 1
+        assert report.degraded_to_inline is True
+        assert counter_value(report.metrics,
+                             "llstar_batch_pool_rebuilds_total") == 1
+        assert counter_value(report.metrics,
+                             "llstar_batch_pool_degraded") == 1
+        doc = report.to_json()
+        assert doc["pool_rebuilds"] == 1 and doc["degraded_to_inline"] is True
+
+    @pytest.mark.chaos
+    def test_inline_kill_is_a_typed_row_not_process_death(self):
+        report = BatchEngine(GRAMMAR, jobs=0,
+                             chaos=self.kill_chaos("in2", "in5")).run(GOOD)
+        failed = {r.input_id: r.error_type for r in report.failures}
+        assert failed == {"in2": "WorkerCrashError",
+                          "in5": "WorkerCrashError"}
+        assert report.ok_count == len(GOOD) - 2
+        assert report.pool_rebuilds == 0
+        assert report.degraded_to_inline is False
+
+    def test_crash_free_pool_run_reports_no_rebuilds(self):
+        report = parse_corpus(GRAMMAR, GOOD, jobs=2)
+        assert report.pool_rebuilds == 0
+        assert report.degraded_to_inline is False
+        assert counter_value(report.metrics,
+                             "llstar_batch_pool_degraded") == 0

@@ -256,3 +256,55 @@ class TestDefensive:
         opts = ParserOptions(budget=budget)
         for _ in range(10):
             assert nest.parse("( a )", options=opts) is not None
+
+
+class TestAbsoluteDeadline:
+    """``deadline_at`` pins a parse to one absolute monotonic instant —
+    the serve layer's propagation primitive — while ``deadline_seconds``
+    stays the relative sugar."""
+
+    def test_deadline_at_alone(self):
+        budget = ParserBudget(deadline_at=500.0)
+        assert budget.deadline_from_now(now=100.0) == 500.0
+        assert budget.deadline_from_now(now=9999.0) == 500.0  # absolute
+
+    def test_relative_and_absolute_take_the_min(self):
+        tight_abs = ParserBudget(deadline_seconds=60.0, deadline_at=110.0)
+        assert tight_abs.deadline_from_now(now=100.0) == 110.0
+        tight_rel = ParserBudget(deadline_seconds=5.0, deadline_at=9999.0)
+        assert tight_rel.deadline_from_now(now=100.0) == 105.0
+
+    def test_neither_means_none(self):
+        assert ParserBudget().deadline_from_now(now=100.0) is None
+
+    def test_with_deadline_at_clamps_to_the_earlier_instant(self):
+        base = ParserBudget(max_dfa_steps=99, deadline_at=200.0)
+        tightened = base.with_deadline_at(150.0)
+        assert tightened.deadline_at == 150.0
+        assert tightened.max_dfa_steps == 99  # other limits survive
+        assert base.deadline_at == 200.0      # original untouched
+        # A later instant never loosens an existing deadline.
+        assert base.with_deadline_at(9999.0).deadline_at == 200.0
+
+    def test_deadline_limit_prefers_relative_for_messages(self):
+        assert ParserBudget(deadline_seconds=3.0).deadline_limit == 3.0
+        assert ParserBudget(deadline_at=42.0).deadline_limit == 42.0
+
+    def test_expired_absolute_deadline_fails_the_parse(self):
+        import time
+
+        host = repro.compile_grammar(NEST)
+        budget = ParserBudget(deadline_at=time.monotonic() - 1.0)
+        parser = host.parser("( ( a ) )",
+                             options=ParserOptions(budget=budget))
+        with pytest.raises(BudgetExceededError) as ei:
+            parser.parse()
+        assert ei.value.resource == "deadline"
+
+    def test_future_absolute_deadline_leaves_parses_alone(self):
+        import time
+
+        host = repro.compile_grammar(NEST)
+        budget = ParserBudget(deadline_at=time.monotonic() + 60.0)
+        assert host.parse("( ( a ) )", options=ParserOptions(
+            budget=budget)) is not None

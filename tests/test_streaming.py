@@ -277,3 +277,64 @@ class TestStreamingRecovery:
         assert tree.has_errors
         assert stream._marks == []
         assert stream.la(1) == EOF  # recovery consumed to a safe point
+
+
+class TestConcurrentSessions:
+    """N interleaved streaming parses over distinct grammars must keep
+    their profiler/telemetry state fully separate (ISSUE 7 satellite):
+    a long-lived service runs many sessions at once, and cross-talk
+    would silently corrupt every per-session metric."""
+
+    AB_GRAMMAR = ("grammar CA; s : (A | B)+ ; A : 'a' ; B : 'b' ; "
+                  "WS : ' ' -> skip ;")
+    XY_GRAMMAR = ("grammar CX; s : (X Y)+ ; X : 'x' ; Y : 'y' ; "
+                  "WS : ' ' -> skip ;")
+
+    @staticmethod
+    def run_session(host, text, reps):
+        """One session: its own telemetry + profiler, fresh streams."""
+        from repro.runtime.profiler import DecisionProfiler
+        from repro.runtime.telemetry import ParseTelemetry
+
+        telemetry = ParseTelemetry(capture_events=False)
+        profiler = DecisionProfiler()
+        for _ in range(reps):
+            stream = StreamingTokenStream(token_source(host, text),
+                                          telemetry=telemetry)
+            parser = LLStarParser(host.analysis, stream, ParserOptions(
+                telemetry=telemetry, profiler=profiler, build_tree=False))
+            parser.parse()
+            assert not parser.errors
+        return telemetry, profiler
+
+    def test_interleaved_sessions_do_not_share_state(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        host_ab = repro.compile_grammar(self.AB_GRAMMAR)
+        host_xy = repro.compile_grammar(self.XY_GRAMMAR)
+        sessions = [(host_ab, "a b a b a", 3), (host_xy, "x y x y", 2),
+                    (host_ab, "b b a", 5), (host_xy, "x y", 7)]
+        # Single-threaded reference values for every session shape.
+        expected = []
+        for host, text, reps in sessions:
+            telemetry, profiler = self.run_session(host, text, reps)
+            expected.append((
+                telemetry.metrics.value("llstar_predictions_total"),
+                telemetry.metrics.value("llstar_rule_invocations_total"),
+                telemetry.metrics.value("llstar_stream_peak_window"),
+                sum(s.events for s in profiler.stats.values())))
+            assert expected[-1][0] > 0
+        # The same sessions interleaved on 4 threads, twice over to
+        # raise the odds of genuine overlap.
+        for _ in range(2):
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [pool.submit(self.run_session, *args)
+                           for args in sessions]
+                results = [f.result() for f in futures]
+            for (telemetry, profiler), want in zip(results, expected):
+                got = (telemetry.metrics.value("llstar_predictions_total"),
+                       telemetry.metrics.value(
+                           "llstar_rule_invocations_total"),
+                       telemetry.metrics.value("llstar_stream_peak_window"),
+                       sum(s.events for s in profiler.stats.values()))
+                assert got == want
