@@ -1,0 +1,168 @@
+"""Zero-copy warm start: the binary ``.llt`` sidecar vs the JSON artifact.
+
+Two claims from the mmap refactor, measured on the Table-1 suite:
+
+1. **Start latency** — a warm ``compile_grammar`` that maps the binary
+   sidecar (no JSON parse, no structural validation, table rows are
+   ``memoryview`` slices over the mapping) beats the JSON warm path,
+   which in turn beats a cold analyze.  The JSON path is timed by
+   patching the sidecar out of the store, so both warm paths read the
+   same cache directory.
+2. **Page-cache sharing** — a 4-worker batch pool booted from slim
+   initargs (artifact key only; each worker maps the one published
+   sidecar) shows a smaller aggregate proportional-set-size than the
+   legacy mode that ships the serialized payload to every worker, which
+   each then deserializes into private tuples.
+
+Results land in ``benchmarks/results/mmap_start.txt``.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.api import compile_grammar
+from repro.batch.worker import WorkerConfig, WorkerContext
+from repro.cache import (
+    ArtifactStore,
+    artifact_key,
+    artifact_to_dict,
+    grammar_fingerprint,
+)
+from repro.grammars import PAPER_ORDER, load
+
+from conftest import emit_table
+
+REPEATS = 5
+WORKERS = 4
+PSS_GRAMMAR = "java"  # largest suite grammar: most table bytes to share
+
+
+def _best(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _self_pss_kb():
+    with open("/proc/self/smaps_rollup") as f:
+        for line in f:
+            if line.startswith("Pss:"):
+                return int(line.split()[1])
+    raise RuntimeError("no Pss in smaps_rollup")
+
+
+def _measure_pool_pss_kb(config, sample):
+    """Boot WORKERS real processes from ``config``, parse the sample in
+    each (faulting every hot table page in), and return their PSS
+    readings.  Forked children inherit the parent identically in both
+    modes, so the delta isolates what the boot path itself allocates."""
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+
+    def boot(q):
+        wc = WorkerContext(config)
+        wc.host.parse(sample)
+        q.put(_self_pss_kb())
+
+    procs = [ctx.Process(target=boot, args=(queue,)) for _ in range(WORKERS)]
+    for p in procs:
+        p.start()
+    readings = [queue.get(timeout=60) for _ in procs]
+    for p in procs:
+        p.join(timeout=60)
+    return readings
+
+
+@pytest.mark.skipif(not os.path.exists("/proc/self/smaps_rollup"),
+                    reason="needs linux smaps accounting")
+def test_mmap_start(tmp_path_factory, paper_names, monkeypatch):
+    cache_dir = str(tmp_path_factory.mktemp("llt-bench"))
+    rows = []
+    json_total = mmap_total = 0.0
+
+    for name in PAPER_ORDER:
+        bench = load(name)
+        text = bench.grammar_text
+
+        started = time.perf_counter()
+        cold = compile_grammar(text, cache_dir=cache_dir)
+        cold_s = time.perf_counter() - started
+        assert not cold.from_cache
+
+        def warm():
+            host = compile_grammar(text, cache_dir=cache_dir)
+            assert host.from_cache
+            return host
+
+        mmap_s = _best(warm)
+        assert warm().mapped_artifact is not None
+
+        # Same store, sidecar surgically hidden: the pre-mmap warm path.
+        with monkeypatch.context() as m:
+            m.setattr(ArtifactStore, "load_mapped", lambda self, key: None)
+            m.setattr(ArtifactStore, "save_sidecar",
+                      lambda self, key, payload, source=None: False)
+            json_s = _best(warm)
+            assert warm().mapped_artifact is None
+
+        json_total += json_s
+        mmap_total += mmap_s
+        rows.append((paper_names[name], cold.analysis.num_decisions,
+                     "%.3fs" % cold_s, "%.1fms" % (json_s * 1e3),
+                     "%.1fms" % (mmap_s * 1e3),
+                     "%.1fx" % (json_s / mmap_s if mmap_s else float("inf"))))
+
+    assert mmap_total < json_total, \
+        "mapping the sidecar must beat re-parsing the JSON artifact"
+
+    # --- 4-worker pool footprint on the largest grammar ---------------
+    bench = load(PSS_GRAMMAR)
+    text = bench.grammar_text
+    key = artifact_key(text, None, None)
+    host = compile_grammar(text, cache_dir=cache_dir)
+    payload = artifact_to_dict(host.grammar, host.analysis, host.lexer_spec,
+                               grammar_fingerprint(text))
+
+    slim = WorkerConfig(None, None, None, True, True, cache_dir, None,
+                        None, None, False, True, artifact_key=key)
+    shipping = WorkerConfig(text, None, None, True, True, None, payload,
+                            None, None, False, True)
+
+    mmap_pss = _measure_pool_pss_kb(slim, bench.sample)
+    ship_pss = _measure_pool_pss_kb(shipping, bench.sample)
+    assert sum(mmap_pss) < sum(ship_pss), \
+        "shared mapping must undercut per-worker deserialized payloads"
+
+    mem_rows = [
+        ("payload initargs", WORKERS, "%d kB" % sum(ship_pss),
+         "%d kB" % (sum(ship_pss) // WORKERS)),
+        ("mmap sidecar", WORKERS, "%d kB" % sum(mmap_pss),
+         "%d kB" % (sum(mmap_pss) // WORKERS)),
+    ]
+
+    text_table = emit_table(
+        "mmap_start",
+        "Binary sidecar warm start vs JSON artifact (best of %d)" % REPEATS,
+        ("Grammar", "n", "Cold", "JSON warm", "mmap warm", "Speedup"),
+        rows)
+    # Append the footprint table to the same results file.
+    widths = [max(len(str(r[i])) for r in
+                  [("Worker boot", "workers", "aggregate PSS", "per worker")]
+                  + mem_rows) for i in range(4)]
+    lines = ["", "4-worker pool footprint (%s grammar, forked workers)"
+             % paper_names[PSS_GRAMMAR], ""]
+    for r in [("Worker boot", "workers", "aggregate PSS", "per worker")] \
+            + mem_rows:
+        lines.append("  ".join(str(c).ljust(widths[i])
+                               for i, c in enumerate(r)))
+    with open(os.path.join(os.path.dirname(__file__), "results",
+                           "mmap_start.txt"), "a") as f:
+        f.write("\n".join(lines) + "\n")
+    print("\n".join(lines))
+    assert "mmap warm" in text_table

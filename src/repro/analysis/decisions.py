@@ -164,12 +164,14 @@ class DecisionRecord:
         }
 
     @classmethod
-    def from_dict(cls, data: dict, pool: SemCtxPool) -> "DecisionRecord":
+    def from_dict(cls, data: dict, pool: SemCtxPool,
+                  validate: bool = True) -> "DecisionRecord":
         # from_table re-classifies from table shape, so a cached record
         # can never disagree with the machine it carries.
         return cls.from_table(data["decision"], data["rule_name"],
                               data["kind"],
-                              DecisionTable.from_dict(data["table"], pool))
+                              DecisionTable.from_dict(data["table"], pool,
+                                                      validate=validate))
 
     def __repr__(self):
         extra = " k=%s" % self.fixed_k if self.fixed_k else ""
@@ -281,7 +283,8 @@ class AnalysisResult:
         }
 
     @classmethod
-    def from_dict(cls, grammar: Grammar, atn: ATN, data: dict) -> "AnalysisResult":
+    def from_dict(cls, grammar: Grammar, atn: ATN, data: dict,
+                  validate: bool = True) -> "AnalysisResult":
         """Rebuild a result against a freshly prepared ``grammar``/``atn``
         (see :meth:`GrammarAnalyzer.prepare_atn`).
 
@@ -292,7 +295,11 @@ class AnalysisResult:
         first use.  Payload-level inconsistencies (wrong decision count,
         missing keys) still raise — those mean the entry belongs to a
         different grammar, not a damaged copy of this one.
+
+        ``validate=False`` (checksummed mmap sources only) skips the
+        per-table structural sweep and keeps array rows zero-copy.
         """
+        from repro.exceptions import ArtifactFormatError
         from repro.tables.tableset import TABLE_FORMAT_VERSION
 
         if len(data["records"]) != len(atn.decisions):
@@ -300,16 +307,16 @@ class AnalysisResult:
                 "cache entry has %d decisions, grammar has %d"
                 % (len(data["records"]), len(atn.decisions)))
         if data.get("table_version") != TABLE_FORMAT_VERSION:
-            raise ValueError("table format %r != %d"
-                             % (data.get("table_version"),
-                                TABLE_FORMAT_VERSION))
+            raise ArtifactFormatError("table format %r != %d"
+                                      % (data.get("table_version"),
+                                         TABLE_FORMAT_VERSION))
         pool = SemCtxPool.from_dict(data["pool"])
         records: List[DecisionRecord] = []
         diagnostics = [AnalysisDiagnostic.from_dict(dd)
                        for dd in data["diagnostics"]]
         for info, rd in zip(atn.decisions, data["records"]):
             try:
-                record = DecisionRecord.from_dict(rd, pool)
+                record = DecisionRecord.from_dict(rd, pool, validate=validate)
                 if (record.decision != info.decision
                         or record.rule_name != info.rule_name):
                     raise ValueError("record does not match its decision")

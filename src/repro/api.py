@@ -43,6 +43,11 @@ class ParserHost:
     #: Cache-health events from the store that served this compile
     #: (:class:`~repro.cache.CacheDiagnostic`); empty for uncached compiles.
     cache_diagnostics = ()
+    #: The live :class:`~repro.cache.binary.MappedArtifact` whose mmap
+    #: backs this host's flat tables (zero-copy warm start), or None when
+    #: the tables own their storage.  Held so the mapping outlives every
+    #: memoryview row sliced from it.
+    mapped_artifact = None
 
     def __init__(self, grammar: Grammar, analysis: AnalysisResult, lexer_spec=None):
         self.grammar = grammar
@@ -139,11 +144,14 @@ def _wants_lexer(grammar: Grammar) -> bool:
 def _host_from_payload(payload: dict, source: str, name: Optional[str],
                        options: Optional[AnalysisOptions],
                        rewrite_left_recursion: bool,
-                       strict: bool) -> ParserHost:
+                       strict: bool, trusted: bool = False) -> ParserHost:
     """Warm start: rebuild grammar + ATN, attach cached DFAs and lexer.
 
     Raises on any payload/grammar inconsistency; the caller evicts the
-    entry and falls back to a cold compile.
+    entry and falls back to a cold compile.  ``trusted`` marks a payload
+    whose bytes carry their own integrity check (the checksummed mmap
+    image): structural table validation is skipped and array rows may be
+    zero-copy ``memoryview`` slices of the mapping.
     """
     from repro.cache import analysis_from_artifact, grammar_fingerprint
     from repro.cache import lexer_from_artifact
@@ -153,8 +161,8 @@ def _host_from_payload(payload: dict, source: str, name: Optional[str],
     grammar, issues = _prepare_grammar(source, name, rewrite_left_recursion, strict)
     if _wants_lexer(grammar) != (payload.get("lexer") is not None):
         raise ValueError("cache entry lexer presence does not match grammar")
-    analysis = analysis_from_artifact(grammar, payload, options)
-    lexer_spec = lexer_from_artifact(grammar, payload)
+    analysis = analysis_from_artifact(grammar, payload, options, trusted=trusted)
+    lexer_spec = lexer_from_artifact(grammar, payload, trusted=trusted)
     host = ParserHost(grammar, analysis, lexer_spec)
     host.validation_issues = issues
     host.from_cache = True
@@ -178,6 +186,68 @@ def host_from_artifact(payload: dict, source: str, name: Optional[str] = None,
     """
     return _host_from_payload(payload, source, name, options,
                               rewrite_left_recursion, strict)
+
+
+def host_from_cache_key(cache_dir: str, key: str,
+                        name: Optional[str] = None,
+                        options: Optional[AnalysisOptions] = None,
+                        rewrite_left_recursion: bool = True,
+                        strict: bool = True,
+                        telemetry=None) -> ParserHost:
+    """Warm-start a :class:`ParserHost` from a cache key alone.
+
+    The binary ``.llt`` sidecar for ``key`` carries the grammar text, so
+    a process that knows only ``(cache_dir, key)`` — a batch pool worker
+    — can boot without being shipped the source or the payload: it maps
+    the file (sharing one page-cache copy with every sibling) and
+    rebuilds its tables zero-copy.
+
+    Raises :class:`~repro.exceptions.ArtifactFormatError` when the
+    sidecar is missing, damaged, or was written without the grammar
+    source; callers with the grammar text fall back to
+    :func:`compile_grammar`.
+    """
+    from repro.cache import ArtifactStore
+    from repro.exceptions import ArtifactFormatError
+
+    store = ArtifactStore(cache_dir, telemetry=telemetry,
+                          sweep_orphans=False)
+    mapped = store.load_mapped(key)
+    if mapped is None:
+        raise ArtifactFormatError("no usable mmap artifact for key %s"
+                                  % key[:16])
+    if mapped.grammar_source is None:
+        mapped.close()
+        raise ArtifactFormatError(
+            "mmap artifact for key %s carries no grammar source" % key[:16])
+    try:
+        host = _host_from_payload(mapped.payload, mapped.grammar_source,
+                                  name, options, rewrite_left_recursion,
+                                  strict, trusted=True)
+    except GrammarError:
+        mapped.close()
+        raise
+    except Exception as e:
+        mapped.close()
+        raise ArtifactFormatError(
+            "mmap artifact for key %s rejected: %s" % (key[:16], e))
+    host.mapped_artifact = mapped
+    host.cache_diagnostics = store.diagnostics
+    return host
+
+
+def _finish_cached_host(host: ParserHost, store) -> ParserHost:
+    """Common tail of every successful warm start."""
+    host.cache_diagnostics = store.diagnostics
+    degraded = host.degraded_decisions
+    if degraded:
+        import warnings
+
+        warnings.warn(
+            "cache entry for grammar %s partially corrupt: "
+            "decision(s) %s will be re-analyzed on first use"
+            % (host.grammar.name, degraded))
+    return host
 
 
 def compile_grammar(source, name: Optional[str] = None,
@@ -221,9 +291,34 @@ def _compile_grammar_impl(source, name, options, rewrite_left_recursion,
     if cache_dir is not None and not isinstance(source, Grammar):
         from repro.cache import ArtifactStore, CacheDiagnostic, artifact_key
         from repro.cache import artifact_to_dict, grammar_fingerprint
+        from repro.exceptions import ArtifactFormatError
 
         store = ArtifactStore(cache_dir, telemetry=telemetry)
         key = artifact_key(source, name, options, rewrite_left_recursion)
+
+        # Fast path: mmap the binary sidecar — zero-copy tables, no JSON
+        # parse, no structural validation (the image is checksummed).
+        mapped = store.load_mapped(key)
+        if mapped is not None:
+            try:
+                host = _host_from_payload(mapped.payload, source, name,
+                                          options, rewrite_left_recursion,
+                                          strict, trusted=True)
+            except GrammarError:
+                mapped.close()
+                raise  # the grammar itself is bad; not a cache problem
+            except Exception as e:
+                mapped.close()
+                kind = (CacheDiagnostic.CORRUPT
+                        if isinstance(e, ArtifactFormatError)
+                        else CacheDiagnostic.STALE)
+                store.note(kind, key,
+                           "mmap entry rejected (%s); evicted" % e)
+                store.evict(key)  # both files: recompile below
+            else:
+                host.mapped_artifact = mapped
+                return _finish_cached_host(host, store)
+
         payload = store.load(key)
         if payload is not None:
             try:
@@ -232,26 +327,23 @@ def _compile_grammar_impl(source, name, options, rewrite_left_recursion,
             except GrammarError:
                 raise  # the grammar itself is bad; not a cache problem
             except Exception as e:
-                store.note(CacheDiagnostic.STALE, key,
-                           "entry rejected (%s); evicted" % e)
+                kind = (CacheDiagnostic.CORRUPT
+                        if isinstance(e, ArtifactFormatError)
+                        else CacheDiagnostic.STALE)
+                store.note(kind, key, "entry rejected (%s); evicted" % e)
                 store.evict(key)  # stale/corrupt entry: recompile below
             else:
-                host.cache_diagnostics = store.diagnostics
-                degraded = host.degraded_decisions
-                if degraded:
-                    import warnings
-
-                    warnings.warn(
-                        "cache entry for grammar %s partially corrupt: "
-                        "decision(s) %s will be re-analyzed on first use"
-                        % (host.grammar.name, degraded))
-                return host
+                # The JSON entry was good but no sidecar mapped above:
+                # regenerate it so the *next* start takes the fast path.
+                store.save_sidecar(key, payload, source)
+                return _finish_cached_host(host, store)
         host = compile_grammar(source, name=name, options=options,
                                rewrite_left_recursion=rewrite_left_recursion,
                                strict=strict, parallel=parallel)
         store.save(key, artifact_to_dict(host.grammar, host.analysis,
                                          host.lexer_spec,
-                                         grammar_fingerprint(source, name)))
+                                         grammar_fingerprint(source, name)),
+                   source=source)
         host.cache_diagnostics = store.diagnostics
         return host
 

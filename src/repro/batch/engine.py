@@ -216,22 +216,62 @@ class BatchEngine:
         self.inflight_per_worker = inflight_per_worker
         self.max_pool_rebuilds = max_pool_rebuilds
         # Compile once in the parent; with a cache_dir this also persists
-        # the artifact the workers will warm-start from.
+        # the artifact (JSON + mmap sidecar) the workers warm-start from.
         self.host = compile_grammar(
             grammar_text, name=name, options=options,
             rewrite_left_recursion=rewrite_left_recursion, strict=strict,
             cache_dir=cache_dir, parallel=parallel)
         payload = None
+        worker_key = None
         if cache_dir is None:
             from repro.cache import artifact_to_dict, grammar_fingerprint
 
             payload = artifact_to_dict(
                 self.host.grammar, self.host.analysis, self.host.lexer_spec,
                 grammar_fingerprint(grammar_text, name))
-        self._config = WorkerConfig(
-            grammar_text, name, options, rewrite_left_recursion, strict,
-            cache_dir, payload, rule_name, budget, recover, use_tables,
-            chaos=chaos)
+        else:
+            worker_key = self._probe_worker_key(
+                grammar_text, name, options, rewrite_left_recursion,
+                cache_dir)
+        if worker_key is not None:
+            # Slim initargs: the sidecar carries the grammar text, so the
+            # pickled config ships neither source nor payload and every
+            # worker maps the same page-cache copy of the tables.
+            self._config = WorkerConfig(
+                None, name, options, rewrite_left_recursion, strict,
+                cache_dir, None, rule_name, budget, recover, use_tables,
+                chaos=chaos, artifact_key=worker_key)
+        else:
+            self._config = WorkerConfig(
+                grammar_text, name, options, rewrite_left_recursion, strict,
+                cache_dir, payload, rule_name, budget, recover, use_tables,
+                chaos=chaos)
+
+    def _probe_worker_key(self, grammar_text, name, options,
+                          rewrite_left_recursion, cache_dir):
+        """The artifact key workers can boot from alone, or None.
+
+        Slim (key-only) worker initargs require a mapped sidecar that
+        carries the grammar source; when the parent's own host is not
+        mmap-backed (first compile in an unwritable directory, sourceless
+        sidecar from an older writer) the probe mmaps the file once to
+        check, and failing that the engine falls back to shipping the
+        grammar text.
+        """
+        from repro.cache import ArtifactStore, artifact_key
+
+        key = artifact_key(grammar_text, name, options,
+                           rewrite_left_recursion)
+        mapped = self.host.mapped_artifact
+        if mapped is not None:
+            return key if mapped.grammar_source is not None else None
+        store = ArtifactStore(cache_dir, sweep_orphans=False)
+        probe = store.load_mapped(key)
+        if probe is None:
+            return None
+        usable = probe.grammar_source is not None
+        probe.close()
+        return key if usable else None
 
     # -- corpus preparation ----------------------------------------------------
 

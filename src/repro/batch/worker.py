@@ -32,21 +32,32 @@ from repro.runtime.telemetry import LATENCY_BUCKETS, ParseTelemetry
 class WorkerConfig:
     """Everything a worker needs to warm-start, in picklable form.
 
-    Exactly one of ``cache_dir`` / ``payload`` drives the warm start:
-    with ``cache_dir`` the worker loads the artifact the parent already
-    saved to the PR-1 store; otherwise the parent ships the serialized
-    artifact dict directly.  Either way the worker never analyzes.
+    Exactly one of ``artifact_key`` / ``cache_dir`` / ``payload`` drives
+    the warm start, tried in that order:
+
+    * ``artifact_key`` (with ``cache_dir``) — the slim mode: the worker
+      ``mmap``-s the binary ``.llt`` sidecar the parent already
+      published, which carries the grammar text itself, so the pickled
+      initargs ship no grammar and no payload and N workers share one
+      page-cache copy of the tables;
+    * ``cache_dir`` alone — legacy disk warm start through
+      :func:`repro.api.compile_grammar` with the grammar text;
+    * ``payload`` — the parent ships the serialized artifact dict
+      directly (no cache directory at all).
+
+    Either way the worker never analyzes.
     """
 
     __slots__ = ("grammar_text", "name", "options", "rewrite_left_recursion",
-                 "strict", "cache_dir", "payload", "rule_name", "budget",
-                 "recover", "use_tables", "chaos")
+                 "strict", "cache_dir", "payload", "artifact_key",
+                 "rule_name", "budget", "recover", "use_tables", "chaos")
 
-    def __init__(self, grammar_text: str, name: Optional[str],
+    def __init__(self, grammar_text: Optional[str], name: Optional[str],
                  options, rewrite_left_recursion: bool, strict: bool,
                  cache_dir: Optional[str], payload: Optional[dict],
                  rule_name: Optional[str], budget: Optional[ParserBudget],
-                 recover: bool, use_tables: bool, chaos=None):
+                 recover: bool, use_tables: bool, chaos=None,
+                 artifact_key: Optional[str] = None):
         self.grammar_text = grammar_text
         self.name = name
         self.options = options
@@ -54,6 +65,7 @@ class WorkerConfig:
         self.strict = strict
         self.cache_dir = cache_dir
         self.payload = payload
+        self.artifact_key = artifact_key
         self.rule_name = rule_name
         self.budget = budget
         self.recover = recover
@@ -68,7 +80,12 @@ class WorkerContext:
     """One process's warm state: the host plus per-chunk instrument set."""
 
     def __init__(self, config: WorkerConfig, host=None):
-        from repro.api import compile_grammar, host_from_artifact
+        from repro.api import (
+            compile_grammar,
+            host_from_artifact,
+            host_from_cache_key,
+        )
+        from repro.exceptions import ArtifactFormatError
 
         self.config = config
         # Inline contexts receive the parent's host; only a real pool
@@ -77,6 +94,26 @@ class WorkerContext:
         self.in_worker = host is None
         if host is not None:
             self.host = host
+        elif config.artifact_key is not None and config.cache_dir is not None:
+            try:
+                self.host = host_from_cache_key(
+                    config.cache_dir, config.artifact_key, name=config.name,
+                    options=config.options,
+                    rewrite_left_recursion=config.rewrite_left_recursion,
+                    strict=config.strict)
+            except ArtifactFormatError:
+                # The sidecar the parent verified was evicted between pool
+                # start and this worker's boot.  With the grammar text we
+                # can still warm-start (or recompile) through the store;
+                # a slim config without it surfaces the failure to the
+                # engine's pool-rebuild/degrade machinery.
+                if config.grammar_text is None:
+                    raise
+                self.host = compile_grammar(
+                    config.grammar_text, name=config.name,
+                    options=config.options,
+                    rewrite_left_recursion=config.rewrite_left_recursion,
+                    strict=config.strict, cache_dir=config.cache_dir)
         elif config.cache_dir is not None:
             self.host = compile_grammar(
                 config.grammar_text, name=config.name, options=config.options,

@@ -16,8 +16,19 @@ Cached parsers are behaviorally identical to cold-compiled ones (the
 round-trip suite in ``tests/test_cache_roundtrip.py`` proves parse trees
 and profiler events match on every bundled grammar); any stale or
 corrupt entry is evicted and recompiled, never fatal.
+
+Alongside each ``<key>.json`` entry the store publishes a ``<key>.llt``
+binary sidecar (:mod:`repro.cache.binary`): the same payload as one
+checksummed flat buffer whose int32 table sections are ``mmap``-ed and
+sliced zero-copy into the execution index, so N processes warm-starting
+the same grammar share a single page-cache copy of the tables.
 """
 
+from repro.cache.binary import (
+    LLT_FORMAT_VERSION,
+    MappedArtifact,
+    encode_artifact,
+)
 from repro.cache.serialize import (
     SCHEMA_VERSION,
     analysis_from_artifact,
@@ -30,11 +41,14 @@ from repro.cache.serialize import (
 from repro.cache.store import ArtifactStore, CacheDiagnostic, artifact_key
 
 __all__ = [
+    "LLT_FORMAT_VERSION",
     "SCHEMA_VERSION",
     "ArtifactStore",
     "CacheDiagnostic",
+    "MappedArtifact",
     "analysis_from_artifact",
     "artifact_key",
+    "encode_artifact",
     "artifact_to_dict",
     "artifact_to_json",
     "grammar_fingerprint",

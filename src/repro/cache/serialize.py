@@ -35,6 +35,7 @@ from typing import Optional
 
 from repro.analysis.construction import AnalysisOptions
 from repro.analysis.decisions import AnalysisResult, GrammarAnalyzer
+from repro.exceptions import ArtifactFormatError
 from repro.grammar.model import Grammar
 from repro.lexgen.lexer import LexerSpec
 from repro.tables.lexer import LexerTable, compile_lexer_table
@@ -79,7 +80,7 @@ def artifact_to_json(payload: dict) -> str:
 
 def analysis_from_artifact(grammar: Grammar, payload: dict,
                            options: Optional[AnalysisOptions] = None,
-                           ) -> AnalysisResult:
+                           trusted: bool = False) -> AnalysisResult:
     """Warm-start the analysis half of a compile from a cached payload.
 
     Runs the same grammar preparation as a cold compile (PEG mode,
@@ -89,26 +90,40 @@ def analysis_from_artifact(grammar: Grammar, payload: dict,
 
     Raises on any inconsistency between payload and grammar; callers
     treat that as a corrupt/stale entry and fall back to a cold compile.
+    Format-level faults (wrong schema, damaged tables) raise the typed
+    :class:`~repro.exceptions.ArtifactFormatError`; grammar-mismatch
+    faults (the entry belongs to different text) raise plain
+    ``ValueError`` — the cache layer maps the former to a ``corrupt``
+    diagnostic and the latter to ``stale``.
+
+    ``trusted`` marks a payload whose bytes carry their own integrity
+    guarantee (the checksummed mmap image): per-table structural
+    validation is skipped and array fields may be zero-copy
+    ``memoryview`` rows.
     """
     if payload.get("schema") != SCHEMA_VERSION:
-        raise ValueError("cache schema %r != %d"
-                         % (payload.get("schema"), SCHEMA_VERSION))
+        raise ArtifactFormatError("cache schema %r != %d"
+                                  % (payload.get("schema"), SCHEMA_VERSION))
     if payload.get("grammar_name") != grammar.name:
         raise ValueError("cache entry is for grammar %r, not %r"
                          % (payload.get("grammar_name"), grammar.name))
     if payload.get("vocabulary_max_type") != grammar.vocabulary.max_type:
         raise ValueError("cache entry vocabulary does not match grammar")
     atn = GrammarAnalyzer(grammar, options).prepare_atn()
-    return AnalysisResult.from_dict(grammar, atn, payload["analysis"])
+    return AnalysisResult.from_dict(grammar, atn, payload["analysis"],
+                                    validate=not trusted)
 
 
-def lexer_from_artifact(grammar: Grammar, payload: dict) -> Optional[LexerSpec]:
+def lexer_from_artifact(grammar: Grammar, payload: dict,
+                        trusted: bool = False) -> Optional[LexerSpec]:
     """Rebuild the lexer spec from a cached payload (None for token-stream
     grammars); the vocabulary comes from the freshly parsed grammar."""
     if payload.get("lexer") is None:
         return None
-    table = LexerTable.from_dict(payload["lexer"])
-    return LexerSpec(table.to_lexer_dfa(), grammar.vocabulary, table=table)
+    table = LexerTable.from_dict(payload["lexer"], validate=not trusted)
+    # No eager to_lexer_dfa(): the object-model DFA is rebuilt lazily only
+    # if a tool asks, so mmap-backed tables stay zero-copy end to end.
+    return LexerSpec(None, grammar.vocabulary, table=table)
 
 
 def upgrade_payload(payload: dict) -> dict:
@@ -126,8 +141,8 @@ def upgrade_payload(payload: dict) -> dict:
     from repro.tables.pool import SemCtxPool
 
     if payload.get("schema") != 1:
-        raise ValueError("can only upgrade schema 1, got %r"
-                         % payload.get("schema"))
+        raise ArtifactFormatError("can only upgrade schema 1, got %r"
+                                  % payload.get("schema"))
     analysis = payload["analysis"]
     pool = SemCtxPool()
     records = []

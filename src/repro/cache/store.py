@@ -26,23 +26,29 @@ import time
 from typing import List, Optional
 
 from repro.analysis.construction import AnalysisOptions
+from repro.cache.binary import MappedArtifact, encode_artifact
 from repro.cache.serialize import (
     SCHEMA_VERSION,
     artifact_to_json,
     grammar_fingerprint,
     upgrade_payload,
 )
+from repro.exceptions import ArtifactFormatError
 
 
 class CacheDiagnostic:
     """One cache-health event: why a stored entry could not be used.
 
-    ``corrupt``: the file existed but did not read/parse; ``schema``:
-    it parsed but was written by an incompatible schema version;
-    ``stale``: it deserialized but did not match the grammar it claimed
-    to be for.  All three evict the entry and fall back to a cold
-    compile — the diagnostic is how tooling distinguishes "first
-    compile" from "something damaged the cache".  ``upgraded``: the
+    ``corrupt``: the file existed but did not decode — an unreadable or
+    unparsable ``.json`` entry, a schema-valid entry whose table payload
+    fails structural validation, or a damaged/truncated ``.llt`` binary
+    sidecar (bad magic, checksum mismatch, out-of-bounds section);
+    ``schema``: it parsed but was written by an incompatible schema
+    version; ``stale``: it deserialized but did not match the grammar it
+    claimed to be for.  All three evict the entry (both the ``.json``
+    and its ``.llt`` sidecar) and fall back to a cold compile — the
+    diagnostic is how tooling distinguishes "first compile" from
+    "something damaged the cache".  ``upgraded``: the
     entry was one schema version old and was converted in place (its
     analysis was preserved; only the encoding changed) — the load still
     counts as a hit.  ``orphan``: a ``.tmp`` spill from a writer that
@@ -102,6 +108,15 @@ def artifact_key(source: str, name: Optional[str],
 class ArtifactStore:
     """A directory of ``<key>.json`` compiled-artifact entries.
 
+    Each entry may carry a ``<key>.llt`` binary sidecar
+    (:mod:`repro.cache.binary`): the same payload as a versioned,
+    checksummed flat buffer whose int32 table sections are ``mmap``-ed
+    zero-copy on warm start.  The JSON entry stays the source of truth —
+    a missing or damaged sidecar degrades to the JSON path and is
+    regenerated on the next save; a damaged sidecar additionally evicts
+    the whole entry (both files), because the two were published
+    together and bit rot rarely stops at one file.
+
     ``telemetry`` (a :class:`~repro.runtime.telemetry.ParseTelemetry`)
     receives one :class:`~repro.runtime.telemetry.CacheEvent` per store
     operation — hit, miss, save, evict, orphan sweep — and a
@@ -130,6 +145,10 @@ class ArtifactStore:
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.cache_dir, key + ".json")
+
+    def llt_path_for(self, key: str) -> str:
+        """Path of the binary mmap sidecar for ``key``."""
+        return os.path.join(self.cache_dir, key + ".llt")
 
     def note(self, kind: str, key: str, detail: str) -> CacheDiagnostic:
         d = CacheDiagnostic(kind, key, detail)
@@ -173,6 +192,32 @@ class ArtifactStore:
                       "stale temp file from an interrupted write; removed")
         self.orphans_swept = swept
         return swept
+
+    def load_mapped(self, key: str) -> Optional[MappedArtifact]:
+        """Map the binary sidecar for ``key``, or None.
+
+        A missing sidecar is *not* a cache miss — the JSON entry may
+        still warm-start the compile (and regenerate the sidecar), so
+        nothing is recorded and the caller falls through to
+        :meth:`load`.  A sidecar that exists but does not decode
+        (truncated, bad magic, checksum mismatch, unknown version) is
+        treated exactly like a corrupt JSON entry: evict the whole key
+        (both files) and report ``corrupt`` — never raise.
+        """
+        path = self.llt_path_for(key)
+        try:
+            mapped = MappedArtifact(path)
+        except FileNotFoundError:
+            return None
+        except (OSError, ArtifactFormatError) as e:
+            self.note(CacheDiagnostic.CORRUPT, key,
+                      "unusable mmap sidecar (%s); evicted"
+                      % (e if isinstance(e, ArtifactFormatError)
+                         else e.__class__.__name__))
+            self.evict(key)
+            return None
+        self._record("hit", key, "mmap")
+        return mapped
 
     def load(self, key: str) -> Optional[dict]:
         """The payload for ``key``, or None on miss *or* any corruption.
@@ -222,11 +267,15 @@ class ArtifactStore:
         self._record("hit", key)
         return payload
 
-    def save(self, key: str, payload: dict) -> str:
+    def save(self, key: str, payload: dict,
+             source: Optional[str] = None) -> str:
         """Atomically publish ``payload`` under ``key``; returns the path.
 
         Best-effort: an unwritable cache directory downgrades to a no-op
         (the compile already succeeded; caching must not break it).
+        When ``source`` (the grammar text) is given, the binary ``.llt``
+        sidecar is published alongside so the next warm start — and
+        batch workers given only the key — can ``mmap`` it.
         """
         path = self.path_for(key)
         try:
@@ -245,15 +294,55 @@ class ArtifactStore:
                     pass
                 raise
         except OSError:
-            pass
+            return path
+        if source is not None:
+            self.save_sidecar(key, payload, source)
         return path
 
-    def evict(self, key: str) -> None:
+    def save_sidecar(self, key: str, payload: dict,
+                     source: Optional[str] = None) -> bool:
+        """Atomically publish the binary mmap sidecar for ``key``.
+
+        Best-effort like :meth:`save`: False (not an exception) on an
+        unwritable directory or a payload the codec cannot flatten, so
+        sidecar trouble can never fail a compile that already succeeded.
+        """
         try:
-            os.unlink(self.path_for(key))
+            blob = encode_artifact(payload, grammar_source=source)
+        except Exception:
+            return False
+        path = self.llt_path_for(key)
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=".%s." % key[:16], suffix=".tmp", dir=self.cache_dir)
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(blob)
+                os.replace(tmp_path, path)
+                self._record("save", key, "mmap")
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
         except OSError:
-            return
-        self._record("evict", key)
+            return False
+        return True
+
+    def evict(self, key: str) -> None:
+        """Remove the entry *and* its sidecar: they were published as a
+        pair, and a survivor would shadow the recompile that follows."""
+        removed = False
+        for path in (self.path_for(key), self.llt_path_for(key)):
+            try:
+                os.unlink(path)
+                removed = True
+            except OSError:
+                continue
+        if removed:
+            self._record("evict", key)
 
     def __repr__(self):
         return "ArtifactStore(%r)" % self.cache_dir

@@ -185,6 +185,26 @@ class LexerError(RecognitionError):
         )
 
 
+class ArtifactFormatError(LLStarError, ValueError):
+    """A compiled-grammar artifact could not be decoded: unknown schema or
+    table-format version, a damaged binary ``.llt`` image (bad magic,
+    truncated section, checksum mismatch), or flat-table payloads that
+    fail structural validation (truncated CSR arrays, out-of-range
+    indexes).
+
+    This is an *artifact* fault, never a grammar fault: the grammar text
+    may be perfectly fine and recompiling it from source will succeed.
+    The cache layer therefore maps this error to evict-and-recompile
+    (with a :class:`~repro.cache.CacheDiagnostic` ``corrupt`` note), and
+    the serve layer maps it to a 422 with a diagnostic instead of caching
+    it as a permanent grammar failure.
+
+    Subclasses :class:`ValueError` for backward compatibility with
+    callers that caught the historical bare ``ValueError`` from
+    deserialization and validation paths.
+    """
+
+
 class TokenStreamError(LLStarError, ValueError):
     """A token-stream contract violation: reading or seeking a position
     the stream can no longer (or never could) serve — e.g. a discarded

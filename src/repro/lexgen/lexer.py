@@ -36,9 +36,11 @@ class LexerSpec:
     nothing is recompiled.
     """
 
-    def __init__(self, dfa: LexerDFA, vocabulary: Vocabulary,
+    def __init__(self, dfa: Optional[LexerDFA], vocabulary: Vocabulary,
                  table: Optional[LexerTable] = None):
-        self.dfa = dfa
+        if dfa is None and table is None:
+            raise ValueError("LexerSpec needs a DFA or a compiled table")
+        self._dfa = dfa
         self.vocabulary = vocabulary
         self._table = table
         # (token type, channel) per accepts-pool index; channel -1 means
@@ -48,9 +50,24 @@ class LexerSpec:
         self._dispatch: Optional[Tuple[Tuple[int, int], ...]] = None
 
     @property
+    def dfa(self) -> LexerDFA:
+        """Object-model DFA for diagnostics/tools; warm starts carry only
+        the flat table, so this rebuilds lazily and never runs on the
+        tokenize path."""
+        if self._dfa is None:
+            self._dfa = self._table.to_lexer_dfa()
+        return self._dfa
+
+    @dfa.setter
+    def dfa(self, dfa: LexerDFA) -> None:
+        self._dfa = dfa
+        self._table = None  # stale: recompile from the new DFA on demand
+        self._dispatch = None
+
+    @property
     def table(self) -> LexerTable:
         if self._table is None:
-            self._table = compile_lexer_table(self.dfa)
+            self._table = compile_lexer_table(self._dfa)
         return self._table
 
     @property

@@ -28,6 +28,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.cache import CacheDiagnostic
+from repro.exceptions import ArtifactFormatError
 from repro.serve.errors import GrammarLoadError, UnknownGrammarError
 
 
@@ -83,6 +84,11 @@ class GrammarRegistry:
                        "compiling" if name in self._inflight else "lazy")
                 for name in self.names()},
             "resident_hosts": len(self._hosts),
+            # Hosts whose flat tables are zero-copy views of an mmap-ed
+            # ``.llt`` sidecar (shared page cache across processes).
+            "mmap_backed_hosts": sum(
+                1 for h in self._hosts.values()
+                if getattr(h, "mapped_artifact", None) is not None),
             "max_hosts": self.max_hosts,
             "compiles": self.compiles,
             "coalesced": self.coalesced,
@@ -143,6 +149,18 @@ class GrammarRegistry:
                 None, lambda: compile_grammar(
                     source, name=name, options=self.options,
                     cache_dir=self.cache_dir, telemetry=self.telemetry))
+        except ArtifactFormatError as e:
+            # A damaged artifact is a cache fault, not a grammar fault:
+            # surface it as 422 with a ``corrupt`` diagnostic, but do NOT
+            # negative-cache — the store evicted the entry, so the next
+            # request recompiles cleanly instead of replaying the error.
+            self._note(CacheDiagnostic.CORRUPT, name,
+                       "%s: %s" % (type(e).__name__, e))
+            error = GrammarLoadError(
+                "grammar %r artifact is corrupt: %s" % (name, e))
+            error.__cause__ = e
+            self._inflight.pop(name, None)
+            raise error
         except Exception as e:
             self._note(CacheDiagnostic.LOAD_FAILED, name,
                        "%s: %s" % (type(e).__name__, e))

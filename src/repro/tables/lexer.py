@@ -30,6 +30,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import List, Optional, Tuple
 
+from repro.exceptions import ArtifactFormatError
+from repro.tables.lookahead import _row
 from repro.tables.ranges import find_interval_index
 
 #: Exclusive upper bound of the alphabet-compressed fast path: dense
@@ -125,45 +127,50 @@ class LexerTable:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "LexerTable":
+    def from_dict(cls, data: dict, validate: bool = True) -> "LexerTable":
+        """Rebuild from the stored form; ``validate=False`` (checksummed
+        mmap sources only) skips the structural sweep, mirroring
+        :meth:`~repro.tables.lookahead.DecisionTable.from_dict`."""
         table = cls(
             data["start"], data["n_states"],
-            tuple(data["edge_index"]), tuple(data["edge_lo"]),
-            tuple(data["edge_hi"]), tuple(data["edge_targets"]),
-            tuple(data["accept_idx"]),
+            _row(data["edge_index"]), _row(data["edge_lo"]),
+            _row(data["edge_hi"]), _row(data["edge_targets"]),
+            _row(data["accept_idx"]),
             tuple((p, name, tuple(commands))
                   for p, name, commands in data["accepts"]))
-        table.validate()
+        if validate:
+            table.validate()
         return table
 
     def validate(self) -> None:
         n = self.n_states
         if len(self.accept_idx) != n:
-            raise ValueError("accept_idx length %d != %d states"
-                             % (len(self.accept_idx), n))
+            raise ArtifactFormatError("accept_idx length %d != %d states"
+                                      % (len(self.accept_idx), n))
         if (len(self.edge_index) != n + 1 or self.edge_index[0] != 0
                 or self.edge_index[-1] != len(self.edge_lo)):
-            raise ValueError("bad edge_index row pointers")
+            raise ArtifactFormatError("bad edge_index row pointers")
         if any(self.edge_index[i] > self.edge_index[i + 1] for i in range(n)):
-            raise ValueError("non-monotone edge_index")
+            raise ArtifactFormatError("non-monotone edge_index")
         if (len(self.edge_hi) != len(self.edge_lo)
                 or len(self.edge_targets) != len(self.edge_lo)):
-            raise ValueError("edge arrays disagree in length")
+            raise ArtifactFormatError("edge arrays disagree in length")
         for s in range(n):
             row_lo = self.edge_lo[self.edge_index[s]:self.edge_index[s + 1]]
             row_hi = self.edge_hi[self.edge_index[s]:self.edge_index[s + 1]]
             for i, (lo, hi) in enumerate(zip(row_lo, row_hi)):
                 if lo > hi:
-                    raise ValueError("inverted interval in state %d" % s)
+                    raise ArtifactFormatError("inverted interval in state %d" % s)
                 if i and row_hi[i - 1] >= lo:
-                    raise ValueError("overlapping/unsorted intervals in state %d" % s)
+                    raise ArtifactFormatError(
+                        "overlapping/unsorted intervals in state %d" % s)
         if any(not (0 <= t < n) for t in self.edge_targets):
-            raise ValueError("edge target out of range")
+            raise ArtifactFormatError("edge target out of range")
         if any(a != -1 and not (0 <= a < len(self.accepts))
                for a in self.accept_idx):
-            raise ValueError("accept index out of range")
+            raise ArtifactFormatError("accept index out of range")
         if not (0 <= self.start < n) and n:
-            raise ValueError("start state out of range")
+            raise ArtifactFormatError("start state out of range")
 
     def to_lexer_dfa(self):
         """Rebuild the object-model :class:`~repro.lexgen.dfa.LexerDFA`

@@ -39,7 +39,16 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.analysis.dfa_model import DFA
+from repro.exceptions import ArtifactFormatError
 from repro.tables.pool import SemCtxPool
+
+
+def _row(values) -> Tuple[int, ...]:
+    """Freeze one stored array: lists (JSON deserialization) become
+    tuples; ``memoryview`` rows (zero-copy mmap slices, already
+    immutable and int-indexed) are kept as-is so loading never copies
+    the mapped pages."""
+    return values if isinstance(values, memoryview) else tuple(values)
 
 
 class DecisionTable:
@@ -225,51 +234,60 @@ class DecisionTable:
         }
 
     @classmethod
-    def from_dict(cls, data: dict, pool: SemCtxPool) -> "DecisionTable":
+    def from_dict(cls, data: dict, pool: SemCtxPool,
+                  validate: bool = True) -> "DecisionTable":
+        """Rebuild from the stored form.  ``validate=False`` skips the
+        O(states + edges) structural sweep — safe only for sources with
+        their own integrity guarantee (the checksummed mmap image, whose
+        writer validated at compile time); JSON entries, which anyone
+        can edit, always validate."""
         table = cls(
             data["decision"], data["rule"], data["n_alts"], data["start"],
             data["n_states"],
-            tuple(data["edge_index"]), tuple(data["edge_keys"]),
-            tuple(data["edge_targets"]), tuple(data["accept_alt"]),
-            tuple(data["pred_index"]), tuple(data["pred_ctx"]),
-            tuple(data["pred_alt"]), tuple(data["pred_target"]),
+            _row(data["edge_index"]), _row(data["edge_keys"]),
+            _row(data["edge_targets"]), _row(data["accept_alt"]),
+            _row(data["pred_index"]), _row(data["pred_ctx"]),
+            _row(data["pred_alt"]), _row(data["pred_target"]),
             tuple(data["overflow_states"]),
             tuple((s, tuple(alts)) for s, alts in data["recursive"]),
             tuple(data["resolved_alts"]),
             data["had_overflow"], data["fell_back_to_ll1"],
             data["gave_up_reason"], pool)
-        table.validate()
+        if validate:
+            table.validate()
         return table
 
     def validate(self) -> None:
-        """Structural integrity; raises ValueError on a damaged table."""
+        """Structural integrity; raises
+        :class:`~repro.exceptions.ArtifactFormatError` (a ``ValueError``
+        subclass) on a damaged table."""
         n = self.n_states
         if len(self.accept_alt) != n:
-            raise ValueError("accept_alt length %d != %d states"
-                             % (len(self.accept_alt), n))
+            raise ArtifactFormatError("accept_alt length %d != %d states"
+                                      % (len(self.accept_alt), n))
         for name, index, keys in (("edge", self.edge_index, self.edge_keys),
                                   ("pred", self.pred_index, self.pred_ctx)):
             if len(index) != n + 1 or index[0] != 0 or index[-1] != len(keys):
-                raise ValueError("bad %s_index row pointers" % name)
+                raise ArtifactFormatError("bad %s_index row pointers" % name)
             if any(index[i] > index[i + 1] for i in range(n)):
-                raise ValueError("non-monotone %s_index" % name)
+                raise ArtifactFormatError("non-monotone %s_index" % name)
         if len(self.edge_targets) != len(self.edge_keys):
-            raise ValueError("edge arrays disagree in length")
+            raise ArtifactFormatError("edge arrays disagree in length")
         if (len(self.pred_alt) != len(self.pred_ctx)
                 or len(self.pred_target) != len(self.pred_ctx)):
-            raise ValueError("predicate arrays disagree in length")
+            raise ArtifactFormatError("predicate arrays disagree in length")
         for s in range(n):
             row = self.edge_keys[self.edge_index[s]:self.edge_index[s + 1]]
             if any(row[i] >= row[i + 1] for i in range(len(row) - 1)):
-                raise ValueError("unsorted edge keys in state %d" % s)
+                raise ArtifactFormatError("unsorted edge keys in state %d" % s)
         if any(not (0 <= t < n) for t in self.edge_targets):
-            raise ValueError("edge target out of range")
+            raise ArtifactFormatError("edge target out of range")
         if any(not (0 <= t < n) for t in self.pred_target):
-            raise ValueError("predicate target out of range")
+            raise ArtifactFormatError("predicate target out of range")
         if any(c != -1 and not (0 <= c < len(self.pool)) for c in self.pred_ctx):
-            raise ValueError("context index out of pool range")
+            raise ArtifactFormatError("context index out of pool range")
         if not (self.start == -1 or 0 <= self.start < n):
-            raise ValueError("start state out of range")
+            raise ArtifactFormatError("start state out of range")
 
     # -- lossless decompilation back to the object model -------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.semctx import SemanticContext, context_from_dict
+from repro.exceptions import ArtifactFormatError
 
 
 class SemCtxPool:
@@ -61,7 +62,7 @@ class SemCtxPool:
             # Interning collapsed entries the writer kept distinct; table
             # indexes into this pool would silently alias. A well-formed
             # artifact never contains duplicates (the writer interned).
-            raise ValueError("semantic-context pool contains duplicates")
+            raise ArtifactFormatError("semantic-context pool contains duplicates")
         return pool
 
     def __repr__(self):

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.exceptions import ArtifactFormatError
 from repro.tables.lexer import LexerTable
 from repro.tables.lookahead import DecisionTable
 from repro.tables.pool import SemCtxPool
@@ -41,15 +42,15 @@ class TableSet:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "TableSet":
+    def from_dict(cls, data: dict, validate: bool = True) -> "TableSet":
         version = data.get("version")
         if version != TABLE_FORMAT_VERSION:
-            raise ValueError("table format %r != %d"
-                             % (version, TABLE_FORMAT_VERSION))
+            raise ArtifactFormatError("table format %r != %d"
+                                      % (version, TABLE_FORMAT_VERSION))
         pool = SemCtxPool.from_dict(data["pool"])
-        decisions = [DecisionTable.from_dict(d, pool)
+        decisions = [DecisionTable.from_dict(d, pool, validate=validate)
                      for d in data["decisions"]]
-        lexer = (LexerTable.from_dict(data["lexer"])
+        lexer = (LexerTable.from_dict(data["lexer"], validate=validate)
                  if data.get("lexer") is not None else None)
         return cls(pool, decisions, lexer)
 

@@ -225,6 +225,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         "minimization")
     p.add_argument("--json", action="store_true",
                    help="print one JSON document per run instead of text")
+
+    p = sub.add_parser("cache",
+                       help="inspect a compiled-artifact cache directory "
+                            "(entries, mmap sidecars, integrity)")
+    p.add_argument("dir", help="artifact cache directory")
+    p.add_argument("--verify", action="store_true",
+                   help="exit 1 if any .llt sidecar fails to decode "
+                        "(magic/version/checksum/section bounds)")
+    p.add_argument("--json", action="store_true",
+                   help="print one JSON document instead of a table")
     return parser
 
 
@@ -446,6 +456,55 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    from repro.cache import MappedArtifact
+
+    try:
+        names = sorted(os.listdir(args.dir))
+    except OSError as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 1
+    keys = sorted({n.rsplit(".", 1)[0] for n in names
+                   if n.endswith((".json", ".llt")) and not n.startswith(".")})
+    entries = []
+    corrupt = 0
+    for key in keys:
+        json_path = os.path.join(args.dir, key + ".json")
+        llt_path = os.path.join(args.dir, key + ".llt")
+        json_size = os.path.getsize(json_path) if os.path.exists(json_path) else None
+        entry = {"key": key, "json_bytes": json_size,
+                 "llt_bytes": None, "llt_status": "missing",
+                 "grammar_source": False}
+        if os.path.exists(llt_path):
+            entry["llt_bytes"] = os.path.getsize(llt_path)
+            try:
+                mapped = MappedArtifact(llt_path)
+            except Exception as e:
+                corrupt += 1
+                entry["llt_status"] = "corrupt: %s" % e
+            else:
+                entry["llt_status"] = "ok"
+                entry["grammar_source"] = mapped.grammar_source is not None
+                mapped.close()
+        entries.append(entry)
+    if args.json:
+        print(json.dumps({"dir": args.dir, "entries": entries,
+                          "corrupt": corrupt}, indent=2))
+    else:
+        if not entries:
+            print("no cache entries in %s" % args.dir)
+        for e in entries:
+            print("%s  json=%s  llt=%s  %s%s" % (
+                e["key"][:16],
+                e["json_bytes"] if e["json_bytes"] is not None else "-",
+                e["llt_bytes"] if e["llt_bytes"] is not None else "-",
+                e["llt_status"],
+                " +source" if e["grammar_source"] else ""))
+        if corrupt:
+            print("%d corrupt sidecar(s)" % corrupt, file=sys.stderr)
+    return 1 if (args.verify and corrupt) else 0
+
+
 def cmd_fuzz(args) -> int:
     from repro.fuzz.differential import DifferentialRunner
 
@@ -565,6 +624,7 @@ _COMMANDS = {
     "sets": cmd_sets,
     "codegen": cmd_codegen,
     "tokens": cmd_tokens,
+    "cache": cmd_cache,
 }
 
 

@@ -131,6 +131,39 @@ class TestBatchEngine:
         assert second.host.from_cache
         assert second.run(GOOD[:4]).ok_count == 4
 
+    def test_cache_dir_workers_get_slim_initargs(self, tmp_path):
+        """With a cache directory the pickled worker config ships neither
+        the grammar text nor the artifact payload — only the artifact key
+        — and every worker boots by mmap-ing the shared ``.llt`` sidecar."""
+        cache = str(tmp_path / "cache")
+        engine = BatchEngine(GRAMMAR, jobs=2, cache_dir=cache)
+        config = engine._config
+        assert config.grammar_text is None
+        assert config.payload is None
+        assert config.artifact_key is not None
+        assert len(pickle.dumps(config)) < 1024  # key + flags, not tables
+        report = engine.run(GOOD)
+        assert report.ok_count == len(GOOD)
+
+    def test_slim_worker_boot_matches_payload_mode(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        slim = parse_corpus(GRAMMAR, GOOD + [BAD], jobs=2, cache_dir=cache)
+        shipped = parse_corpus(GRAMMAR, GOOD + [BAD], jobs=2)
+        assert [(r.input_id, r.ok, r.error_type, r.tokens)
+                for r in slim.results] == \
+               [(r.input_id, r.ok, r.error_type, r.tokens)
+                for r in shipped.results]
+
+    def test_unwritable_cache_dir_falls_back_to_shipping_text(self, tmp_path):
+        """No sidecar can exist, so the engine must not build a slim
+        config the workers cannot boot from."""
+        blocker = tmp_path / "cache"
+        blocker.write_text("not a directory")
+        engine = BatchEngine(GRAMMAR, jobs=1, cache_dir=str(blocker))
+        assert engine._config.artifact_key is None
+        assert engine._config.grammar_text == GRAMMAR
+        assert engine.run(GOOD[:3]).ok_count == 3
+
     def test_recover_mode_reports_repaired_inputs(self):
         report = parse_corpus(GRAMMAR, [("fixable", "x = 1 + ; y = 2;")],
                               jobs=0, recover=True)

@@ -40,6 +40,15 @@ def _entry_paths(cache_dir):
     return sorted(glob.glob(os.path.join(str(cache_dir), "*.json")))
 
 
+def _drop_sidecars(cache_dir):
+    """Remove ``.llt`` sidecars so a test can exercise the JSON path by
+    hand-editing the entry — a valid sidecar would shadow the edit (the
+    mmap fast path loads first; see tests/test_mmap_artifact.py for the
+    sidecar's own corruption matrix)."""
+    for p in glob.glob(os.path.join(str(cache_dir), "*.llt")):
+        os.unlink(p)
+
+
 class TestKeying:
     def test_same_inputs_same_key(self):
         assert artifact_key(GRAMMAR, None, None) == artifact_key(GRAMMAR, None, None)
@@ -88,6 +97,7 @@ class TestWarmStart:
     def test_schema_bump_forces_reanalysis(self, tmp_path):
         d = str(tmp_path)
         repro.compile_grammar(GRAMMAR, cache_dir=d)
+        _drop_sidecars(tmp_path)
         (path,) = _entry_paths(tmp_path)
         payload = json.loads(open(path).read())
         payload["schema"] = SCHEMA_VERSION - 1  # simulate an old artifact
@@ -133,6 +143,7 @@ class TestWarmStart:
 class TestCorruptionTolerance:
     def _seed(self, tmp_path):
         repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        _drop_sidecars(tmp_path)
         (path,) = _entry_paths(tmp_path)
         return path
 
@@ -201,6 +212,7 @@ class TestDegradedWarmStart:
 
     def _seed_and_corrupt_record(self, tmp_path):
         repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        _drop_sidecars(tmp_path)
         (path,) = _entry_paths(tmp_path)
         payload = json.loads(open(path).read())
         # Damage one record's table only: every payload-level integrity
@@ -383,6 +395,7 @@ class TestCacheDiagnostics:
 
     def test_host_surfaces_store_diagnostics(self, tmp_path):
         repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
+        _drop_sidecars(tmp_path)
         (path,) = _entry_paths(tmp_path)
         with open(path, "w") as f:
             f.write("{truncated")
@@ -475,7 +488,7 @@ class TestAtomicity:
     def test_no_temp_files_left_behind(self, tmp_path):
         repro.compile_grammar(GRAMMAR, cache_dir=str(tmp_path))
         leftovers = [p for p in os.listdir(str(tmp_path))
-                     if not p.endswith(".json")]
+                     if not p.endswith((".json", ".llt"))]
         assert leftovers == []
 
     def test_save_then_load_round_trips(self, tmp_path):

@@ -191,6 +191,50 @@ class TestMetricsExport:
         assert "llstar_rule_invocations_total" in doc["metrics"]
 
 
+class TestCacheCommand:
+    def _seed(self, tmp_path):
+        import repro
+
+        cache = str(tmp_path / "cache")
+        repro.compile_grammar(GRAMMAR, cache_dir=cache)
+        return cache
+
+    def test_lists_entries_with_sidecar_status(self, paths, capsys):
+        _g, _s, tmp_path = paths
+        cache = self._seed(tmp_path)
+        assert main(["cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "ok +source" in out
+
+    def test_verify_flags_corruption(self, paths, capsys):
+        import glob
+
+        _g, _s, tmp_path = paths
+        cache = self._seed(tmp_path)
+        (llt,) = glob.glob(os.path.join(cache, "*.llt"))
+        blob = bytearray(open(llt, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(llt, "wb") as f:
+            f.write(blob)
+        assert main(["cache", cache, "--verify"]) == 1
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_json_document(self, paths, capsys):
+        import json
+
+        _g, _s, tmp_path = paths
+        cache = self._seed(tmp_path)
+        assert main(["cache", cache, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["corrupt"] == 0
+        (entry,) = doc["entries"]
+        assert entry["llt_status"] == "ok" and entry["grammar_source"]
+
+    def test_missing_directory_is_error(self, paths, capsys):
+        _g, _s, tmp_path = paths
+        assert main(["cache", str(tmp_path / "nope")]) == 1
+
+
 class TestSets:
     def test_all_rules(self, paths, capsys):
         grammar, _source, _tmp = paths

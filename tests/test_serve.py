@@ -262,6 +262,52 @@ class TestRegistry:
 
         asyncio.run(scenario())
 
+    def test_corrupt_artifact_is_422_but_not_negatively_cached(self, monkeypatch):
+        """An ArtifactFormatError is a cache fault: it surfaces as 422
+        with a ``corrupt`` diagnostic, but the failure is NOT cached —
+        the store evicted the damaged entry, so the next request must
+        recompile cleanly instead of replaying the error."""
+        import repro.api
+        from repro.exceptions import ArtifactFormatError
+
+        calls = {"n": 0}
+        real = repro.api.compile_grammar
+
+        def flaky(source, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ArtifactFormatError("checksum mismatch")
+            return real(source, **kwargs)
+
+        monkeypatch.setattr(repro.api, "compile_grammar", flaky)
+
+        async def scenario():
+            reg = GrammarRegistry()
+            reg.register("expr", EXPR)
+            with pytest.raises(GrammarLoadError) as ei:
+                await reg.host("expr")
+            assert ei.value.status == 422
+            assert [d.kind for d in reg.diagnostics] == ["corrupt"]
+            host = await reg.host("expr")  # recompiles, no cached failure
+            assert host is not None
+            assert reg.compiles == 2
+
+        asyncio.run(scenario())
+
+    def test_status_counts_mmap_backed_hosts(self, tmp_path):
+        async def scenario():
+            cache = str(tmp_path / "cache")
+            warm_reg = GrammarRegistry(cache_dir=cache)
+            warm_reg.register("expr", EXPR)
+            await warm_reg.host("expr")  # cold: publishes the sidecar
+            reg = GrammarRegistry(cache_dir=cache)
+            reg.register("expr", EXPR)
+            host = await reg.host("expr")
+            assert host.mapped_artifact is not None
+            assert reg.status()["mmap_backed_hosts"] == 1
+
+        asyncio.run(scenario())
+
     def test_reregister_clears_failure_and_host(self):
         async def scenario():
             reg = GrammarRegistry()

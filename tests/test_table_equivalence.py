@@ -78,3 +78,66 @@ class TestPredictionEquivalence:
 
     def test_generated_workload_parses_identically(self, host, bench):
         self._parse_both(host, bench.generate_program(6, seed=3))
+
+
+@pytest.fixture(scope="module")
+def mmap_host(bench, host, tmp_path_factory):
+    """The same grammar warm-started through the binary ``.llt`` sidecar:
+    flat tables are zero-copy ``memoryview`` rows over the mapping.  The
+    store is pre-seeded from the module's cold host so each suite grammar
+    pays for analysis once."""
+    import repro
+    from repro.cache import (
+        ArtifactStore,
+        artifact_key,
+        artifact_to_dict,
+        grammar_fingerprint,
+    )
+
+    d = str(tmp_path_factory.mktemp("llt-%s" % bench.name))
+    store = ArtifactStore(d)
+    store.save(artifact_key(bench.grammar_text, None, None),
+               artifact_to_dict(host.grammar, host.analysis,
+                                host.lexer_spec,
+                                grammar_fingerprint(bench.grammar_text)),
+               source=bench.grammar_text)
+    warm = repro.compile_grammar(bench.grammar_text, cache_dir=d)
+    assert warm.from_cache and warm.mapped_artifact is not None
+    return warm
+
+
+class TestMmapEquivalence:
+    """The full suite sweep against mmap-backed tables: classification
+    and parse behavior must match the cold host exactly even though no
+    structural validation ran (the image checksum vouches) and the hot
+    arrays are views, not tuples."""
+
+    def test_records_classify_identically(self, mmap_host, host):
+        for cold, warm in zip(host.analysis.records, mmap_host.analysis.records):
+            assert warm.category == cold.category, cold.decision
+            assert warm.fixed_k == cold.fixed_k, cold.decision
+            assert not warm.degraded
+
+    def test_sample_parses_identically(self, mmap_host, host, bench):
+        from repro.runtime.profiler import DecisionProfiler
+
+        pc, pw = DecisionProfiler(), DecisionProfiler()
+        tc = host.parse(bench.sample, options=ParserOptions(profiler=pc))
+        tw = mmap_host.parse(bench.sample, options=ParserOptions(profiler=pw))
+        assert tc.to_sexpr() == tw.to_sexpr()
+        assert {d: s.events for d, s in pc.stats.items()} \
+            == {d: s.events for d, s in pw.stats.items()}
+
+    def test_generated_workload_parses_identically(self, mmap_host, host, bench):
+        text = bench.generate_program(6, seed=7)
+        assert mmap_host.parse(text).to_sexpr() == host.parse(text).to_sexpr()
+
+    def test_hot_rows_are_views(self, mmap_host):
+        from repro.cache.binary import ZERO_COPY
+
+        if not ZERO_COPY:  # pragma: no cover - big-endian fallback
+            pytest.skip("platform decodes by copy")
+        tables = [r.table for r in mmap_host.analysis.records if r.table]
+        assert all(isinstance(t.edge_index, memoryview) for t in tables)
+        if mmap_host.lexer_spec is not None:
+            assert isinstance(mmap_host.lexer_spec.table.edge_lo, memoryview)
