@@ -1,0 +1,113 @@
+"""Rewrite throughput: tokens/s through the lazy TokenStreamRewriter.
+
+One results artifact, ``results/rewrite_throughput.txt``: the Java
+subset (the paper's Java1.5 analogue) over generated programs of
+increasing size, measured end to end in three configurations —
+
+* **identity** — zero-op ``get_text()``: the pure render cost of the
+  gap-slicing emitter (parse excluded);
+* **rename** — walk the tree with a listener recording one
+  single-token replace per rename site, then render: the CodART-style
+  rename-identifier refactoring;
+* **heavy** — one edit per statement-ish region (inserts and
+  replaces mixed) to show cost scaling with op count.
+
+Laziness is what's on trial: recording N ops must stay O(N) and
+render-time resolution must not blow up on op-dense programs, so
+tokens/s for ``heavy`` should stay within an order of magnitude of
+``identity``.
+"""
+
+import time
+
+from repro.api import compile_grammar
+from repro.grammars.java_subset import GRAMMAR, generate_program
+from repro.runtime.rewriter import TokenStreamRewriter
+from repro.runtime.walker import ParseTreeListener, ParseTreeWalker
+
+from conftest import emit_table
+
+SIZES = (20, 60, 120)  # units (members) per generated program
+REPS = 3
+
+
+class _Renamer(ParseTreeListener):
+    def __init__(self, rewriter, vocabulary, old, new):
+        self.rewriter = rewriter
+        self.vocabulary = vocabulary
+        self.old = old
+        self.new = new
+        self.sites = 0
+
+    def visit_token(self, node):
+        token = node.token
+        if (token.text == self.old
+                and not self.vocabulary.name_of(token.type).startswith("'")):
+            self.rewriter.replace(token.index, token.index, self.new)
+            self.sites += 1
+
+
+def _best_of(reps, fn):
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_rewrite_throughput():
+    host = compile_grammar(GRAMMAR)
+    vocabulary = host.grammar.vocabulary
+    rows = []
+    for units in SIZES:
+        text = generate_program(units, seed=7)
+        stream = host.tokenize(text)
+        tree = host.parse(stream)
+        n_tokens = stream.size - 1  # minus EOF
+
+        identity_s, out = _best_of(
+            REPS, lambda: TokenStreamRewriter(stream).get_text())
+        assert out == text, "zero-op rewrite must be byte-exact"
+
+        def rename():
+            rewriter = TokenStreamRewriter(stream)
+            listener = _Renamer(rewriter, vocabulary, "total", "grandTotal")
+            ParseTreeWalker.DEFAULT.walk(listener, tree)
+            return rewriter.get_text(), listener.sites
+
+        rename_s, (renamed, sites) = _best_of(REPS, rename)
+        assert renamed.count("grandTotal") == sites
+
+        def heavy():
+            rewriter = TokenStreamRewriter(stream)
+            ops = 0
+            for i in range(0, n_tokens - 1, 8):
+                if ops % 2:
+                    rewriter.insert_after(i, "/*x*/")
+                else:
+                    rewriter.replace(i, i, "tok%d" % i)
+                ops += 1
+            return rewriter.get_text(), ops
+
+        heavy_s, (_, heavy_ops) = _best_of(REPS, heavy)
+
+        for label, seconds, detail in (
+                ("identity", identity_s, "0 ops"),
+                ("rename", rename_s, "%d sites (walk+render)" % sites),
+                ("heavy", heavy_s, "%d ops" % heavy_ops)):
+            rows.append(("java_subset/%d" % units, label, n_tokens, detail,
+                         "%.2fms" % (seconds * 1e3),
+                         "%.0f" % (n_tokens / seconds)))
+
+    emit_table(
+        "rewrite_throughput",
+        "Rewrite throughput (lazy TokenStreamRewriter, best of %d)" % REPS,
+        ("program", "mode", "tokens", "ops", "time", "tokens/s"),
+        rows)
+
+    # sanity floor, generous enough for CI boxes: rendering must not be
+    # pathologically slower than parsing itself
+    identity_rows = [r for r in rows if r[1] == "identity"]
+    assert all(float(r[5]) > 10_000 for r in identity_rows), identity_rows

@@ -1,0 +1,31 @@
+package demo.geometry;
+
+import java.util.List;
+
+public class Shape {
+    private static int count;
+    private String label;
+    private double area;
+
+    public Shape(String label) {
+        count = count + 1;
+        this.label = label;
+        area = 0.0;
+    }
+
+    public double scale(double factor, int times) {
+        double total = area;
+        for (int i = 0; i < times; i += 1) {
+            total = total * factor;
+            if (total > 10000.0) {
+                break;
+            }
+        }
+        area = total;
+        return total;
+    }
+
+    public static int liveCount() {
+        return count;
+    }
+}

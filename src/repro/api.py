@@ -68,7 +68,7 @@ class ParserHost:
             raise GrammarError(
                 "grammar %s has no lexer rules; pass tokens explicitly"
                 % self.grammar.name)
-        return ListTokenStream(self.lexer_spec.tokenizer(text))
+        return ListTokenStream(self.lexer_spec.tokenizer(text), source=text)
 
     def token_stream_from_types(self, names: Sequence[str]) -> ListTokenStream:
         """Build a stream from token-name strings (testing convenience).

@@ -147,11 +147,7 @@ class EarleyParser:
             tokens = tokens[:-1]
         n = len(tokens)
 
-        chart: List[Set[_Item]] = [set() for _ in range(n + 1)]
-        for pi in self._by_lhs[rule_name]:
-            chart[0].add(_Item(pi, 0, 0))
-        for i in range(n + 1):
-            self._close_set(chart, i, tokens, n)
+        chart = self._chart(tokens, rule_name)
         # Accept: any completed start production spanning the whole input.
         for item in chart[n]:
             lhs, rhs = self.productions[item.prod_index]
@@ -165,6 +161,15 @@ class EarleyParser:
                     if lhs == rule_name and item.dot == len(rhs) and item.origin == 0:
                         return True
         return False
+
+    def _chart(self, tokens, rule_name: str) -> List[Set[_Item]]:
+        n = len(tokens)
+        chart: List[Set[_Item]] = [set() for _ in range(n + 1)]
+        for pi in self._by_lhs[rule_name]:
+            chart[0].add(_Item(pi, 0, 0))
+        for i in range(n + 1):
+            self._close_set(chart, i, tokens, n)
+        return chart
 
     def _close_set(self, chart, i: int, tokens, n: int) -> None:
         """Predict + complete to fixpoint for set i, then scan into i+1."""
@@ -203,3 +208,114 @@ class EarleyParser:
                             seen.add(new)
                             chart[i].add(new)
                             work.append(new)
+
+    # -- tree-building parse -----------------------------------------------------
+
+    def parse(self, stream: TokenStream, rule_name: Optional[str] = None):
+        """Parse into the shared span-carrying tree model.
+
+        Runs the recognizer chart, then extracts one derivation
+        chart-guided (first production, leftmost split — deterministic),
+        building nodes through the unified
+        :class:`~repro.runtime.trees.TreeBuilder` and splicing away the
+        ``%``-synthetic EBNF nonterminals so the tree has the same shape
+        and token-index spans as the LL producers.  Raises
+        :class:`~repro.exceptions.RecognitionError` on reject.
+        """
+        from repro.exceptions import RecognitionError
+        from repro.runtime.trees import TreeBuilder
+
+        if rule_name is None:
+            rule_name = self.grammar.start_rule
+        if rule_name not in self._by_lhs:
+            raise RecognitionError("Earley: unknown start rule %r" % rule_name)
+        toks = [stream.get(i) for i in range(stream.size)]
+        if toks and toks[-1].type == EOF:
+            toks = toks[:-1]
+        types = [t.type for t in toks]
+        n = len(types)
+        chart = self._chart(types, rule_name)
+
+        # Index completed items: (lhs, origin) -> sorted end positions,
+        # and (lhs, origin, end) -> production indices (grammar order).
+        spans: Dict[Tuple[str, int], List[int]] = {}
+        prods: Dict[Tuple[str, int, int], List[int]] = {}
+        for end, item_set in enumerate(chart):
+            for item in item_set:
+                lhs, rhs = self.productions[item.prod_index]
+                if item.dot == len(rhs):
+                    key = (lhs, item.origin)
+                    ends = spans.setdefault(key, [])
+                    if end not in ends:
+                        ends.append(end)
+                    prods.setdefault((lhs, item.origin, end),
+                                     []).append(item.prod_index)
+        for ends in spans.values():
+            ends.sort()
+        for plist in prods.values():
+            plist.sort()
+
+        if (rule_name, 0, n) not in prods:
+            raise RecognitionError(
+                "Earley: no derivation of %s" % rule_name,
+                token=toks[0] if toks else None, index=0)
+        builder = TreeBuilder(source=stream.source)
+        memo: Dict[Tuple[str, int, int], object] = {}
+        tree = self._derive_sym(rule_name, 0, n, spans, prods, toks,
+                                builder, memo, set())
+        if tree is None:  # pragma: no cover - chart acceptance implies one
+            raise RecognitionError("Earley: derivation extraction failed")
+        return builder.finish_root(tree)
+
+    def _derive_sym(self, sym: str, i: int, j: int, spans, prods, toks,
+                    builder, memo, busy):
+        """A tree (RuleNode, or spliced child list for synthetics) for
+        ``sym`` spanning token positions [i, j), or None."""
+        key = (sym, i, j)
+        if key in memo:
+            return memo[key]
+        if key in busy:
+            return None  # derivation cycle (epsilon loops); try elsewhere
+        busy.add(key)
+        try:
+            for pi in prods.get(key, ()):
+                _lhs, rhs = self.productions[pi]
+                children = self._derive_seq(rhs, 0, i, j, spans, prods, toks,
+                                            builder, memo, busy)
+                if children is None:
+                    continue
+                if sym.startswith("%"):
+                    result = children  # splice synthetics away
+                else:
+                    result = builder.rule(sym, children, at=i)
+                memo[key] = result
+                return result
+            return None
+        finally:
+            busy.discard(key)
+
+    def _derive_seq(self, rhs, k: int, i: int, j: int, spans, prods, toks,
+                    builder, memo, busy):
+        """Children for ``rhs[k:]`` spanning [i, j), or None."""
+        if k == len(rhs):
+            return [] if i == j else None
+        sym = rhs[k]
+        if not isinstance(sym, str):  # terminal token type
+            if i < j and toks[i].type == sym:
+                rest = self._derive_seq(rhs, k + 1, i + 1, j, spans, prods,
+                                        toks, builder, memo, busy)
+                if rest is not None:
+                    return [builder.leaf(toks[i])] + rest
+            return None
+        for m in spans.get((sym, i), ()):
+            if m > j:
+                break  # ends are sorted ascending
+            child = self._derive_sym(sym, i, m, spans, prods, toks,
+                                     builder, memo, busy)
+            if child is None:
+                continue
+            rest = self._derive_seq(rhs, k + 1, m, j, spans, prods, toks,
+                                    builder, memo, busy)
+            if rest is not None:
+                return [child] + rest
+        return None

@@ -126,16 +126,29 @@ class GLRStats:
 
 
 class _GSSNode:
-    __slots__ = ("state", "position", "parents")
+    """GSS node.  ``edges`` are (parent, label) pairs: the label is the
+    partial parse covering the edge's span — a TokenNode for shift
+    edges, a RuleNode (or spliced child list for ``%``-synthetic
+    nonterminals) for reduction edges, or None in recognition mode."""
+
+    __slots__ = ("state", "position", "edges")
 
     def __init__(self, state: int, position: int):
         self.state = state
         self.position = position
-        self.parents: List["_GSSNode"] = []
+        self.edges: List[Tuple["_GSSNode", object]] = []
+
+    @property
+    def parents(self) -> List["_GSSNode"]:
+        return [p for p, _ in self.edges]
 
 
 class GLRParser:
-    """GLR recognizer over token streams."""
+    """GLR recognizer (and, via :meth:`parse`, tree producer) over token
+    streams.  Tree building rides on the GSS as edge labels (the
+    standard Tomita formulation); when a grammar is ambiguous the first
+    derivation found wins deterministically — GLR accepts ambiguity
+    silently, which is exactly what the comparison benchmarks measure."""
 
     def __init__(self, grammar: Grammar):
         self.grammar = grammar
@@ -144,37 +157,76 @@ class GLRParser:
         self.stats = GLRStats()
 
     def recognize(self, stream: TokenStream, rule_name: Optional[str] = None) -> bool:
+        return self._run(stream, rule_name, builder=None) is not None
+
+    def parse(self, stream: TokenStream, rule_name: Optional[str] = None):
+        """Parse into the shared span-carrying tree model.
+
+        Reduction edges assemble :class:`~repro.runtime.trees.RuleNode`
+        children bottom-up through the unified builder; ``%``-synthetic
+        EBNF nonterminals are spliced away, so the result has the same
+        shape (and the same token-index spans) as the top-down
+        producers.  Raises :class:`~repro.exceptions.RecognitionError`
+        when the input is not in the language.
+        """
+        from repro.exceptions import RecognitionError
+        from repro.runtime.trees import TreeBuilder
+
+        builder = TreeBuilder(source=stream.source)
+        tree = self._run(stream, rule_name, builder=builder)
+        if tree is None:
+            raise RecognitionError(
+                "GLR: no derivation of %s"
+                % (rule_name or self.grammar.start_rule))
+        return builder.finish_root(tree)
+
+    def _run(self, stream: TokenStream, rule_name: Optional[str],
+             builder):
         if rule_name is not None and rule_name != self.grammar.start_rule:
             automaton = LR0Automaton(desugar_to_cfg(self.grammar), rule_name)
+            start_symbol = rule_name
         else:
             automaton = self.automaton
+            start_symbol = self.grammar.start_rule
         self.stats = GLRStats()
-        tokens = [stream.get(i).type for i in range(stream.size)]
-        if tokens and tokens[-1] == EOF:
-            tokens = tokens[:-1]
+        toks = [stream.get(i) for i in range(stream.size)]
+        if toks and toks[-1].type == EOF:
+            toks = toks[:-1]
+        types = [t.type for t in toks]
 
         root = _GSSNode(0, 0)
         frontier: Dict[int, _GSSNode] = {0: root}
 
-        for pos in range(len(tokens) + 1):
-            lookahead = tokens[pos] if pos < len(tokens) else None
-            self._reduce_all(automaton, frontier, pos)
+        for pos in range(len(types) + 1):
+            lookahead = types[pos] if pos < len(types) else None
+            self._reduce_all(automaton, frontier, pos, builder)
             self.stats.max_frontier = max(self.stats.max_frontier, len(frontier))
-            if pos == len(tokens):
+            if pos == len(types):
                 break
-            frontier = self._shift_all(automaton, frontier, lookahead, pos)
+            frontier = self._shift_all(automaton, frontier, lookahead, pos,
+                                       toks if builder is not None else None)
             if not frontier:
-                return False
+                return None
 
         # Accept: some subparser completed S' -> S . , i.e. reached the
         # state GOTO(0, start_symbol) with the root as a parent.
-        accept_state = automaton.goto.get((0, self.grammar.start_rule
-                                           if rule_name is None else rule_name))
-        return accept_state in frontier if accept_state is not None else False
+        accept_state = automaton.goto.get((0, start_symbol))
+        accept = frontier.get(accept_state) if accept_state is not None else None
+        if accept is None:
+            return None
+        if builder is None:
+            return True
+        # The accept edge from the initial node carries the start
+        # symbol's tree (first derivation when ambiguous).
+        for parent, label in accept.edges:
+            if parent.state == 0 and parent.position == 0:
+                return label
+        return None  # pragma: no cover - accept implies such an edge
 
     # -- GSS operations -----------------------------------------------------------
 
-    def _reduce_all(self, automaton, frontier: Dict[int, _GSSNode], pos: int) -> None:
+    def _reduce_all(self, automaton, frontier: Dict[int, _GSSNode], pos: int,
+                    builder=None) -> None:
         """Apply reductions to a fixpoint within the current frontier.
 
         A new GSS edge can unlock reduction *paths through it* starting
@@ -190,50 +242,70 @@ class GLRParser:
                     lhs, rhs = automaton.productions[prod_index]
                     if lhs == _START:
                         continue
-                    for base in self._paths(node, len(rhs)):
+                    for base, rev_labels in self._paths(node, len(rhs)):
                         target = automaton.goto.get((base.state, lhs))
                         if target is None:
                             continue
                         existing = frontier.get(target)
+                        if (existing is not None
+                                and any(p is base for p, _ in existing.edges)):
+                            continue  # edge exists; first derivation stands
+                        label = None
+                        if builder is not None:
+                            # Path labels were collected top-of-stack
+                            # first, i.e. rightmost rhs symbol first.
+                            children = rev_labels[::-1]
+                            if lhs.startswith("%"):
+                                label = children  # splice synthetics away
+                            else:
+                                label = builder.rule(lhs, children, at=pos)
+                        self.stats.total_reductions += 1
                         if existing is None:
-                            self.stats.total_reductions += 1
                             new = _GSSNode(target, pos)
-                            new.parents.append(base)
+                            new.edges.append((base, label))
                             frontier[target] = new
-                            changed = True
-                        elif base not in existing.parents:
-                            self.stats.total_reductions += 1
-                            existing.parents.append(base)
-                            changed = True
+                        else:
+                            existing.edges.append((base, label))
+                        changed = True
 
-    def _paths(self, node: _GSSNode, length: int) -> List[_GSSNode]:
-        """All GSS nodes reachable by exactly ``length`` parent steps."""
-        current = [node]
+    def _paths(self, node: _GSSNode,
+               length: int) -> List[Tuple[_GSSNode, List[object]]]:
+        """All (base, edge labels) pairs reachable by exactly ``length``
+        parent steps; labels come rightmost-first (stack pop order)."""
+        current: List[Tuple[_GSSNode, List[object]]] = [(node, [])]
         for _ in range(length):
-            nxt: List[_GSSNode] = []
-            for n in current:
-                nxt.extend(n.parents)
-            # dedupe by identity to avoid path explosion
+            nxt: List[Tuple[_GSSNode, List[object]]] = []
+            for n, labels in current:
+                for parent, label in n.edges:
+                    nxt.append((parent, labels + [label]))
+            # dedupe by identity to avoid path explosion (keeps the
+            # first-found derivation per base, deterministically)
             seen: Set[int] = set()
-            current = [n for n in nxt
-                       if id(n) not in seen and not seen.add(id(n))]
+            current = []
+            for n, labels in nxt:
+                if id(n) not in seen:
+                    seen.add(id(n))
+                    current.append((n, labels))
             if not current:
                 return []
         return current
 
     def _shift_all(self, automaton, frontier: Dict[int, _GSSNode],
-                   lookahead, pos: int) -> Dict[int, _GSSNode]:
+                   lookahead, pos: int, toks=None) -> Dict[int, _GSSNode]:
+        from repro.runtime.trees import TokenNode
+
         new_frontier: Dict[int, _GSSNode] = {}
         for node in frontier.values():
             target = automaton.goto.get((node.state, lookahead))
             if target is None:
                 continue
             self.stats.total_shifts += 1
+            label = TokenNode(toks[pos]) if toks is not None else None
             existing = new_frontier.get(target)
             if existing is None:
                 new = _GSSNode(target, pos + 1)
-                new.parents.append(node)
+                new.edges.append((node, label))
                 new_frontier[target] = new
-            elif node not in existing.parents:
-                existing.parents.append(node)
+            elif not any(p is node for p, _ in existing.edges):
+                existing.edges.append((node, label))
         return new_frontier

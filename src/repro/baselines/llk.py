@@ -269,6 +269,7 @@ class LLkParser:
                             % (decision, k, word, other, alt))
             self._tables[decision] = (k, table)
         self._stream = None
+        self._builder = None
 
     # -- entry ---------------------------------------------------------------
 
@@ -278,9 +279,12 @@ class LLkParser:
         from repro.exceptions import MismatchedTokenError
         from repro.runtime.token_stream import ListTokenStream, TokenStream
 
+        from repro.runtime.trees import TreeBuilder
+
         if not isinstance(stream, TokenStream):
             stream = ListTokenStream(stream)
         self._stream = stream
+        self._builder = TreeBuilder(source=stream.source)
         rule_name = rule_name or self.grammar.start_rule
         try:
             root = self._rule(rule_name)
@@ -289,6 +293,7 @@ class LLkParser:
                                            rule_name=rule_name)
         finally:
             self._stream = None
+            self._builder = None
         return root
 
     def recognize(self, stream, rule_name: Optional[str] = None,
@@ -304,18 +309,20 @@ class LLkParser:
     # -- descent -------------------------------------------------------------
 
     def _rule(self, name: str):
-        from repro.runtime.trees import RuleNode
-
         rule = self.grammar.rule(name)
-        node = RuleNode(name)
-        if rule.num_alternatives == 1:
-            alt = 1
-        else:
-            alt = self._predict(self.atn.decision_for_rule[name], name)
-            node.alt = alt
-        for el in rule.alternatives[alt - 1].elements:
-            self._element(el, node, name)
-        return node
+        node = self._builder.open_rule(name, self._stream.index)
+        try:
+            if rule.num_alternatives == 1:
+                alt = 1
+            else:
+                alt = self._predict(self.atn.decision_for_rule[name], name)
+                node.alt = alt
+            for el in rule.alternatives[alt - 1].elements:
+                self._element(el, node, name)
+        except BaseException:
+            self._builder.abandon_rule()
+            raise
+        return self._builder.close_rule(self._stream.index)
 
     def _predict(self, decision: int, rule_name: str) -> int:
         from repro.exceptions import NoViableAltError
@@ -335,7 +342,7 @@ class LLkParser:
         if isinstance(el, (ast.TokenRef, ast.Literal)):
             self._match(self.grammar.token_type(el), node, rule_name)
         elif isinstance(el, ast.RuleRef):
-            node.add(self._rule(el.name))
+            self._rule(el.name)  # attaches to ``node`` via the builder
         elif isinstance(el, ast.Sequence):
             for sub in el.elements:
                 self._element(sub, node, rule_name)
@@ -381,20 +388,18 @@ class LLkParser:
 
     def _match(self, token_type: int, node, rule_name: str) -> None:
         from repro.exceptions import MismatchedTokenError
-        from repro.runtime.trees import TokenNode
 
         if self._stream.la(1) != token_type:
             raise MismatchedTokenError(
                 self.grammar.vocabulary.name_of(token_type),
                 self._stream.lt(1), self._stream.index, rule_name=rule_name)
-        node.add(TokenNode(self._stream.consume()))
+        self._builder.add_token(self._stream.consume())
 
     def _match_any(self, allowed, node, rule_name: str) -> None:
         from repro.exceptions import MismatchedTokenError
-        from repro.runtime.trees import TokenNode
 
         if self._stream.la(1) not in allowed:
             raise MismatchedTokenError(
                 "one of %d token types" % len(allowed),
                 self._stream.lt(1), self._stream.index, rule_name=rule_name)
-        node.add(TokenNode(self._stream.consume()))
+        self._builder.add_token(self._stream.consume())

@@ -167,3 +167,110 @@ class PackratParser:
             stop = self._element(el.block, pos, types)
             return pos if stop != _FAIL else _FAIL
         raise GrammarError("packrat baseline cannot interpret %r" % el)
+
+    # -- tree-building parse -----------------------------------------------------
+
+    def parse(self, stream: TokenStream, rule_name: Optional[str] = None,
+              require_eof: bool = True):
+        """Parse into the shared span-carrying tree model.
+
+        Same PEG semantics as :meth:`recognize` (ordered choice, greedy
+        loops), but each rule invocation opens a node through the
+        unified :class:`~repro.runtime.trees.TreeBuilder`, so the tree
+        carries the same token-index spans and parent pointers as every
+        other producer.  Memoized *results* are not reused across the
+        tree build (the memo stores stop positions, not subtrees);
+        syntactic predicates still run through the memoizing recognizer,
+        which is where PEG memoization pays off anyway.
+        """
+        from repro.exceptions import RecognitionError
+        from repro.runtime.trees import TreeBuilder
+
+        self._memo.clear()
+        if rule_name is None:
+            rule_name = self.grammar.start_rule
+        tokens = [stream.get(i) for i in range(stream.size)]
+        types = [t.type for t in tokens]
+        builder = TreeBuilder(source=stream.source)
+        stop = self._rule_tree(rule_name, 0, types, tokens, builder)
+        if stop == _FAIL:
+            raise RecognitionError(
+                "packrat: no PEG derivation of %s" % rule_name,
+                token=tokens[0] if tokens else None, index=0)
+        if require_eof and stop < len(types) and types[stop] != EOF:
+            raise RecognitionError(
+                "packrat: trailing input after %s" % rule_name,
+                token=tokens[stop], index=stop)
+        return builder.root
+
+    def _rule_tree(self, name: str, pos: int, types, tokens, builder) -> int:
+        rule = self.grammar.rule(name)
+        if rule.is_lexer_rule:
+            raise GrammarError("packrat baseline operates on token streams; "
+                               "lexer rule %s cannot be invoked" % name)
+        builder.open_rule(name, pos)
+        for i, alt in enumerate(rule.alternatives, start=1):  # ordered choice
+            mark = builder.checkpoint()
+            stop = self._seq_tree(alt.elements, pos, types, tokens, builder)
+            if stop != _FAIL:
+                if rule.num_alternatives > 1:
+                    builder.set_alt(i)
+                builder.close_rule(stop)
+                return stop
+            builder.rollback(mark)
+        builder.abandon_rule()
+        return _FAIL
+
+    def _seq_tree(self, elements, pos: int, types, tokens, builder) -> int:
+        for el in elements:
+            pos = self._element_tree(el, pos, types, tokens, builder)
+            if pos == _FAIL:
+                return _FAIL
+        return pos
+
+    def _element_tree(self, el: ast.Element, pos: int, types, tokens,
+                      builder) -> int:
+        if isinstance(el, (ast.TokenRef, ast.Literal, ast.NotToken,
+                           ast.Wildcard)):
+            stop = self._element(el, pos, types)
+            if stop != _FAIL:
+                builder.add_token(tokens[pos])
+            return stop
+        if isinstance(el, ast.RuleRef):
+            return self._rule_tree(el.name, pos, types, tokens, builder)
+        if isinstance(el, ast.Sequence):
+            return self._seq_tree(el.elements, pos, types, tokens, builder)
+        if isinstance(el, ast.Block):
+            for alt in el.alternatives:  # ordered choice
+                mark = builder.checkpoint()
+                stop = self._element_tree(alt, pos, types, tokens, builder)
+                if stop != _FAIL:
+                    return stop
+                builder.rollback(mark)
+            return _FAIL
+        if isinstance(el, ast.Optional_):
+            mark = builder.checkpoint()
+            stop = self._element_tree(el.element, pos, types, tokens, builder)
+            if stop != _FAIL:
+                return stop
+            builder.rollback(mark)
+            return pos
+        if isinstance(el, (ast.Star, ast.Plus)):
+            if isinstance(el, ast.Plus):
+                stop = self._element_tree(el.element, pos, types, tokens, builder)
+                if stop == _FAIL:
+                    return _FAIL
+                pos = stop
+            while True:
+                mark = builder.checkpoint()
+                stop = self._element_tree(el.element, pos, types, tokens, builder)
+                if stop == _FAIL or stop == pos:
+                    builder.rollback(mark)
+                    return pos
+                pos = stop
+        if isinstance(el, ast.SyntacticPredicate):
+            # Recognition-only lookahead: no tree contribution.
+            stop = self._element(el.block, pos, types)
+            return pos if stop != _FAIL else _FAIL
+        # Epsilon / Action / SemanticPredicate: no tree contribution.
+        return self._element(el, pos, types)

@@ -35,7 +35,7 @@ from repro.exceptions import (
 )
 from repro.runtime.token import EOF
 from repro.runtime.token_stream import ListTokenStream, TokenStream
-from repro.runtime.trees import RuleNode, TokenNode
+from repro.runtime.trees import RuleNode, TreeBuilder
 
 _MEMO_FAILED = -2
 
@@ -87,7 +87,14 @@ class GeneratedParser:
         self.errors: List[RecognitionError] = []
         self._speculating = 0
         self._memo: Dict[Tuple[str, int], int] = {}
-        self._ctx_stack: List[Optional[RuleNode]] = []
+        # Trees are built through the shared TreeBuilder (same span and
+        # attach-on-close contract as the interpreted parser).  One
+        # (rule_name, opened) frame per active rule method; ``opened``
+        # records whether that frame opened a tree node, so _exit knows
+        # whether to close/abandon and token matches know whether to
+        # attach leaves.
+        self._builder = TreeBuilder(source=stream.source)
+        self._frames: List[Tuple[str, bool]] = []
 
     # -- entry ----------------------------------------------------------------------
 
@@ -113,14 +120,23 @@ class GeneratedParser:
         return self._speculating > 0
 
     def _enter(self, rule_name: str) -> Optional[RuleNode]:
-        node = RuleNode(rule_name) if self.build_tree and not self.speculating else None
-        if node is not None and self._ctx_stack and self._ctx_stack[-1] is not None:
-            self._ctx_stack[-1].add(node)
-        self._ctx_stack.append(node)
-        return node
+        if self.build_tree and not self.speculating:
+            node = self._builder.open_rule(rule_name, self.stream.index)
+            self._frames.append((rule_name, True))
+            return node
+        self._frames.append((rule_name, False))
+        return None
 
-    def _exit(self) -> None:
-        self._ctx_stack.pop()
+    def _exit(self, ok: bool = True) -> None:
+        """Leave the current rule method.  ``ok`` False (the rule raised)
+        abandons the node instead of closing it, so failed rules leave
+        nothing behind in the tree (attach happens at close)."""
+        _rule_name, opened = self._frames.pop()
+        if opened:
+            if ok:
+                self._builder.close_rule(self.stream.index)
+            else:
+                self._builder.abandon_rule()
 
     def _match(self, token_type: int):
         token = self.stream.lt(1)
@@ -129,8 +145,8 @@ class GeneratedParser:
                 self.TOKEN_NAMES.get(token_type, str(token_type)), token,
                 self.stream.index, rule_name=self._current_rule())
         self.stream.consume()
-        if (self._ctx_stack and self._ctx_stack[-1] is not None):
-            self._ctx_stack[-1].add(TokenNode(token))
+        if self._frames and self._frames[-1][1]:
+            self._builder.add_token(token)
         return token
 
     def _match_any(self, allowed) -> object:
@@ -140,14 +156,14 @@ class GeneratedParser:
                 "one of %s" % sorted(allowed), token, self.stream.index,
                 rule_name=self._current_rule())
         self.stream.consume()
-        if self._ctx_stack and self._ctx_stack[-1] is not None:
-            self._ctx_stack[-1].add(TokenNode(token))
+        if self._frames and self._frames[-1][1]:
+            self._builder.add_token(token)
         return token
 
     def _current_rule(self) -> Optional[str]:
-        for node in reversed(self._ctx_stack):
-            if node is not None:
-                return node.rule_name
+        for name, opened in reversed(self._frames):
+            if opened:
+                return name
         return None
 
     def _fail_predicate(self, code: str) -> None:

@@ -257,3 +257,33 @@ class ActionError(LLStarError):
         self.source = source
         self.cause = cause
         super().__init__("action {%s} raised %r" % (source, cause))
+
+
+class RewriteError(LLStarError):
+    """Base class for :class:`~repro.runtime.rewriter.TokenStreamRewriter`
+    misuse: the rewrite program itself is invalid, independent of any
+    input text."""
+
+
+class RewriteRangeError(RewriteError, IndexError):
+    """A rewrite operation referenced a token index the stream cannot
+    serve: out of range, inverted (``start > stop + 1``), or a
+    recovery-inserted token (``index == -1``) that has no position in
+    the original stream.
+
+    The recovery case is a deliberate policy choice: single-token
+    *deletion* repairs leave real stream positions behind and rewrite
+    fine, but *insertion* repairs synthesize tokens that exist only in
+    the tree — anchoring edits to them is ambiguous (before or after
+    the repair point?), so the rewriter refuses loudly instead of
+    guessing.  Subclasses :class:`IndexError` so generic index-handling
+    code keeps working.
+    """
+
+
+class RewriteConflictError(RewriteError):
+    """Two rewrite operations contradict each other — e.g. replace
+    ranges that partially overlap, where neither edit can subsume the
+    other.  Identical ranges and full containment resolve silently
+    (later operation wins, ANTLR's rule); only genuinely ambiguous
+    overlap raises."""

@@ -10,8 +10,8 @@ the results are compared under a policy that separates *bugs* from
   DFA graph, the generated codegen parser, and the strict LL(k) parser
   when :func:`repro.baselines.llk.llk_viability` admits the grammar)
   must agree exactly: same accept/reject verdict and, when accepting,
-  identical ``to_sexpr()`` digests (``tree-accept`` / ``tree-digest``
-  disagreements).
+  identical ``to_spanned_sexpr()`` digests — shape *and* per-node
+  token-index spans (``tree-accept`` / ``tree-digest`` disagreements).
 * **CFG backends** (GLR, Earley) must agree with each other
   (``cfg-accept``); Earley additionally serves as the context-free
   *oracle*: any other backend accepting a sentence the oracle rejects is
@@ -65,8 +65,13 @@ _KIND = {"interp": TREE, "interp-graph": TREE, "codegen": TREE, "llk": TREE,
 
 
 def tree_digest(tree) -> str:
-    """Stable short digest of a parse tree's canonical s-expression."""
-    return hashlib.sha1(tree.to_sexpr().encode("utf-8")).hexdigest()[:16]
+    """Stable short digest of a parse tree's canonical *spanned*
+    s-expression: shape, token identity, and every node's
+    ``(start, stop)`` token-index span.  Two backends agreeing here
+    agree not just on structure but on which stream positions each rule
+    consumed — the provenance contract the rewriter depends on."""
+    return hashlib.sha1(
+        tree.to_spanned_sexpr().encode("utf-8")).hexdigest()[:16]
 
 
 class BackendResult:
@@ -307,12 +312,14 @@ class DifferentialRunner:
             elif name == "llk":
                 tree = self._parsers[name].parse(stream)
                 accepted, digest = True, tree_digest(tree)
-            elif name == "packrat":
-                accepted = self._parsers[name].recognize(stream)
-            elif name == "glr":
-                accepted = self._parsers[name].recognize(stream)
-            elif name == "earley":
-                accepted = self._parsers[name].recognize(stream)
+            elif name in ("packrat", "glr", "earley"):
+                # The baselines build through the same unified
+                # TreeBuilder, so they digest too: their spanned trees
+                # are compared against the interpreter's as a soft
+                # statistic (ambiguity legitimately picks different
+                # derivations), not a hard disagreement.
+                tree = self._parsers[name].parse(stream)
+                accepted, digest = True, tree_digest(tree)
         except BudgetExceededError as exc:
             accepted, error_type = None, type(exc).__name__
         except RecognitionError as exc:
@@ -351,6 +358,14 @@ class DifferentialRunner:
         if (interp is not None and packrat is not None
                 and interp.accepted is True and packrat.accepted is False):
             stats.append("peg_divergence")
+        if interp is not None and interp.digest is not None:
+            # Soft span-agreement statistic for the non-LL tree
+            # producers: a different digest means a different (equally
+            # valid) derivation, worth counting but not a bug.
+            for other in (packrat, glr, earley):
+                if (other is not None and other.digest is not None
+                        and other.digest != interp.digest):
+                    stats.append("%s_tree_divergence" % other.name)
         return kinds, stats
 
     # -- minimization -------------------------------------------------------

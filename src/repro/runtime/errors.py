@@ -133,7 +133,9 @@ class DefaultErrorStrategy(SingleTokenDeletionStrategy):
         self.report(parser, error)
         missing = Token(expected_type, "<missing %s>" % name,
                         line=token.line, column=token.column)
-        parser._attach_error_node(ErrorNode(error=error, inserted=missing))
+        # The insertion consumed nothing: empty span at the repair point.
+        parser._attach_error_node(
+            ErrorNode(error=error, inserted=missing, at=stream.index))
         telemetry = getattr(parser, "_telemetry", None)
         if telemetry is not None:
             telemetry.record_recovery("insert", rule_name, stream.index)

@@ -49,7 +49,7 @@ from repro.runtime.errors import (
 )
 from repro.runtime.token import EOF
 from repro.runtime.token_stream import TokenStream
-from repro.runtime.trees import ErrorNode, RuleNode, TokenNode
+from repro.runtime.trees import ErrorNode, RuleNode, TokenNode, TreeBuilder
 
 _MEMO_FAILED = -2  # sentinel stop index for memoized failures
 
@@ -134,9 +134,12 @@ class LLStarParser:
         # active rule call; error recovery derives per-ATN-state resync
         # sets from it (ANTLR's combined-follow computation).
         self._follow_stack: List[Tuple[Any, str]] = []
-        # Tree node of the rule currently being parsed: where inline and
-        # panic-mode repairs attach their ErrorNodes.
-        self._ctx_node: Optional[RuleNode] = None
+        # All tree construction goes through the builder: it assigns
+        # token-index spans, parent pointers, and the source-text record
+        # (see DESIGN.md "Tree core & transformation layer").  Its
+        # innermost open rule is also where inline and panic-mode
+        # repairs attach their ErrorNodes.
+        self._builder = TreeBuilder(source=stream.source)
         # Budget accounting (limits live in options.budget).
         self._dfa_steps = 0
         self._synpred_calls = 0
@@ -184,8 +187,13 @@ class LLStarParser:
                         "eof-drain", rule_name, self.stream.index,
                         skipped=len(skipped))
                 if node is not None and (reported or skipped):
-                    node.add(ErrorNode(error=error if reported else None,
-                                       tokens=skipped))
+                    # The root is already closed; extend its span over
+                    # the drained tail so it still covers the whole tree.
+                    err = ErrorNode(error=error if reported else None,
+                                    tokens=skipped, at=self.stream.index)
+                    node.add(err)
+                    if err.stop > node.stop:
+                        node.stop = err.stop
             else:
                 raise error
         return node
@@ -223,8 +231,13 @@ class LLStarParser:
                 return None  # tree building is off while speculating
 
         frame: Dict[str, Any] = dict(zip(rule.params, arg_values))
-        node = (RuleNode(rule_name) if self.options.build_tree and not self.speculating
+        # The builder opens a node at the entry stream position; the
+        # node attaches to its parent only at close, so a failed rule
+        # (no recovery) leaves nothing behind in the tree.
+        node = (self._builder.open_rule(rule_name, self.stream.index)
+                if self.options.build_tree and not self.speculating
                 else None)
+        closed = False
         frame["ctx"] = node
         if self.options.trace is not None:
             self.options.trace.enter_rule(rule_name, self.stream.index, self.speculating)
@@ -234,9 +247,6 @@ class LLStarParser:
             tel.record_rule(rule_name)
             if tel.trace_rules:
                 rule_span = tel.start_span("rule:" + rule_name)
-        prev_ctx = self._ctx_node
-        if node is not None:
-            self._ctx_node = node
         self._rule_depth += 1
         try:
             budget = self.options.budget
@@ -258,17 +268,25 @@ class LLStarParser:
                                                  failed=True)
                 if self.options.recover and not self.speculating:
                     self._recover(rule_name, error)
+                    if node is not None:
+                        self._builder.close_rule(self.stream.index)
+                        closed = True
                     return node
                 raise
+        except BaseException:
+            if node is not None and not closed:
+                self._builder.abandon_rule()
+            raise
         finally:
             self._rule_depth -= 1
-            self._ctx_node = prev_ctx
             if rule_span is not None:
                 tel.end_span(rule_span)
         if memo_key is not None:
             self._memo[memo_key] = self.stream.index
         if self.options.trace is not None:
             self.options.trace.exit_rule(rule_name, self.stream.index, failed=False)
+        if node is not None:
+            self._builder.close_rule(self.stream.index)
         return node
 
     def _walk(self, start, rule_name: str, frame: Dict[str, Any],
@@ -286,17 +304,17 @@ class LLStarParser:
             if isinstance(transition, (AtomTransition, SetTransition)):
                 token = self._match(transition, rule_name)
                 if node is not None:
-                    node.add(TokenNode(token))
+                    self._builder.add_token(token)
                 state = transition.target
             elif isinstance(transition, RuleTransition):
                 args = [self._eval_expr(a, frame) for a in transition.args]
                 self._follow_stack.append((transition.follow_state, rule_name))
                 try:
-                    child = self._run_rule(transition.rule_name, args)
+                    # The child attaches to ``node`` via the builder when
+                    # it closes; nothing to do here on success.
+                    self._run_rule(transition.rule_name, args)
                 finally:
                     self._follow_stack.pop()
-                if node is not None and child is not None:
-                    node.add(child)
                 state = transition.follow_state
             elif isinstance(transition, PredicateTransition):
                 if transition.predicate.is_synpred:
@@ -430,8 +448,7 @@ class LLStarParser:
     def _attach_error_node(self, node: ErrorNode) -> None:
         """Record a repair in the current rule's tree node (no-op when
         tree building is off)."""
-        if self._ctx_node is not None:
-            self._ctx_node.add(node)
+        self._builder.attach(node)
 
     def _check_deadline(self) -> None:
         if self._deadline is not None and time.monotonic() > self._deadline:

@@ -1,0 +1,290 @@
+"""Lazy token-stream rewriting over span-carrying parse trees.
+
+ANTLR's ``TokenStreamRewriter`` pattern (Section 1 of the paper sells
+LL(*) partly on enabling exactly this kind of tooling): record edit
+*operations* against token index ranges — insert-before / insert-after /
+replace / delete — and materialize nothing until :meth:`get_text`.  The
+original stream is never mutated, several independent edit programs can
+share one parse, and a program can be rolled back to any mark.
+
+Rendering is byte-exact.  This runtime skips whitespace at the lexer
+rather than buffering it on a hidden channel, so the renderer does not
+concatenate token texts: it slices the *original source* — the gap
+``source[prev.stop : tok.start]`` between consecutive tokens, each
+token's exact ``source[tok.start : tok.stop]`` slice, and the tail after
+the last token.  A program with no operations therefore reproduces the
+input byte-for-byte, which the CI corpus check asserts.
+
+Operation semantics (adapted from ANTLR's
+``reduceToSingleOperationPerIndex``):
+
+* Inserts normalize to *gap* positions: gap ``g`` sits between token
+  ``g - 1`` and token ``g``.  ``insert_after(i)`` attaches immediately
+  after token ``i``'s text (before the following whitespace);
+  ``insert_before(i)`` attaches immediately before token ``i``'s text
+  (after the preceding whitespace).  Multiple inserts at one point
+  render in issue order.
+* A later replace whose range covers an earlier replace (including the
+  identical range) silently drops the earlier one — the last word wins.
+  Any other overlap is ambiguous and raises
+  :class:`~repro.exceptions.RewriteConflictError`.
+* Inserts strictly inside a replaced range are dropped with it; inserts
+  at the range's start gap or after its end survive.
+
+Error-recovered trees (the documented policy): deletion repairs leave
+real stream positions behind, so node-level edits over them work
+unchanged.  Insertion repairs synthesize tokens with ``index == -1``
+that have no place in the original stream — any operation naming such
+an index raises :class:`~repro.exceptions.RewriteRangeError` instead of
+guessing where the edit should land.  Rule-node spans never contain
+``-1`` (they come from stream positions), so :meth:`replace_node` /
+:meth:`delete_node` stay safe even inside repaired regions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import (RewriteConflictError, RewriteError,
+                              RewriteRangeError)
+from repro.runtime.token import EOF, Token
+from repro.runtime.token_stream import TokenStream
+from repro.util.intervals import IntervalSet
+
+#: The default instruction buffer, ANTLR-style.
+DEFAULT_PROGRAM = "default"
+
+
+class _Insert:
+    __slots__ = ("seq", "gap", "text", "after")
+
+    def __init__(self, seq: int, gap: int, text: str, after: bool = False):
+        self.seq = seq
+        self.gap = gap
+        self.text = text
+        self.after = after  # binds to the preceding token's text
+
+
+class _Replace:
+    __slots__ = ("seq", "start", "stop", "text")
+
+    def __init__(self, seq: int, start: int, stop: int, text: str):
+        self.seq = seq
+        self.start = start
+        self.stop = stop
+        self.text = text
+
+
+class TokenStreamRewriter:
+    """Edit program over a tokenized (and typically parsed) input.
+
+    Construct from the :class:`~repro.runtime.token_stream.TokenStream`
+    the parse consumed; the trailing EOF token, if present, is not
+    editable.  All operations are recorded lazily and validated in two
+    stages: index bounds immediately (fail fast at the call site),
+    cross-operation conflicts at :meth:`get_text` (the ANTLR split).
+    """
+
+    def __init__(self, stream: TokenStream):
+        self.tokens: List[Token] = [stream.get(i) for i in range(stream.size)]
+        if self.tokens and self.tokens[-1].type == EOF:
+            self.tokens.pop()
+        self.source: Optional[str] = getattr(stream, "source", None)
+        self._programs: Dict[str, List[object]] = {DEFAULT_PROGRAM: []}
+        self._seq = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def insert_before(self, index, text: str,
+                      program: str = DEFAULT_PROGRAM) -> None:
+        """Insert ``text`` immediately before token ``index``'s text."""
+        i = self._index(index)
+        self._check_gap(i)
+        self._ops(program).append(self._insert(i, text))
+
+    def insert_after(self, index, text: str,
+                     program: str = DEFAULT_PROGRAM) -> None:
+        """Insert ``text`` immediately after token ``index``'s text."""
+        i = self._index(index)
+        self._check_gap(i + 1)
+        self._ops(program).append(self._insert(i + 1, text, after=True))
+
+    def replace(self, start, stop, text: str,
+                program: str = DEFAULT_PROGRAM) -> None:
+        """Replace tokens ``start..stop`` (inclusive) with ``text``."""
+        lo, hi = self._range(start, stop)
+        self._seq += 1
+        self._ops(program).append(_Replace(self._seq, lo, hi, text))
+
+    def delete(self, start, stop=None, program: str = DEFAULT_PROGRAM) -> None:
+        """Delete tokens ``start..stop`` (inclusive; default one token)."""
+        self.replace(start, start if stop is None else stop, "",
+                     program=program)
+
+    def replace_node(self, node, text: str,
+                     program: str = DEFAULT_PROGRAM) -> None:
+        """Replace the tokens a parse-tree node spans with ``text``.
+
+        An empty-span node (an optional that matched nothing) owns no
+        tokens; replacing it inserts at its position instead.
+        """
+        if node.is_empty_span:
+            gap = self._check_gap(node.start)
+            self._ops(program).append(self._insert(gap, text))
+            return
+        self.replace(node.start, node.stop, text, program=program)
+
+    def delete_node(self, node, program: str = DEFAULT_PROGRAM) -> None:
+        """Delete the tokens a parse-tree node spans (no-op when the
+        node has an empty span)."""
+        if node.is_empty_span:
+            return
+        self.delete(node.start, node.stop, program=program)
+
+    # -- program management --------------------------------------------------------
+
+    def mark(self, program: str = DEFAULT_PROGRAM) -> int:
+        """Checkpoint for :meth:`rollback`: the current op count."""
+        return len(self._ops(program))
+
+    def rollback(self, mark: int, program: str = DEFAULT_PROGRAM) -> None:
+        """Discard every operation recorded after ``mark``."""
+        ops = self._ops(program)
+        if not 0 <= mark <= len(ops):
+            raise RewriteError("rollback mark %d out of range 0..%d"
+                               % (mark, len(ops)))
+        del ops[mark:]
+
+    def replaced_intervals(self,
+                           program: str = DEFAULT_PROGRAM) -> IntervalSet:
+        """Token-index ranges the program's surviving replaces cover."""
+        replaces, _inserts = self._resolve(self._ops(program))
+        covered = IntervalSet()
+        for rop in replaces.values():
+            covered.add_range(rop.start, rop.stop)
+        return covered
+
+    # -- rendering ---------------------------------------------------------------
+
+    def get_text(self, program: str = DEFAULT_PROGRAM) -> str:
+        """Materialize the rewritten text (byte-exact outside edits)."""
+        if self.source is None:
+            raise RewriteError(
+                "rewriting requires the original source text; tokenize via a "
+                "stream constructed with source=... (api.tokenize does)")
+        replaces, inserts = self._resolve(self._ops(program))
+        src = self.tokens
+        out: List[str] = []
+        prev_stop = 0  # char offset: end of the last emitted slice
+        i = 0
+        while i < len(src):
+            tok = src[i]
+            rop = replaces.get(i)
+            # inserts at gap i: after-ops bind to token i-1 (before the
+            # whitespace), before-ops bind to token i (after it).
+            after, before = inserts.get(i, ("", ""))
+            out.append(after)
+            out.append(self.source[prev_stop:tok.start])
+            out.append(before)
+            if rop is not None:
+                out.append(rop.text)
+                last = src[rop.stop]
+                prev_stop = last.stop
+                i = rop.stop + 1
+            else:
+                out.append(self.source[tok.start:tok.stop])
+                prev_stop = tok.stop
+                i += 1
+        after, before = inserts.get(len(src), ("", ""))
+        out.append(after)
+        out.append(before)
+        out.append(self.source[prev_stop:])
+        return "".join(out)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _ops(self, program: str) -> List[object]:
+        return self._programs.setdefault(program, [])
+
+    def _insert(self, gap: int, text: str, after: bool = False) -> _Insert:
+        self._seq += 1
+        return _Insert(self._seq, gap, text, after=after)
+
+    @staticmethod
+    def _index(index) -> int:
+        return index.index if isinstance(index, Token) else index
+
+    def _check_gap(self, gap: int) -> int:
+        """Validate an insertion point (gap 0..n is between/around
+        token texts)."""
+        if not 0 <= gap <= len(self.tokens):
+            raise RewriteRangeError(
+                "insert position %d outside token stream of size %d "
+                "(index -1 marks a recovery-inserted token, which has no "
+                "stream position to anchor an edit)" % (gap, len(self.tokens)))
+        return gap
+
+    def _range(self, start, stop) -> Tuple[int, int]:
+        lo, hi = self._index(start), self._index(stop)
+        if lo < 0 or hi < 0:
+            raise RewriteRangeError(
+                "rewrite range %d..%d names a recovery-inserted token "
+                "(index -1); such tokens exist only in the tree, not the "
+                "stream, so edits cannot anchor to them" % (lo, hi))
+        if lo > hi:
+            raise RewriteRangeError("inverted rewrite range %d..%d" % (lo, hi))
+        if hi >= len(self.tokens):
+            raise RewriteRangeError(
+                "rewrite range %d..%d outside token stream of size %d"
+                % (lo, hi, len(self.tokens)))
+        return lo, hi
+
+    def _resolve(self, ops: List[object]):
+        """Collapse the op list into at most one action per position.
+
+        Returns ``(replaces, inserts)``: ``replaces`` maps a range's
+        *start* token index to its surviving :class:`_Replace`;
+        ``inserts`` maps gap position to ``(after_text, before_text)``.
+        """
+        replaces: List[_Replace] = []
+        for op in ops:
+            if not isinstance(op, _Replace):
+                continue
+            kept: List[_Replace] = []
+            for prior in replaces:
+                if prior.start >= op.start and prior.stop <= op.stop:
+                    continue  # later op covers it entirely: last word wins
+                if prior.stop < op.start or prior.start > op.stop:
+                    kept.append(prior)  # disjoint (adjacency is fine)
+                    continue
+                raise RewriteConflictError(
+                    "replace of tokens %d..%d overlaps earlier replace "
+                    "of %d..%d without covering it; neither edit can "
+                    "subsume the other"
+                    % (op.start, op.stop, prior.start, prior.stop))
+            kept.append(op)
+            replaces = kept
+
+        # Inserts strictly inside a replaced range vanish with the text
+        # they would have annotated; the range's start gap and the gap
+        # after its end are boundaries, not interior.
+        interior = IntervalSet()
+        for rop in replaces:
+            if rop.stop > rop.start:
+                interior.add_range(rop.start + 1, rop.stop)
+        inserts: Dict[int, Tuple[str, str]] = {}
+        for op in ops:
+            if not isinstance(op, _Insert):
+                continue
+            if op.gap in interior:
+                continue
+            after, before = inserts.get(op.gap, ("", ""))
+            # Gap g holds after-ops of token g-1, then before-ops of
+            # token g; each bucket accumulates in issue order.  An op
+            # recorded via insert_after has gap == token.index + 1.
+            if op.after:
+                after += op.text
+            else:
+                before += op.text
+            inserts[op.gap] = (after, before)
+        return {rop.start: rop for rop in replaces}, inserts

@@ -39,7 +39,11 @@ class StreamingTokenStream(TokenStream):
     """
 
     def __init__(self, tokens: Iterable[Token], channel: int = DEFAULT_CHANNEL,
-                 telemetry=None):
+                 telemetry=None, source: "str | None" = None):
+        # Original input text when the caller has it (None for a truly
+        # unbounded feed); the tree builder records it on parse-tree
+        # roots so streaming parses get exact source_text too.
+        self.source = source
         self._source: Iterator[Token] = iter(tokens)
         self._channel = channel
         self._window: List[Token] = []

@@ -17,6 +17,13 @@ from repro.runtime.token import EOF, Token, DEFAULT_CHANNEL
 class TokenStream:
     """Abstract interface the parser and lookahead DFA run against."""
 
+    # The original input text the tokens were lexed from, when known.
+    # The tree builder records it on parse-tree roots so nodes can slice
+    # exact ``source_text``; the rewriter requires it for byte-exact
+    # rendering.  Streams that never saw source (e.g. bare token-type
+    # streams) leave it None.
+    source: "str | None" = None
+
     def la(self, offset: int = 1) -> int:
         """Token *type* ``offset`` tokens ahead (1 == current)."""
         raise NotImplementedError
@@ -54,7 +61,9 @@ class ListTokenStream(TokenStream):
     the input lacks it).
     """
 
-    def __init__(self, tokens: Iterable[Token], channel: int = DEFAULT_CHANNEL):
+    def __init__(self, tokens: Iterable[Token], channel: int = DEFAULT_CHANNEL,
+                 source: "str | None" = None):
+        self.source = source
         all_tokens = list(tokens)
         self._hidden: List[Token] = [t for t in all_tokens if t.channel != channel]
         visible = [t for t in all_tokens if t.channel == channel]
@@ -146,6 +155,7 @@ class LookaheadWatcher(TokenStream):
 
     def __init__(self, inner: TokenStream):
         self.inner = inner
+        self.source = inner.source
         self.origin = inner.index
         self.max_offset = 0
 

@@ -1,0 +1,192 @@
+"""Tree walking: listener dispatch and grammar-derived base classes.
+
+The ANTLR workflow this reproduces: parse once, then drive any number of
+*listeners* over the tree with a :class:`ParseTreeWalker` — enter/exit
+events per rule node, leaf events per token — or compute a result with a
+visitor (:class:`~repro.runtime.trees.TreeVisitor`).  Applications
+subclass a base with one stub per grammar rule rather than dispatching
+by hand.
+
+Two ways to get those bases:
+
+* :func:`derive_listener_base` / :func:`derive_visitor_base` build a
+  class at runtime from a :class:`~repro.grammar.model.Grammar` — the
+  interpreter-side equivalent of generated code.  Each stub carries the
+  rule's productions as its docstring and the class carries
+  ``RULE_REFS``/``TOKEN_REFS`` maps (rule name -> names referenced in
+  its alternatives) so tooling — and readers — know which
+  ``ctx.child_rules(name)`` / ``ctx.child_tokens()`` accesses are
+  meaningful per context.
+* :func:`repro.codegen.python_target.generate_python` with
+  ``listener=True`` emits the same classes as source into the generated
+  parser module (codegen targets).
+
+Event order matches ANTLR: generic ``enter_rule`` fires before the
+specific ``enter_<rule>``; the specific ``exit_<rule>`` fires before the
+generic ``exit_rule``.  :class:`ErrorNode` leaves get their own
+``visit_error`` event — recovered trees walk fine, and listeners that
+care about repairs can see exactly where they happened.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.grammar import ast
+from repro.grammar.model import Grammar, Rule
+from repro.runtime.trees import ErrorNode, ParseTree, RuleNode, TokenNode
+
+
+class ParseTreeListener:
+    """Listener interface: generic hooks plus per-rule ``enter_<rule>``
+    / ``exit_<rule>`` methods discovered by name at walk time."""
+
+    def enter_rule(self, node: RuleNode) -> None:
+        """Called for every rule node, before its specific enter."""
+
+    def exit_rule(self, node: RuleNode) -> None:
+        """Called for every rule node, after its specific exit."""
+
+    def visit_token(self, node: TokenNode) -> None:
+        """Called for every matched-token leaf."""
+
+    def visit_error(self, node: ErrorNode) -> None:
+        """Called for every recovery point in an error-recovered tree."""
+
+
+class ParseTreeWalker:
+    """Depth-first walk firing listener events (iterative, so deeply
+    nested trees from pathological inputs cannot overflow the Python
+    call stack)."""
+
+    #: Shared stateless instance, ANTLR-style: ``ParseTreeWalker.DEFAULT``.
+    DEFAULT: "ParseTreeWalker" = None  # set below
+
+    def walk(self, listener: ParseTreeListener, tree: ParseTree) -> None:
+        # Work stack of (node, entered): entered=False -> fire enter and
+        # reschedule for exit beneath the children; True -> fire exit.
+        stack: List[Tuple[ParseTree, bool]] = [(tree, False)]
+        while stack:
+            node, entered = stack.pop()
+            if isinstance(node, RuleNode):
+                if entered:
+                    specific = getattr(listener, "exit_" + node.rule_name, None)
+                    if specific is not None:
+                        specific(node)
+                    listener.exit_rule(node)
+                else:
+                    listener.enter_rule(node)
+                    specific = getattr(listener, "enter_" + node.rule_name, None)
+                    if specific is not None:
+                        specific(node)
+                    stack.append((node, True))
+                    for child in reversed(node.children):
+                        stack.append((child, False))
+            elif isinstance(node, ErrorNode):
+                listener.visit_error(node)
+            elif isinstance(node, TokenNode):
+                listener.visit_token(node)
+
+
+ParseTreeWalker.DEFAULT = ParseTreeWalker()
+
+
+def walk(listener: ParseTreeListener, tree: ParseTree) -> None:
+    """Convenience: ``ParseTreeWalker.DEFAULT.walk(listener, tree)``."""
+    ParseTreeWalker.DEFAULT.walk(listener, tree)
+
+
+# -- grammar-derived bases ----------------------------------------------------
+
+
+def rule_refs(rule: Rule) -> Tuple[List[str], List[str]]:
+    """(rule names, token names) referenced by ``rule``'s alternatives,
+    in first-occurrence order — the meaningful arguments for
+    ``ctx.child_rules(name)`` on that rule's context nodes."""
+    rules: List[str] = []
+    tokens: List[str] = []
+    for el in rule.walk_elements():
+        if isinstance(el, ast.RuleRef):
+            if el.name not in rules:
+                rules.append(el.name)
+        elif isinstance(el, (ast.TokenRef, ast.Literal)):
+            name = getattr(el, "name", None) or getattr(el, "text", None)
+            if isinstance(el, ast.Literal):
+                name = "'%s'" % el.text
+            if name and name not in tokens:
+                tokens.append(name)
+    return rules, tokens
+
+
+def _rule_doc(rule: Rule) -> str:
+    from repro.grammar.printer import print_rule
+
+    return print_rule(rule).strip()
+
+
+def _base_maps(grammar: Grammar) -> Tuple[Dict[str, List[str]],
+                                          Dict[str, List[str]]]:
+    rule_map: Dict[str, List[str]] = {}
+    token_map: Dict[str, List[str]] = {}
+    for rule in grammar.parser_rules:
+        if rule.name.startswith("synpred"):
+            continue  # analysis artifacts, not part of the language
+        rules, tokens = rule_refs(rule)
+        rule_map[rule.name] = rules
+        token_map[rule.name] = tokens
+    return rule_map, token_map
+
+
+def _stub(doc: str):
+    def method(self, node):
+        pass
+
+    method.__doc__ = doc
+    return method
+
+
+def derive_listener_base(grammar: Grammar) -> type:
+    """A :class:`ParseTreeListener` subclass named ``<G>Listener`` with
+    one no-op ``enter_<rule>``/``exit_<rule>`` stub pair per parser
+    rule, each docstringed with the rule's productions."""
+    ns: Dict[str, object] = {
+        "__doc__": "Listener base for grammar %s (derived)." % grammar.name,
+    }
+    rule_map, token_map = _base_maps(grammar)
+    ns["RULE_NAMES"] = tuple(rule_map)
+    ns["RULE_REFS"] = rule_map
+    ns["TOKEN_REFS"] = token_map
+    for rule in grammar.parser_rules:
+        if rule.name not in rule_map:
+            continue
+        doc = _rule_doc(rule)
+        ns["enter_" + rule.name] = _stub(doc)
+        ns["exit_" + rule.name] = _stub(doc)
+    return type("%sListener" % grammar.name, (ParseTreeListener,), ns)
+
+
+def derive_visitor_base(grammar: Grammar) -> type:
+    """A :class:`~repro.runtime.trees.TreeVisitor` subclass named
+    ``<G>Visitor`` whose ``visit_<rule>`` stubs default to visiting
+    children; override the ones that compute something."""
+    from repro.runtime.trees import TreeVisitor
+
+    def visit_children_stub(doc: str):
+        def method(self, node):
+            return self.generic_visit(node)
+
+        method.__doc__ = doc
+        return method
+
+    ns: Dict[str, object] = {
+        "__doc__": "Visitor base for grammar %s (derived)." % grammar.name,
+    }
+    rule_map, token_map = _base_maps(grammar)
+    ns["RULE_NAMES"] = tuple(rule_map)
+    ns["RULE_REFS"] = rule_map
+    ns["TOKEN_REFS"] = token_map
+    for rule in grammar.parser_rules:
+        if rule.name not in rule_map:
+            continue
+        ns["visit_" + rule.name] = visit_children_stub(_rule_doc(rule))
+    return type("%sVisitor" % grammar.name, (TreeVisitor,), ns)

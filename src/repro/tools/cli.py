@@ -132,6 +132,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.add_argument("input")
 
+    p = sub.add_parser(
+        "rewrite",
+        help="parse an input and re-emit it through the token-stream "
+             "rewriter (byte-exact outside edits)")
+    add_common(p)
+    p.add_argument("input", help="path to input text")
+    p.add_argument("--rule", help="start rule (default: first parser rule)")
+    p.add_argument("--rename", metavar="OLD=NEW", action="append", default=[],
+                   help="rename every non-literal token spelled OLD to NEW "
+                        "(identifier refactoring; repeatable)")
+    p.add_argument("-o", "--output",
+                   help="output file (default stdout)")
+
     p = sub.add_parser("explain",
                        help="narrate a decision's lookahead-DFA walk on input")
     add_common(p)
@@ -303,7 +316,8 @@ def cmd_parse(args) -> int:
     trace = TraceListener(echo=False) if args.trace else None
     options = ParserOptions(trace=trace, recover=args.recover,
                             telemetry=telemetry)
-    parser = host.parser(_read_input(args.input), options=options)
+    text = _read_input(args.input)
+    parser = host.parser(text, options=options)
     try:
         tree = parser.parse(args.rule)
     finally:
@@ -316,11 +330,20 @@ def cmd_parse(args) -> int:
     if args.tree and tree is not None:
         print(tree.to_sexpr())
     if parser.errors:
-        # One compiler-style line per recovered error, then fail the run:
-        # a parse that needed repairs is not a clean parse.
+        from repro.tools.explain import token_excerpt
+
+        # One compiler-style line per recovered error — with the exact
+        # source line and a caret underline from the offending token's
+        # char offsets — then fail the run: a parse that needed repairs
+        # is not a clean parse.
         for error in parser.errors:
             print("%s:%s: %s" % (args.input, error.position, error),
                   file=sys.stderr)
+            token = getattr(error, "token", None)
+            if token is not None:
+                excerpt = token_excerpt(text, token, prefix="    ")
+                if excerpt:
+                    print(excerpt, file=sys.stderr)
         print("%d syntax error(s) in %s" % (len(parser.errors), args.input),
               file=sys.stderr)
         return 1
@@ -430,6 +453,53 @@ def cmd_tokens(args) -> int:
         print("%-4d %-16s %r" % (token.index,
                                  host.grammar.vocabulary.name_of(token.type),
                                  token.text))
+    return 0
+
+
+def cmd_rewrite(args) -> int:
+    from repro.runtime.rewriter import TokenStreamRewriter
+    from repro.runtime.walker import ParseTreeListener, ParseTreeWalker
+
+    renames = []
+    for spec in args.rename:
+        old, sep, new = spec.partition("=")
+        if not sep or not old or not new:
+            print("error: --rename expects OLD=NEW, got %r" % spec,
+                  file=sys.stderr)
+            return 2
+        renames.append((old, new))
+
+    host = _load_host(args)
+    text = _read_input(args.input)
+    stream = host.tokenize(text)
+    tree = host.parse(stream, rule_name=args.rule)
+    rewriter = TokenStreamRewriter(stream)
+
+    if renames:
+        vocabulary = host.grammar.vocabulary
+
+        class Renamer(ParseTreeListener):
+            # Spelling-based rename over matched leaves: literal tokens
+            # (display name 'so-quoted') are keywords/operators, never
+            # rename targets, whatever they spell.
+            def visit_token(self, node):
+                token = node.token
+                if vocabulary.name_of(token.type).startswith("'"):
+                    return
+                for old, new in renames:
+                    if token.text == old:
+                        rewriter.replace(token.index, token.index, new)
+                        return
+
+        ParseTreeWalker.DEFAULT.walk(Renamer(), tree)
+
+    rewritten = rewriter.get_text()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rewritten)
+        print("wrote %s" % args.output, file=sys.stderr)
+    else:
+        sys.stdout.write(rewritten)
     return 0
 
 
@@ -624,6 +694,7 @@ _COMMANDS = {
     "sets": cmd_sets,
     "codegen": cmd_codegen,
     "tokens": cmd_tokens,
+    "rewrite": cmd_rewrite,
     "cache": cmd_cache,
 }
 

@@ -15,6 +15,40 @@ from typing import List, Optional
 from repro.runtime.token_stream import TokenStream
 
 
+def source_excerpt(source: str, start: int, stop: Optional[int] = None,
+                   prefix: str = "") -> str:
+    """Compiler-style excerpt: the source line containing char offset
+    ``start`` with a caret underline covering ``start..stop`` (``stop``
+    exclusive; defaults to one caret).
+
+    Offsets come from token ``start``/``stop`` or a tree node's
+    :meth:`~repro.runtime.trees.ParseTree.source_span` — the exact
+    char-offset provenance the span-carrying tree core records.
+    Returns ``""`` when ``start`` is out of range (e.g. the ``-1`` of a
+    recovery-synthesized token), so callers can print unconditionally.
+    """
+    if source is None or not 0 <= start <= len(source):
+        return ""
+    if stop is None or stop <= start:
+        stop = start + 1
+    line_start = source.rfind("\n", 0, start) + 1
+    line_end = source.find("\n", start)
+    if line_end == -1:
+        line_end = len(source)
+    line = source[line_start:line_end]
+    caret_at = start - line_start
+    # Tabs in the prefix keep their width in the underline so the
+    # carets land under the right columns.
+    pad = "".join("\t" if ch == "\t" else " " for ch in line[:caret_at])
+    width = max(1, min(stop, line_end) - start)
+    return ("%s%s\n%s%s%s" % (prefix, line, prefix, pad, "^" * width))
+
+
+def token_excerpt(source: str, token, prefix: str = "") -> str:
+    """:func:`source_excerpt` for one token's char-offset range."""
+    return source_excerpt(source, token.start, token.stop, prefix=prefix)
+
+
 class PredictionTrace:
     """Step-by-step record of one DFA walk."""
 

@@ -292,3 +292,76 @@ class TestLLkParser:
         p = LLkParser(nested.analysis)
         with pytest.raises(RecognitionError):
             p.parse(nested.tokenize("(a"))
+
+
+EBNF_RICH = r"""
+grammar E;
+program : stmt+ ;
+stmt : ID '=' expr ';' ;
+expr : term (('+' | '-') term)* ;
+term : ID | INT | '(' expr ')' ;
+ID  : [a-z]+ ;
+INT : [0-9]+ ;
+WS  : [ \t\r\n]+ -> skip ;
+"""
+
+
+@pytest.fixture(scope="module")
+def ebnf_rich():
+    return repro.compile_grammar(EBNF_RICH)
+
+
+class TestTreeParity:
+    """Every baseline's ``parse()`` builds through the unified
+    TreeBuilder, so all producers must emit the *identical spanned*
+    s-expression — same shape, same token-index provenance — as the
+    interpreter.  This is the contract the differential harness digests
+    and the rewriter's node-level edits depend on."""
+
+    TEXTS = ["a = b;", "a = b + c - (d + 1);", "x = 1; y = (x + 2);"]
+
+    def _producers(self, host):
+        from repro.baselines.glr import GLRParser
+        from repro.baselines.llk import LLkParser
+
+        return {
+            "llk": LLkParser(host.analysis),
+            "packrat": PackratParser(host.grammar),
+            "glr": GLRParser(host.grammar),
+            "earley": EarleyParser(host.grammar),
+        }
+
+    def test_spanned_sexpr_parity(self, ebnf_rich):
+        for text in self.TEXTS:
+            expected = ebnf_rich.parse(text).to_spanned_sexpr()
+            for name, p in self._producers(ebnf_rich).items():
+                actual = p.parse(ebnf_rich.tokenize(text)).to_spanned_sexpr()
+                assert actual == expected, (name, text)
+
+    def test_source_text_exact_for_all_producers(self, ebnf_rich):
+        text = "a =  b +\tc ;"
+        for name, p in self._producers(ebnf_rich).items():
+            tree = p.parse(ebnf_rich.tokenize(text))
+            expr = tree.first_rule("stmt").first_rule("expr")
+            assert expr.source_text == "b +\tc", name
+
+    def test_parent_pointers_consistent(self, ebnf_rich):
+        # bottom-up producers (GLR/Earley) share labels across losing
+        # derivations; finish_root must leave parents pointing inward
+        for name, p in self._producers(ebnf_rich).items():
+            tree = p.parse(ebnf_rich.tokenize("a = (b + c);"))
+            stack = [tree]
+            while stack:
+                node = stack.pop()
+                for child in getattr(node, "children", ()):
+                    assert child.parent is node, name
+                    stack.append(child)
+            for leaf in tree.token_nodes():
+                assert leaf.root is tree, name
+
+    def test_reject_raises_recognition_error(self, ebnf_rich):
+        from repro.exceptions import RecognitionError
+
+        for name, p in self._producers(ebnf_rich).items():
+            with pytest.raises(RecognitionError):
+                p.parse(ebnf_rich.tokenize("a = ;"))

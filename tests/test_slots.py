@@ -82,6 +82,17 @@ def _instances():
     yield table
     yield LexerTable(0, 1, (0, 0), (), (), (), (-1,), ())
     yield TableSet(pool, [table])
+    # The span-carrying tree core: every parse allocates one node per
+    # rule/token, so the whole hierarchy (and its builder) stays
+    # __dict__-free too.
+    from repro.runtime.trees import (ErrorNode, RuleNode, TokenNode,
+                                     TreeBuilder)
+    rule_node = RuleNode("r")
+    rule_node.add(TokenNode(Token(5, "x", index=0)))
+    yield rule_node
+    yield TokenNode(Token(5, "x", index=0))
+    yield ErrorNode(at=0)
+    yield TreeBuilder(source="x")
 
 
 @pytest.mark.parametrize("instance", list(_instances()),

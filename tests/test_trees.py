@@ -1,0 +1,177 @@
+"""The span-carrying tree core: spans, parents, provenance, builder.
+
+Every producer funnels through :class:`TreeBuilder`, so these tests pin
+the contract once: inclusive token-index spans, ``(p, p-1)`` for empty
+nodes, parent back-pointers to the root, and ``source_text`` as an
+*exact* char-offset slice of the input (whitespace and comments
+included) rather than the whitespace-lossy ``text`` join.
+"""
+
+import pytest
+
+import repro
+from repro.runtime.token import Token
+from repro.runtime.trees import ErrorNode, RuleNode, TokenNode, TreeBuilder
+
+GRAMMAR = r"""
+grammar Spans;
+
+program : stmt+ ;
+stmt : ID '=' expr ';' ;
+expr : term ('+' term)* ;
+term : ID | INT ;
+
+ID  : [a-z]+ ;
+INT : [0-9]+ ;
+WS  : [ \t\r\n]+ -> skip ;
+"""
+
+
+@pytest.fixture(scope="module")
+def host():
+    return repro.compile_grammar(GRAMMAR)
+
+
+class TestSpans:
+    def test_root_spans_all_tokens(self, host):
+        tree = host.parse("a = b + c;")
+        assert tree.span == (0, 5)  # a = b + c ;
+
+    def test_nested_rule_spans_nest(self, host):
+        tree = host.parse("a = b + c; d = e;")
+        stmts = tree.child_rules("stmt")
+        assert [s.span for s in stmts] == [(0, 5), (6, 9)]
+        expr = stmts[0].first_rule("expr")
+        assert expr.span == (2, 4)  # b + c
+        terms = expr.child_rules("term")
+        assert [t.span for t in terms] == [(2, 2), (4, 4)]
+
+    def test_token_node_span_is_its_index(self, host):
+        tree = host.parse("a = b;")
+        for leaf in tree.token_nodes():
+            assert leaf.span == (leaf.token.index, leaf.token.index)
+
+    def test_empty_span_convention(self):
+        builder = TreeBuilder()
+        builder.open_rule("outer", 3)
+        builder.open_rule("empty", 3)
+        builder.close_rule(3)
+        node = builder.close_rule(3)
+        empty = node.children[0]
+        assert empty.span == (3, 2)
+        assert empty.is_empty_span
+        assert not node.is_empty_span or node.span == (3, 2)
+
+
+class TestParents:
+    def test_parent_chain_reaches_root(self, host):
+        tree = host.parse("a = b + c;")
+        for leaf in tree.token_nodes():
+            assert leaf.root is tree
+        term = tree.first_rule("stmt").first_rule("expr").first_rule("term")
+        names = [n.rule_name for n in term.ancestors()]
+        assert names == ["expr", "stmt", "program"]
+        assert term.depth == 3
+        assert tree.depth == 0
+        assert tree.parent is None
+
+    def test_add_sets_parent(self):
+        parent = RuleNode("p")
+        child = TokenNode(Token(1, "x", index=0))
+        parent.add(child)
+        assert child.parent is parent
+
+
+class TestSourceText:
+    def test_exact_slice_preserves_interior_whitespace(self, host):
+        text = "a   =\tb +\n   c;"
+        tree = host.parse(text)
+        expr = tree.first_rule("stmt").first_rule("expr")
+        assert expr.source_text == "b +\n   c"
+        # the lossy join is still there under .text
+        assert expr.text == "b + c"
+
+    def test_root_source_text_trims_to_token_span(self, host):
+        text = "  a = b;  "
+        tree = host.parse(text)
+        assert tree.source_text == "a = b;"
+
+    def test_source_span_char_offsets(self, host):
+        text = "a = b + c;"
+        tree = host.parse(text)
+        expr = tree.first_rule("stmt").first_rule("expr")
+        lo, hi = expr.source_span()
+        assert text[lo:hi] == "b + c"
+
+    def test_source_reached_through_parent_chain(self, host):
+        tree = host.parse("a = b;")
+        term = tree.first_rule("stmt").first_rule("expr").first_rule("term")
+        # interior nodes do not store the source; they climb to the root
+        assert term.source_text == "b"
+
+    def test_falls_back_to_join_without_source(self):
+        builder = TreeBuilder()  # no source recorded
+        builder.open_rule("r", 0)
+        builder.add_token(Token(1, "x", index=0, start=0, stop=1))
+        node = builder.close_rule(1)
+        assert node.source_text == "x"
+
+
+class TestBuilderContract:
+    def test_attach_on_close_discards_abandoned_rules(self):
+        builder = TreeBuilder()
+        builder.open_rule("outer", 0)
+        builder.open_rule("failed", 0)
+        builder.add_token(Token(1, "x", index=0))
+        builder.abandon_rule()
+        node = builder.close_rule(0)
+        assert node.children == []
+
+    def test_checkpoint_rollback(self):
+        builder = TreeBuilder()
+        builder.open_rule("r", 0)
+        mark = builder.checkpoint()
+        builder.add_token(Token(1, "x", index=0))
+        builder.rollback(mark)
+        node = builder.close_rule(0)
+        assert node.children == []
+
+    def test_bottom_up_rule_splices_nested_lists(self):
+        builder = TreeBuilder()
+        leaf0 = builder.leaf(Token(1, "a", index=0))
+        leaf1 = builder.leaf(Token(1, "b", index=1))
+        node = builder.rule("r", [leaf0, [leaf1]], at=0)
+        assert [c.token.text for c in node.children] == ["a", "b"]
+        assert node.span == (0, 1)
+
+    def test_finish_root_reparents_shared_labels(self):
+        builder = TreeBuilder()
+        leaf = builder.leaf(Token(1, "a", index=0))
+        winner = builder.rule("w", [leaf], at=0)
+        # a losing derivation stole the leaf's parent pointer
+        loser = RuleNode("l")
+        loser.add(leaf)
+        root = builder.finish_root(winner)
+        assert leaf.parent is root
+
+    def test_close_requires_open(self):
+        builder = TreeBuilder()
+        assert builder.attach(ErrorNode(at=0)) is False
+
+
+class TestSpannedSexpr:
+    def test_spanned_sexpr_shows_provenance(self, host):
+        tree = host.parse("a = b;")
+        spanned = tree.to_spanned_sexpr()
+        assert "program[0:3]" in spanned
+        assert "@0" in spanned  # token indexes ride along
+
+    def test_error_nodes_excluded_from_text_but_spanned(self, host):
+        from repro.runtime.parser import ParserOptions
+
+        parser = host.parser("a = ; b = c;",
+                             options=ParserOptions(recover=True))
+        tree = parser.parse()
+        assert parser.errors
+        assert tree.has_errors
+        assert len(list(tree.error_nodes())) >= 1

@@ -1,0 +1,188 @@
+"""Walker/listener layer: event order, derived and generated bases.
+
+The event protocol is ANTLR's: generic ``enter_rule`` before the
+specific ``enter_<rule>``, specific ``exit_<rule>`` before the generic
+``exit_rule``, one ``visit_token`` per matched leaf, ``visit_error``
+per recovery point — and error-recovered trees walk without special
+casing.
+"""
+
+import pytest
+
+import repro
+from repro.codegen import generate_python
+from repro.codegen.support import GeneratedParser
+from repro.runtime.parser import ParserOptions
+from repro.runtime.walker import (
+    ParseTreeListener,
+    ParseTreeWalker,
+    derive_listener_base,
+    derive_visitor_base,
+    walk,
+)
+
+GRAMMAR = r"""
+grammar Walk;
+
+program : stmt+ ;
+stmt : ID '=' expr ';' ;
+expr : ID | INT ;
+
+ID  : [a-z]+ ;
+INT : [0-9]+ ;
+WS  : [ \t\r\n]+ -> skip ;
+"""
+
+
+@pytest.fixture(scope="module")
+def host():
+    return repro.compile_grammar(GRAMMAR)
+
+
+class Recorder(ParseTreeListener):
+    def __init__(self):
+        self.events = []
+
+    def enter_rule(self, node):
+        self.events.append(("enter", node.rule_name))
+
+    def exit_rule(self, node):
+        self.events.append(("exit", node.rule_name))
+
+    def visit_token(self, node):
+        self.events.append(("token", node.token.text))
+
+    def visit_error(self, node):
+        self.events.append(("error", node.span))
+
+    def enter_stmt(self, node):
+        self.events.append(("enter_stmt", node.span))
+
+    def exit_stmt(self, node):
+        self.events.append(("exit_stmt", node.span))
+
+
+class TestEventOrder:
+    def test_depth_first_order(self, host):
+        tree = host.parse("a = 1;")
+        rec = Recorder()
+        walk(rec, tree)
+        assert rec.events == [
+            ("enter", "program"),
+            ("enter", "stmt"),
+            ("enter_stmt", (0, 3)),
+            ("token", "a"),
+            ("token", "="),
+            ("enter", "expr"),
+            ("token", "1"),
+            ("exit", "expr"),
+            ("token", ";"),
+            ("exit_stmt", (0, 3)),
+            ("exit", "stmt"),
+            ("exit", "program"),
+        ]
+
+    def test_generic_brackets_specific(self, host):
+        # generic enter before specific enter; specific exit before
+        # generic exit (the enter_stmt/exit_stmt placement above)
+        tree = host.parse("a = 1;")
+        rec = Recorder()
+        walk(rec, tree)
+        enter_i = rec.events.index(("enter", "stmt"))
+        assert rec.events[enter_i + 1][0] == "enter_stmt"
+        exit_i = rec.events.index(("exit", "stmt"))
+        assert rec.events[exit_i - 1][0] == "exit_stmt"
+
+    def test_deep_tree_does_not_recurse(self, host):
+        # iterative walker: thousands of siblings and no RecursionError
+        tree = host.parse("a = 1; " * 2000)
+        rec = Recorder()
+        ParseTreeWalker.DEFAULT.walk(rec, tree)
+        assert len([e for e in rec.events if e == ("enter", "stmt")]) == 2000
+
+    def test_recovered_tree_fires_error_events(self, host):
+        parser = host.parser("a = ; b = 1;",
+                             options=ParserOptions(recover=True))
+        tree = parser.parse()
+        assert parser.errors
+        rec = Recorder()
+        walk(rec, tree)
+        assert any(e[0] == "error" for e in rec.events)
+        # the walk still covers the repaired remainder
+        assert ("token", "b") in rec.events
+
+
+class TestDerivedBases:
+    def test_listener_base_has_per_rule_stubs(self, host):
+        base = derive_listener_base(host.grammar)
+        assert base.__name__ == "WalkListener"
+        for rule in ("program", "stmt", "expr"):
+            assert hasattr(base, "enter_" + rule)
+            assert hasattr(base, "exit_" + rule)
+        assert base.RULE_NAMES == ("program", "stmt", "expr")
+        # context-accessor maps name what each ctx can contain
+        assert base.RULE_REFS["stmt"] == ["expr"]
+        assert "ID" in base.TOKEN_REFS["stmt"]
+        assert "';'" in base.TOKEN_REFS["stmt"]
+
+    def test_listener_base_stubs_documented(self, host):
+        base = derive_listener_base(host.grammar)
+        assert "expr" in base.enter_stmt.__doc__
+
+    def test_listener_subclass_walks(self, host):
+        base = derive_listener_base(host.grammar)
+        seen = []
+
+        class Counter(base):
+            def enter_stmt(self, node):
+                seen.append(node.span)
+
+        walk(Counter(), host.parse("a = 1; b = c;"))
+        assert seen == [(0, 3), (4, 7)]
+
+    def test_visitor_base_defaults_to_children(self, host):
+        base = derive_visitor_base(host.grammar)
+        assert base.__name__ == "WalkVisitor"
+        tokens = []
+
+        class Collect(base):
+            def visit_token(self, node):
+                tokens.append(node.token.text)
+
+        Collect().visit(host.parse("a = 1;"))
+        assert tokens == ["a", "=", "1", ";"]
+
+
+class TestGeneratedBases:
+    @pytest.fixture(scope="class")
+    def module(self, host):
+        source = generate_python(host.analysis)
+        namespace = {}
+        exec(compile(source, "<walk-generated>", "exec"), namespace)
+        return namespace
+
+    def test_classes_emitted(self, module):
+        assert "WalkListener" in module
+        assert "WalkVisitor" in module
+        assert module["WalkListener"].RULE_NAMES == ("program", "stmt", "expr")
+        assert module["WalkListener"].RULE_REFS["stmt"] == ["expr"]
+
+    def test_generated_listener_walks_generated_tree(self, host, module):
+        parser_cls = next(v for v in module.values()
+                          if isinstance(v, type)
+                          and issubclass(v, GeneratedParser)
+                          and v is not GeneratedParser)
+        tree = parser_cls(host.tokenize("a = 1;")).parse()
+        seen = []
+
+        class L(module["WalkListener"]):
+            def exit_expr(self, node):
+                seen.append(node.source_text)
+
+        walk(L(), tree)
+        assert seen == ["1"]
+
+    def test_emitting_without_listener_flag_omits_bases(self, host):
+        source = generate_python(host.analysis, listener=False)
+        assert "WalkListener" not in source
+        assert "WalkVisitor" not in source
