@@ -166,3 +166,81 @@ def test_mmap_start(tmp_path_factory, paper_names, monkeypatch):
         f.write("\n".join(lines) + "\n")
     print("\n".join(lines))
     assert "mmap warm" in text_table
+
+
+@pytest.mark.skipif(not os.path.exists("/proc/self/smaps_rollup"),
+                    reason="needs linux smaps accounting")
+def test_lazy_classification_warm_start(tmp_path_factory, paper_names):
+    """Deferred decision classification on the warm-start path.
+
+    ``DecisionRecord.category``/``fixed_k`` derive lazily: classifying a
+    zero-copy record walks its table arrays, i.e. faults mmap pages in
+    and (for the shape sweep) allocates private memory — warm starts
+    that never ask for Table-1 aggregates shouldn't pay either.  Timed
+    as warm start alone vs warm start plus a full classification sweep,
+    and as per-worker PSS with and without the sweep.
+    """
+    cache_dir = str(tmp_path_factory.mktemp("llt-lazy"))
+    bench = load(PSS_GRAMMAR)
+    text = bench.grammar_text
+    compile_grammar(text, cache_dir=cache_dir)  # publish the sidecar
+
+    def warm_lazy():
+        host = compile_grammar(text, cache_dir=cache_dir)
+        assert host.from_cache
+        return host
+
+    def warm_forced():
+        host = warm_lazy()
+        for record in host.analysis.records:
+            record.category  # walks the table arrays
+        return host
+
+    lazy_s = _best(warm_lazy)
+    forced_s = _best(warm_forced)
+    assert all(r._category is None for r in warm_lazy().analysis.records)
+    assert lazy_s <= forced_s, \
+        "skipping the classification sweep cannot be slower than running it"
+
+    # Per-worker private-memory cost of the sweep, measured before/after
+    # inside the same forked worker (worker-to-worker PSS varies by MBs;
+    # the in-process delta isolates what classification itself touches).
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+
+    def boot(q):
+        host = compile_grammar(text, cache_dir=cache_dir)
+        before = _self_pss_kb()
+        for record in host.analysis.records:
+            record.category
+        q.put((before, _self_pss_kb()))
+
+    procs = [ctx.Process(target=boot, args=(queue,))
+             for _ in range(WORKERS)]
+    for p in procs:
+        p.start()
+    readings = [queue.get(timeout=60) for _ in procs]
+    for p in procs:
+        p.join(timeout=60)
+    lazy_pss = sum(before for before, _ in readings)
+    forced_pss = sum(after for _, after in readings)
+
+    rows = [
+        ("warm start, classification deferred", "%.1fms" % (lazy_s * 1e3),
+         "%d kB" % (lazy_pss // WORKERS)),
+        ("warm start + classify all decisions", "%.1fms" % (forced_s * 1e3),
+         "%d kB" % (forced_pss // WORKERS)),
+        ("delta per worker", "%.1fms" % ((forced_s - lazy_s) * 1e3),
+         "%+d kB" % ((forced_pss - lazy_pss) // WORKERS)),
+    ]
+    header = ("Warm boot (%s grammar)" % paper_names[PSS_GRAMMAR],
+              "best of %d" % REPEATS, "PSS/worker")
+    widths = [max(len(str(r[i])) for r in [header] + rows) for i in range(3)]
+    lines = ["", "Lazy decision classification on the warm path", ""]
+    for r in [header] + rows:
+        lines.append("  ".join(str(c).ljust(widths[i])
+                               for i, c in enumerate(r)))
+    with open(os.path.join(os.path.dirname(__file__), "results",
+                           "mmap_start.txt"), "a") as f:
+        f.write("\n".join(lines) + "\n")
+    print("\n".join(lines))

@@ -53,8 +53,13 @@ class DecisionRecord:
         self._dfa: Optional[DFA] = dfa
         self._table: Optional[DecisionTable] = None
         self._pool: Optional[SemCtxPool] = None
-        self.category = self._classify()
-        self.fixed_k = self._shape().fixed_k() if self.category == FIXED else None
+        # Classification is lazy (see the ``category`` property): a warm
+        # start materialises hundreds of records whose shape most parses
+        # never ask about, and classifying a zero-copy table walks its
+        # arrays — i.e. touches mmap pages.  Deferring it keeps warm
+        # start O(decisions) dict work with no page faults.
+        self._category: Optional[str] = None
+        self._fixed_k: Optional[int] = None
         #: True when this record carries a placeholder DFA (its cached
         #: form was unusable); the parser rebuilds the real DFA on first
         #: use via DecisionAnalyzer and calls :meth:`replace_dfa`.
@@ -72,8 +77,8 @@ class DecisionRecord:
         record._dfa = None
         record._table = table
         record._pool = table.pool
-        record.category = record._classify()
-        record.fixed_k = table.fixed_k() if record.category == FIXED else None
+        record._category = None  # classified lazily from table shape
+        record._fixed_k = None
         record.degraded = False
         return record
 
@@ -90,6 +95,32 @@ class DecisionRecord:
             return CYCLIC
         return FIXED
 
+    @property
+    def category(self) -> str:
+        """Table 1 bucket, derived from the machine's shape on first use
+        (and then sticky — see the :attr:`dfa` setter)."""
+        if self._category is None:
+            self._category = self._classify()
+            if self._category == FIXED:
+                self._fixed_k = self._shape().fixed_k()
+        return self._category
+
+    @category.setter
+    def category(self, value: str) -> None:
+        self._category = value
+
+    @property
+    def fixed_k(self) -> Optional[int]:
+        """Lookahead depth k for fixed decisions, None otherwise;
+        forcing it classifies the record."""
+        if self._category is None:
+            _ = self.category
+        return self._fixed_k
+
+    @fixed_k.setter
+    def fixed_k(self, value: Optional[int]) -> None:
+        self._fixed_k = value
+
     # -- the two representations -------------------------------------------------
 
     @property
@@ -103,7 +134,12 @@ class DecisionRecord:
         # Direct assignment (degraded-mode tests, tools) must never leave
         # a stale table behind; classification is NOT re-derived here,
         # matching the old plain-attribute semantics — use replace_dfa()
-        # for a rebuild that should reclassify.
+        # for a rebuild that should reclassify.  An unclassified record
+        # pins the *outgoing* machine's classification first, so lazy
+        # derivation can never silently read the swapped-in machine.
+        if self._category is None and (self._dfa is not None
+                                       or self._table is not None):
+            _ = self.category
         self._dfa = dfa
         self._table = None
 

@@ -121,6 +121,12 @@ class DFATokenizer:
         self.stream = stream
         self.use_char_classes = use_char_classes
         self._emitted_eof = False
+        # Exclusive char offset one past the furthest character the most
+        # recent next_token() scan *examined* (not just consumed):
+        # maximal munch reads one char beyond the accepted lexeme before
+        # it can stop.  The incremental relexer uses this to decide which
+        # old lexemes an edit can possibly have changed.
+        self.last_scan_end = 0
 
     def __iter__(self) -> Iterator[Token]:
         return self
@@ -146,6 +152,7 @@ class DFATokenizer:
         """
         stream = self.stream
         if stream.at_eof:
+            self.last_scan_end = stream.index + 1  # "examined" end-of-input
             line, col = stream.line_column()
             return Token.eof(line=line, column=col, start=stream.index)
 
@@ -196,6 +203,12 @@ class DFATokenizer:
                 if ai >= 0:
                     last_end = index
                     last_accept = ai
+
+        # ``index`` stopped either on the first character with no DFA
+        # edge (examined, not consumed) or at end of input (the scan
+        # examined the EOF boundary); either way the scan looked at
+        # everything strictly before index + 1.
+        self.last_scan_end = index + 1
 
         if last_accept < 0:
             line, col = stream.line_column(start_index)

@@ -74,6 +74,13 @@ class ParserOptions:
     ``use_tables``: predict with the flat execution tables
     (:mod:`repro.tables`); off walks the object-graph DFA directly —
     the reference implementation the tables are checked against.
+    ``reuse``: a :class:`~repro.runtime.incremental.ReuseTable` of
+    subtrees from a previous parse of (mostly) the same tokens.  The
+    rule-invocation path probes it next to the speculation memo: a hit
+    grafts the old subtree and advances the stream past it; a miss
+    falls back to normal prediction.  Attaching a reuse table also
+    turns on the lookahead high-water / purity bookkeeping that makes
+    the *new* tree reusable in turn.
     """
 
     def __init__(self, memoize: bool = True, build_tree: bool = True,
@@ -82,7 +89,8 @@ class ParserOptions:
                  error_strategy: Optional[ErrorStrategy] = None,
                  trace=None, recover: bool = False,
                  budget: Optional[ParserBudget] = None,
-                 telemetry=None, use_tables: bool = True):
+                 telemetry=None, use_tables: bool = True,
+                 reuse=None):
         self.memoize = memoize
         self.build_tree = build_tree
         self.profiler = profiler
@@ -102,6 +110,7 @@ class ParserOptions:
         self.budget = budget
         self.telemetry = telemetry
         self.use_tables = use_tables
+        self.reuse = reuse
 
 
 class LLStarParser:
@@ -154,6 +163,17 @@ class LLStarParser:
         self._table_rows: List[Optional[tuple]] = [None] * len(analysis.records)
         # Hot-path handle; None keeps every telemetry hook a single check.
         self._telemetry = self.options.telemetry
+        # Incremental-reparse state (see repro.runtime.incremental).
+        # ``_look_hwm`` is the highest token index any prediction has
+        # examined so far — monotone over the whole parse, so the value
+        # at rule close conservatively bounds every lookahead that ran
+        # inside the rule.  ``_impure_ops`` counts derivation-affecting
+        # side operations (actions, predicates, repairs); a rule whose
+        # open/close counts match derived itself purely from tokens.
+        self._reuse = self.options.reuse
+        self._track_look = self._reuse is not None
+        self._look_hwm = -1
+        self._impure_ops = 0
 
     # -- public entry points --------------------------------------------------------
 
@@ -192,6 +212,7 @@ class LLStarParser:
                     err = ErrorNode(error=error if reported else None,
                                     tokens=skipped, at=self.stream.index)
                     node.add(err)
+                    node.look_stop = -1  # repaired: not reusable
                     if err.stop > node.stop:
                         node.stop = err.stop
             else:
@@ -230,6 +251,20 @@ class LLStarParser:
                 self.stream.seek(cached)
                 return None  # tree building is off while speculating
 
+        # Incremental-reparse probe, the memo probe's sibling: a
+        # previous parse derived this rule at this (new) position from
+        # tokens that have not changed, so its subtree is this parse's
+        # derivation verbatim — graft it and skip the region.  Off
+        # while speculating (no tree), during recovery mode (grafting
+        # would skip the match that ends cascade suppression), and for
+        # parameterized invocations (the subtree may depend on args).
+        if (self._reuse is not None and not self.speculating
+                and not self._error_recovery_mode
+                and self.options.build_tree and not arg_values):
+            reused = self._reuse.take(rule_name, self.stream.index)
+            if reused is not None:
+                return self._graft(reused)
+
         frame: Dict[str, Any] = dict(zip(rule.params, arg_values))
         # The builder opens a node at the entry stream position; the
         # node attaches to its parent only at close, so a failed rule
@@ -238,6 +273,7 @@ class LLStarParser:
                 if self.options.build_tree and not self.speculating
                 else None)
         closed = False
+        impure_mark = self._impure_ops
         frame["ctx"] = node
         if self.options.trace is not None:
             self.options.trace.enter_rule(rule_name, self.stream.index, self.speculating)
@@ -286,7 +322,34 @@ class LLStarParser:
         if self.options.trace is not None:
             self.options.trace.exit_rule(rule_name, self.stream.index, failed=False)
         if node is not None:
+            if (self._track_look and not rule.params
+                    and self._impure_ops == impure_mark):
+                # Pure derivation: tokens [start, max(stop, look_stop)]
+                # fully determine this subtree.  The global high-water
+                # mark is conservative (it may reflect lookahead from
+                # earlier in the parse) but never understates the reach.
+                node.look_stop = self._look_hwm
             self._builder.close_rule(self.stream.index)
+        return node
+
+    def _graft(self, node: RuleNode) -> RuleNode:
+        """Splice a subtree reused from a previous parse into the tree
+        under construction and advance the stream past its span."""
+        self.stream.seek(node.stop + 1)
+        if node.look_stop > self._look_hwm:
+            self._look_hwm = node.look_stop
+        builder = self._builder
+        if builder.attach(node):
+            # A node that used to be a root (whole-tree reuse in some
+            # earlier edit) must not shadow the new root's source record.
+            node.source = None
+        else:
+            # Nothing open: the whole previous tree survived the edit.
+            builder.root = node
+            node.parent = None
+            node.source = builder.source
+        if self._telemetry is not None:
+            self._telemetry.record_reuse(node.rule_name, node.start, node.stop)
         return node
 
     def _walk(self, start, rule_name: str, frame: Dict[str, Any],
@@ -368,6 +431,10 @@ class LLStarParser:
         follow stack (ANTLR's combined-follow computation) plus EOF —
         finer than rule-level FOLLOW because it reflects this exact call
         chain, not every call site in the grammar."""
+        # Recovery outcomes depend on parser-global state (cascade
+        # suppression, last-recovery position), so every rule open while
+        # it runs derives impurely — none of them may be reused.
+        self._impure_ops += 1
         budget = self.options.budget
         if budget is not None and budget.max_recovery_attempts is not None:
             at = self.stream.index
@@ -448,6 +515,7 @@ class LLStarParser:
     def _attach_error_node(self, node: ErrorNode) -> None:
         """Record a repair in the current rule's tree node (no-op when
         tree building is off)."""
+        self._impure_ops += 1  # a repaired subtree is never reusable
         self._builder.attach(node)
 
     def _check_deadline(self) -> None:
@@ -496,6 +564,7 @@ class LLStarParser:
         deadline = self._deadline
         steps = self._dfa_steps  # local counter, written back in finally
         offset = 0  # tokens of lookahead consumed along DFA edges
+        probed = 0  # deepest la() offset actually examined
         backtracked = False
         backtrack_depth = 0
         used_predicates = False
@@ -506,6 +575,7 @@ class LLStarParser:
             alt = fast_get(la(1))
             if alt is not None:
                 offset = 1
+                probed = 1
                 steps += 2
                 if max_steps is not None and steps > max_steps:
                     raise BudgetExceededError(
@@ -514,6 +584,7 @@ class LLStarParser:
                 if deadline is not None and steps & 63 == 0:
                     self._check_deadline()
                 return alt
+            probed = 1  # the fast-path miss still examined la(1)
             state = start
             while True:
                 steps += 1
@@ -528,6 +599,8 @@ class LLStarParser:
                 if alt > 0:
                     return alt
                 token_type = la(offset + 1)
+                if offset >= probed:
+                    probed = offset + 1
                 nxt = rows[state].get(token_type)
                 if nxt is not None:
                     offset += 1
@@ -549,6 +622,13 @@ class LLStarParser:
                                        rule_name=record.rule_name)
         finally:
             self._dfa_steps = steps
+            if self._track_look and probed:
+                # Tokens [index, index + probed - 1] were examined here
+                # (plus whatever depth speculation reached): lift the
+                # parse-global lookahead high-water mark over them.
+                reach = self.stream.index + max(probed - 1, backtrack_depth)
+                if reach > self._look_hwm:
+                    self._look_hwm = reach
             depth = max(offset, 1)
             if self.options.profiler is not None and not self.speculating:
                 self.options.profiler.record(decision, depth, backtracked,
@@ -587,6 +667,7 @@ class LLStarParser:
         budget = self.options.budget
         max_steps = budget.max_dfa_steps if budget is not None else None
         offset = 0  # tokens of lookahead consumed along DFA edges
+        probed = 0  # deepest la() offset actually examined
         backtracked = False
         backtrack_depth = 0
         used_predicates = False
@@ -603,6 +684,8 @@ class LLStarParser:
                 if state.is_accept:
                     return state.predicted_alt
                 token_type = self.stream.la(offset + 1)
+                if offset >= probed:
+                    probed = offset + 1
                 nxt = state.edges.get(token_type)
                 if nxt is not None:
                     offset += 1
@@ -619,6 +702,10 @@ class LLStarParser:
                                        self.stream.index + offset,
                                        rule_name=record.rule_name)
         finally:
+            if self._track_look and probed:
+                reach = self.stream.index + max(probed - 1, backtrack_depth)
+                if reach > self._look_hwm:
+                    self._look_hwm = reach
             depth = max(offset, 1)
             if self.options.profiler is not None and not self.speculating:
                 self.options.profiler.record(decision, depth, backtracked,
@@ -793,6 +880,7 @@ class LLStarParser:
         return t
 
     def _eval_predicate(self, predicate, frame: Dict[str, Any]) -> bool:
+        self._impure_ops += 1  # may read user state the tokens don't capture
         try:
             return bool(eval(predicate.code, self._action_env(), frame))
         except RecognitionError:
@@ -801,6 +889,7 @@ class LLStarParser:
             raise ActionError(predicate.code, e) from e
 
     def _eval_expr(self, expr: str, frame: Dict[str, Any]) -> Any:
+        self._impure_ops += 1  # rule-argument expressions can touch state
         try:
             return eval(expr, self._action_env(), frame)
         except Exception as e:
@@ -809,6 +898,7 @@ class LLStarParser:
     def _execute_action(self, action, frame: Dict[str, Any]) -> None:
         if self.speculating and not action.always_exec:
             return  # mutators are deactivated during speculation (Section 4.3)
+        self._impure_ops += 1  # grafting would skip re-running this code
         try:
             exec(action.code, self._action_env(), frame)
         except RecognitionError:

@@ -31,7 +31,10 @@ class StreamingTokenStream(TokenStream):
     same coordinates as a buffered stream); only the *storage* slides.
     ``seek`` can rewind at most to the oldest outstanding mark —
     rewinding further raises, which is exactly the contract the LL(*)
-    parser honours (it only rewinds to marks it took).
+    parser honours (it only rewinds to marks it took).  Seeking
+    *forward* past the materialisation frontier is fine: the window
+    fills in on the next read, which is how a subtree graft from
+    :mod:`repro.runtime.incremental` skips a reused region in one hop.
 
     ``telemetry`` (a :class:`~repro.runtime.telemetry.ParseTelemetry`)
     receives the window high-water mark as the

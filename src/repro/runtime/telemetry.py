@@ -49,10 +49,12 @@ __all__ = [
     "DfaFallbackEvent",
     "Gauge",
     "Histogram",
+    "IncrementalEditEvent",
     "MetricsRegistry",
     "ParseTelemetry",
     "PredictEvent",
     "RecoveryEvent",
+    "ReuseEvent",
     "SpanEvent",
 ]
 
@@ -171,6 +173,60 @@ class CacheEvent:
 
     def __repr__(self):
         return "CacheEvent(%s %s)" % (self.operation, self.key[:16])
+
+
+class ReuseEvent:
+    """One subtree graft during an incremental reparse: rule ``rule_name``
+    at (new) token span ``[start, stop]`` was spliced from the previous
+    parse instead of being re-derived."""
+
+    kind = "reuse"
+    __slots__ = ("rule_name", "start", "stop")
+
+    def __init__(self, rule_name: str, start: int, stop: int):
+        self.rule_name = rule_name
+        self.start = start
+        self.stop = stop
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "rule": self.rule_name,
+                "start": self.start, "stop": self.stop}
+
+    def __repr__(self):
+        return "ReuseEvent(%s[%d:%d])" % (self.rule_name, self.start, self.stop)
+
+
+class IncrementalEditEvent:
+    """One :meth:`~repro.runtime.incremental.EditSession.edit` applied:
+    how many characters were relexed (the damage window), how many
+    tokens the edit shifted vs. replaced, and whether the reparse could
+    reuse anything at all."""
+
+    kind = "incremental-edit"
+    __slots__ = ("relexed_chars", "damaged_tokens", "shifted_tokens",
+                 "reused_nodes", "reused_tokens", "total_tokens")
+
+    def __init__(self, relexed_chars: int, damaged_tokens: int,
+                 shifted_tokens: int, reused_nodes: int, reused_tokens: int,
+                 total_tokens: int):
+        self.relexed_chars = relexed_chars
+        self.damaged_tokens = damaged_tokens
+        self.shifted_tokens = shifted_tokens
+        self.reused_nodes = reused_nodes
+        self.reused_tokens = reused_tokens
+        self.total_tokens = total_tokens
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "relexed_chars": self.relexed_chars,
+                "damaged_tokens": self.damaged_tokens,
+                "shifted_tokens": self.shifted_tokens,
+                "reused_nodes": self.reused_nodes,
+                "reused_tokens": self.reused_tokens,
+                "total_tokens": self.total_tokens}
+
+    def __repr__(self):
+        return ("IncrementalEditEvent(%d chars relexed, %d/%d tokens reused)"
+                % (self.relexed_chars, self.reused_tokens, self.total_tokens))
 
 
 class SpanEvent:
@@ -545,6 +601,19 @@ class ParseTelemetry:
         self._stream_window = m.gauge(
             "llstar_stream_peak_window",
             "high-water mark of the streaming token window")
+        # Incremental reparsing (repro.runtime.incremental).
+        self._incremental_edits = m.counter(
+            "llstar_incremental_edits_total",
+            "edits applied through an EditSession")
+        self._incremental_relexed = m.counter(
+            "llstar_incremental_relexed_chars_total",
+            "characters rescanned inside damage windows")
+        self._reused_nodes = m.counter(
+            "llstar_incremental_reused_nodes_total",
+            "subtrees grafted from a previous parse")
+        self._reused_tokens = m.counter(
+            "llstar_incremental_reused_tokens_total",
+            "tokens covered by grafted subtrees")
 
     # -- event plumbing --------------------------------------------------------
 
@@ -605,6 +674,23 @@ class ParseTelemetry:
             if skipped:
                 self._recovery_skipped.inc(skipped)
             self._emit(RecoveryEvent(repair, rule_name, index, skipped))
+
+    def record_reuse(self, rule_name: str, start: int, stop: int) -> None:
+        """One subtree graft covering (new) token span ``[start, stop]``."""
+        with self._lock:
+            self._reused_nodes.inc()
+            self._reused_tokens.inc(stop - start + 1)
+            self._emit(ReuseEvent(rule_name, start, stop))
+
+    def record_incremental_edit(self, relexed_chars: int, damaged_tokens: int,
+                                shifted_tokens: int, reused_nodes: int,
+                                reused_tokens: int, total_tokens: int) -> None:
+        with self._lock:
+            self._incremental_edits.inc()
+            self._incremental_relexed.inc(relexed_chars)
+            self._emit(IncrementalEditEvent(
+                relexed_chars, damaged_tokens, shifted_tokens,
+                reused_nodes, reused_tokens, total_tokens))
 
     def record_cache(self, operation: str, key: str, detail: str = "") -> None:
         with self._lock:

@@ -65,6 +65,46 @@ class Token:
         self.stop = stop
         self.index = index
 
+    def shift(self, delta_tokens: int = 0, delta_chars: int = 0,
+              delta_lines: int = 0, delta_columns: int = 0) -> None:
+        """Translate this token's coordinates by the given deltas.
+
+        The incremental reparse layer (:mod:`repro.runtime.incremental`)
+        shifts every token after an edit instead of relexing it; this is
+        the one place that arithmetic lives.  Sentinel fields are left
+        alone: an ``index`` or ``start`` of -1 means "never assigned"
+        (inserted repair tokens, bare-type test tokens) and must stay -1.
+        A shift that would produce a negative index/offset (or a line
+        below 1 / column below 0) is a caller bug — it raises rather
+        than corrupting provenance.
+        """
+        if delta_tokens and self.index >= 0:
+            index = self.index + delta_tokens
+            if index < 0:
+                raise ValueError("token index %d + delta %d is negative"
+                                 % (self.index, delta_tokens))
+            self.index = index
+        if delta_chars and self.start >= 0:
+            start = self.start + delta_chars
+            if start < 0:
+                raise ValueError("token char offset %d + delta %d is negative"
+                                 % (self.start, delta_chars))
+            self.start = start
+            if self.stop >= 0:
+                self.stop += delta_chars
+        if delta_lines:
+            line = self.line + delta_lines
+            if line < 1:
+                raise ValueError("token line %d + delta %d is below 1"
+                                 % (self.line, delta_lines))
+            self.line = line
+        if delta_columns:
+            column = self.column + delta_columns
+            if column < 0:
+                raise ValueError("token column %d + delta %d is negative"
+                                 % (self.column, delta_columns))
+            self.column = column
+
     def __repr__(self):
         return "Token(%r, type=%d, %d:%d)" % (self.text, self.type, self.line, self.column)
 

@@ -78,6 +78,25 @@ class ParseTree:
     def is_empty_span(self) -> bool:
         return self.stop < self.start
 
+    def shift(self, delta_tokens: int) -> None:
+        """Translate this node's token-index span by ``delta_tokens``.
+
+        Used by the incremental reparse layer when grafting a subtree
+        from a previous parse at a new stream position.  Shifts only
+        this node (callers walk the subtree); empty spans
+        ``(p, p - 1)`` stay empty.  A shift that would move an assigned
+        span below index 0 raises — spans silently going negative would
+        corrupt provenance for every later consumer.
+        """
+        if not delta_tokens:
+            return
+        new_start = self.start + delta_tokens
+        if self.start >= 0 and new_start < 0:
+            raise ValueError("span start %d + delta %d is negative"
+                             % (self.start, delta_tokens))
+        self.start = new_start
+        self.stop = self.stop + delta_tokens
+
     def token_nodes(self) -> List["TokenNode"]:
         """All token leaves under this node, in input order."""
         return [t for t in self.walk() if isinstance(t, TokenNode)]
@@ -248,9 +267,18 @@ class RuleNode(ParseTree):
     ``source`` holds the original input text on the root node only (set
     by the builder); every descendant reaches it through the parent
     chain for :attr:`ParseTree.source_text`.
+
+    ``look_stop`` records how far prediction looked while this rule was
+    deriving: the highest token index any lookahead examined between
+    rule entry and exit, or -1 when the derivation is not a pure
+    function of its tokens (actions, predicates, rule parameters, or
+    error repairs ran inside it).  A node with ``look_stop >= 0`` can be
+    reused verbatim by an incremental reparse whenever tokens
+    ``[start, max(stop, look_stop)]`` are unchanged (see
+    :mod:`repro.runtime.incremental`).
     """
 
-    __slots__ = ("rule_name", "children", "value", "alt", "source")
+    __slots__ = ("rule_name", "children", "value", "alt", "source", "look_stop")
 
     def __init__(self, rule_name: str, alt: Optional[int] = None):
         self.parent = None
@@ -261,10 +289,16 @@ class RuleNode(ParseTree):
         self.value: Any = None
         self.alt = alt  # which alternative was predicted (1-based)
         self.source: Optional[str] = None
+        self.look_stop = -1
 
     def add(self, child: ParseTree) -> None:
         child.parent = self
         self.children.append(child)
+
+    def shift(self, delta_tokens: int) -> None:
+        ParseTree.shift(self, delta_tokens)
+        if delta_tokens and self.look_stop >= 0:
+            self.look_stop += delta_tokens
 
     def walk(self) -> Iterator[ParseTree]:
         yield self

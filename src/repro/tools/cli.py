@@ -10,6 +10,7 @@ Subcommands::
                     [--metrics-out FILE]
     llstar codegen  grammar.g [-o parser.py] [--class-name NAME]
     llstar tokens   grammar.g input.txt
+    llstar edit-session grammar.g input.txt [--rule R] [--no-recover]
     llstar serve    [grammar.g ...] [--suite] [--port P] [--jobs N]
                     [--cache DIR] [--stdio]
 
@@ -131,6 +132,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("tokens", help="dump the token stream for an input")
     add_common(p)
     p.add_argument("input")
+
+    p = sub.add_parser(
+        "edit-session",
+        help="interactive incremental reparsing over a JSON-lines edit "
+             "protocol (one op per stdin line, one result per stdout line)")
+    add_common(p)
+    p.add_argument("input", help="initial document text file")
+    p.add_argument("--rule", help="start rule (default: grammar start rule)")
+    p.add_argument("--no-recover", dest="recover", action="store_false",
+                   help="raise on syntax errors instead of repairing "
+                        "(default: recover, editor-style)")
 
     p = sub.add_parser(
         "rewrite",
@@ -456,6 +468,67 @@ def cmd_tokens(args) -> int:
     return 0
 
 
+def cmd_edit_session(args) -> int:
+    """JSON-lines edit protocol over an :class:`EditSession`.
+
+    Ops (one JSON object per stdin line)::
+
+        {"op": "edit", "start": N, "end": N, "text": "..."}
+        {"op": "check"}   # reparse from scratch, compare trees
+        {"op": "tree"}    # current spanned s-expression
+        {"op": "text"}    # current document text
+
+    One JSON result per line on stdout; every result carries ``ok``.
+    Exit status is 1 if any op failed (including a check mismatch).
+    """
+    from repro.runtime.incremental import EditSession
+
+    host = _load_host(args)
+    session = EditSession(host, _read_input(args.input),
+                          rule_name=args.rule, recover=args.recover)
+    failed = False
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        request = json.loads(line)
+        op = request.get("op")
+        result = {"op": op}
+        try:
+            if op == "edit":
+                session.edit(request["start"], request["end"],
+                             request.get("text", ""))
+                result["ok"] = True
+                result["errors"] = len(session.errors)
+                result["stats"] = session.stats.to_dict()
+            elif op == "check":
+                options = ParserOptions(recover=args.recover)
+                cold = host.parse(session.text, rule_name=args.rule,
+                                  options=options)
+                cold_sexpr = cold.to_spanned_sexpr() if cold else None
+                result["ok"] = session.to_spanned_sexpr() == cold_sexpr
+                result["reused_nodes"] = (session.stats.reused_nodes
+                                          if session.stats else 0)
+                result["reuse_rate"] = (round(session.stats.reuse_rate, 4)
+                                        if session.stats else 0.0)
+            elif op == "tree":
+                result["ok"] = True
+                result["tree"] = session.to_spanned_sexpr()
+            elif op == "text":
+                result["ok"] = True
+                result["text"] = session.text
+            else:
+                result["ok"] = False
+                result["error"] = "unknown op %r" % op
+        except (LLStarError, ValueError) as e:
+            result["ok"] = False
+            result["error"] = str(e)
+        if not result["ok"]:
+            failed = True
+        print(json.dumps(result), flush=True)
+    return 1 if failed else 0
+
+
 def cmd_rewrite(args) -> int:
     from repro.runtime.rewriter import TokenStreamRewriter
     from repro.runtime.walker import ParseTreeListener, ParseTreeWalker
@@ -694,6 +767,7 @@ _COMMANDS = {
     "sets": cmd_sets,
     "codegen": cmd_codegen,
     "tokens": cmd_tokens,
+    "edit-session": cmd_edit_session,
     "rewrite": cmd_rewrite,
     "cache": cmd_cache,
 }

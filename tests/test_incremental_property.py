@@ -1,0 +1,118 @@
+"""Property test: incremental reparse ≡ from-scratch parse, every step.
+
+For every paper-suite grammar, drive an :class:`EditSession` through a
+seeded script of text edits — morphing between fuzzer-generated
+sentences (including token-level *mutated* ones, so edits land inside
+error-recovered regions) plus whitespace/comment churn — and assert
+after **every** step that the incremental tree's spanned s-expression is
+byte-identical to a from-scratch parse of the same text, and that the
+recovered-error counts agree.  An edit that cannot lex must raise and
+leave the session byte-identical to before.
+"""
+
+import random
+
+import pytest
+
+from repro.exceptions import LexerError
+from repro.fuzz.generator import SentenceGenerator
+from repro.grammars import PAPER_ORDER, load
+from repro.runtime.incremental import EditSession
+from repro.runtime.parser import ParserOptions
+
+
+@pytest.fixture(scope="module", params=PAPER_ORDER)
+def suite_host(request):
+    return load(request.param).compile()
+
+
+def single_edit(old: str, new: str):
+    """The smallest ``(start, end, replacement)`` turning old into new
+    (common prefix/suffix diff)."""
+    i = 0
+    limit = min(len(old), len(new))
+    while i < limit and old[i] == new[i]:
+        i += 1
+    j = 0
+    while j < limit - i and old[len(old) - 1 - j] == new[len(new) - 1 - j]:
+        j += 1
+    return i, len(old) - j, new[i:len(new) - j]
+
+
+def assert_step(host, session, context):
+    ref = host.parser(session.text, options=ParserOptions(recover=True))
+    tree = ref.parse()
+    assert session.to_spanned_sexpr() == tree.to_spanned_sexpr(), context
+    assert len(session.errors) == len(ref.errors), context
+
+
+def target_documents(host, n_sentences=4, seed=11):
+    """A morphing sequence of documents: valid sentences, their mutated
+    (often ill-formed) variants, and back."""
+    gen = SentenceGenerator(host, seed=seed, max_tokens=120)
+    docs = []
+    for sentence in gen.generate(n_sentences):
+        if sentence.text is None:
+            continue
+        docs.append(sentence.text)
+        damaged = gen.mutate(sentence, salt=1)
+        if damaged.text is not None and damaged.text != sentence.text:
+            docs.append(damaged.text)
+            docs.append(sentence.text)  # repair the damage again
+    return docs
+
+
+def test_edit_scripts_match_from_scratch(suite_host):
+    host = suite_host
+    docs = target_documents(host)
+    if len(docs) < 2:
+        pytest.skip("grammar renders too few textual sentences")
+    session = EditSession(host, docs[0])
+    assert_step(host, session, "initial parse of %r" % docs[0][:60])
+    steps = 0
+    for target in docs[1:]:
+        start, end, replacement = single_edit(session.text, target)
+        session.edit(start, end, replacement)
+        assert session.text == target
+        assert_step(host, session,
+                    "edit (%d, %d, %r)" % (start, end, replacement[:40]))
+        steps += 1
+    assert steps >= 1
+
+
+def test_seeded_point_edits_match_from_scratch(suite_host):
+    host = suite_host
+    docs = target_documents(host, n_sentences=2, seed=7)
+    if not docs:
+        pytest.skip("grammar renders no textual sentences")
+    session = EditSession(host, docs[0])
+    rng = random.Random(1234)
+    alphabet = sorted(set(docs[0])) + [" ", "\n"]
+    applied = 0
+    for _ in range(25):
+        text = session.text
+        kind = rng.choice(("insert", "delete", "replace"))
+        at = rng.randrange(len(text) + 1) if text else 0
+        if kind == "insert":
+            start, end = at, at
+            replacement = "".join(rng.choice(alphabet)
+                                  for _ in range(rng.randint(1, 3)))
+        elif kind == "delete" and text:
+            start = min(at, len(text) - 1)
+            end = min(start + rng.randint(1, 4), len(text))
+            replacement = ""
+        else:
+            start = min(at, max(len(text) - 1, 0))
+            end = min(start + 1, len(text))
+            replacement = rng.choice(alphabet)
+        before = (session.text, session.to_spanned_sexpr())
+        try:
+            session.edit(start, end, replacement)
+        except LexerError:
+            # Transactional: the failed edit must not have moved anything.
+            assert (session.text, session.to_spanned_sexpr()) == before
+            continue
+        assert_step(host, session,
+                    "%s (%d, %d, %r)" % (kind, start, end, replacement))
+        applied += 1
+    assert applied >= 5
